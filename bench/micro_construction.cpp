@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of every construction stage: finite
+// fields, both graph constructions, difference sets, both tree solutions
+// and the congestion model. These bound the offline planning cost of the
+// library (tree construction happens once per job, not per Allreduce).
+
+#include <benchmark/benchmark.h>
+
+#include "gf/field.hpp"
+#include "model/congestion_model.hpp"
+#include "polarfly/layout.hpp"
+#include "singer/disjoint.hpp"
+#include "singer/singer_graph.hpp"
+#include "trees/exact_packing.hpp"
+#include "trees/hamiltonian.hpp"
+#include "trees/low_depth.hpp"
+
+namespace {
+
+using namespace pfar;
+
+void BM_FieldConstruction(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gf::Field f(q);
+    benchmark::DoNotOptimize(f.generator());
+  }
+}
+BENCHMARK(BM_FieldConstruction)->Arg(9)->Arg(27)->Arg(49)->Arg(128);
+
+void BM_FieldMultiply(benchmark::State& state) {
+  const gf::Field f(static_cast<int>(state.range(0)));
+  gf::Elem x = 1;
+  for (auto _ : state) {
+    x = f.mul(x, f.generator());
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FieldMultiply)->Arg(13)->Arg(128);
+
+void BM_PolarFlyConstruction(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    polarfly::PolarFly pf(q);
+    benchmark::DoNotOptimize(pf.n());
+  }
+}
+BENCHMARK(BM_PolarFlyConstruction)->Arg(7)->Arg(13)->Arg(27)->Arg(49);
+
+void BM_DifferenceSet(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto d = singer::build_difference_set(q);
+    benchmark::DoNotOptimize(d.elements.size());
+  }
+}
+BENCHMARK(BM_DifferenceSet)->Arg(7)->Arg(13)->Arg(27)->Arg(49);
+
+void BM_SingerGraph(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const auto d = singer::build_difference_set(q);
+  for (auto _ : state) {
+    singer::SingerGraph s(d);
+    benchmark::DoNotOptimize(s.graph().num_edges());
+  }
+}
+BENCHMARK(BM_SingerGraph)->Arg(7)->Arg(13)->Arg(27);
+
+void BM_LowDepthTrees(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const polarfly::PolarFly pf(q);
+  const auto layout = polarfly::build_layout(pf);
+  for (auto _ : state) {
+    auto ts = trees::build_low_depth_trees(pf, layout);
+    benchmark::DoNotOptimize(ts.size());
+  }
+}
+BENCHMARK(BM_LowDepthTrees)->Arg(7)->Arg(13)->Arg(27);
+
+void BM_DisjointHamiltonians(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const auto d = singer::build_difference_set(q);
+  for (auto _ : state) {
+    auto set = singer::find_disjoint_hamiltonians(d);
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_DisjointHamiltonians)->Arg(7)->Arg(13)->Arg(27);
+
+void BM_ExactTreePacking(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const polarfly::PolarFly pf(q);
+  for (auto _ : state) {
+    auto ts = trees::exact_tree_packing(pf.graph());
+    benchmark::DoNotOptimize(ts.size());
+  }
+}
+BENCHMARK(BM_ExactTreePacking)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_CongestionModel(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const polarfly::PolarFly pf(q);
+  const auto ts = trees::build_low_depth_trees(pf, polarfly::build_layout(pf));
+  for (auto _ : state) {
+    auto bw = model::compute_tree_bandwidths(pf.graph(), ts, 1.0);
+    benchmark::DoNotOptimize(bw.aggregate);
+  }
+}
+BENCHMARK(BM_CongestionModel)->Arg(7)->Arg(13)->Arg(27);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Validates Theorem 5.1 / Corollaries 7.1 and 7.7 end-to-end on the
+// cycle-level simulator: for each design point, the measured aggregate
+// Allreduce bandwidth of both solutions must converge to the Algorithm 1
+// prediction (q/2 for low-depth, floor((q+1)/2) for edge-disjoint) as the
+// vector grows.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pfar;
+  std::printf("Simulated vs analytic Allreduce bandwidth (elements/cycle, "
+              "link B = 1)\n\n");
+
+  util::Table table({"q", "solution", "m", "Alg.1 BW", "sim BW",
+                     "efficiency", "correct"});
+  for (int q : {3, 5, 7, 9, 11}) {
+    for (const auto solution :
+         {core::Solution::kLowDepth, core::Solution::kEdgeDisjoint}) {
+      const auto plan =
+          core::AllreducePlanner(q).solution(solution).build();
+      for (long long m : {2000LL, 20000LL}) {
+        const auto res = plan.simulate(m);
+        table.add(q, core::to_string(solution), m,
+                  plan.aggregate_bandwidth(), res.sim.aggregate_bandwidth,
+                  res.efficiency_vs_model, res.sim.values_correct);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape check: efficiency -> 1.0 as m grows; every run reduces\n"
+      "exactly (integer-checked at all N nodes).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// HPC scenario: small-vector Allreduce is latency-bound (Section 1). This
+// example sweeps tiny-to-medium vector sizes and shows where the depth-3
+// low-latency trees beat the deep (depth (N-1)/2) edge-disjoint trees —
+// the latency/bandwidth trade-off of Section 7.3.
+//
+//   ./hpc_latency --q 7
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfar;
+  const util::Args args(argc, argv);
+  const int q = static_cast<int>(args.get_int("q", 7));
+  if (q % 2 == 0) {
+    std::fprintf(stderr, "hpc_latency: odd prime power q required\n");
+    return 1;
+  }
+
+  const auto low_depth =
+      core::AllreducePlanner(q).solution(core::Solution::kLowDepth).build();
+  const auto disjoint =
+      core::AllreducePlanner(q).solution(core::Solution::kEdgeDisjoint).build();
+
+  std::printf(
+      "Latency-vs-bandwidth trade-off on PolarFly q=%d:\n"
+      "  low-depth: depth %d, aggregate bandwidth %.1f x B\n"
+      "  edge-disjoint: depth %d, aggregate bandwidth %.1f x B\n\n",
+      q, low_depth.max_depth(), low_depth.aggregate_bandwidth(),
+      disjoint.max_depth(), disjoint.aggregate_bandwidth());
+
+  util::Table table({"m (elems)", "low-depth cycles", "edge-disjoint cycles",
+                     "winner"});
+  long long crossover = -1;
+  for (long long m : {1LL, 8LL, 64LL, 256LL, 1024LL, 4096LL, 16384LL,
+                      65536LL}) {
+    const auto ld = low_depth.simulate(m);
+    const auto ed = disjoint.simulate(m);
+    const bool ld_wins = ld.sim.cycles <= ed.sim.cycles;
+    if (!ld_wins && crossover < 0) crossover = m;
+    table.add(m, ld.sim.cycles, ed.sim.cycles,
+              ld_wins ? "low-depth" : "edge-disjoint");
+  }
+  table.print(std::cout);
+
+  if (crossover >= 0) {
+    std::printf(
+        "\nThe deep Hamiltonian trees overtake at m >= %lld: their extra\n"
+        "bandwidth amortizes the (N-1)/2 pipeline fill for large vectors,\n"
+        "while depth-3 trees win for latency-bound sizes.\n",
+        crossover);
+  } else {
+    std::printf(
+        "\nLow-depth trees won every size tested (small q: the bandwidth\n"
+        "gap q/(q+1) is tiny while the depth gap is large).\n");
+  }
+  return 0;
+}

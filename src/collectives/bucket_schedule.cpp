@@ -1,0 +1,40 @@
+#include "collectives/bucket_schedule.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pfar::collectives {
+
+BucketScheduleResult run_bucketed_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees,
+    const std::vector<long long>& bucket_sizes,
+    const simnet::SimConfig& config, BucketStrategy strategy) {
+  if (bucket_sizes.empty()) {
+    throw std::invalid_argument("run_bucketed_allreduce: no buckets");
+  }
+  BucketScheduleResult out;
+  switch (strategy) {
+    case BucketStrategy::kSerialized: {
+      for (long long m : bucket_sizes) {
+        const auto res = run_innetwork_allreduce(topology, trees, m, config);
+        out.total_cycles += res.sim.cycles;
+        out.correct = out.correct && res.sim.values_correct;
+        out.bucket_finish.push_back(out.total_cycles);
+      }
+      break;
+    }
+    case BucketStrategy::kFused: {
+      const long long total = std::accumulate(bucket_sizes.begin(),
+                                              bucket_sizes.end(), 0LL);
+      const auto res = run_innetwork_allreduce(topology, trees, total, config);
+      out.total_cycles = res.sim.cycles;
+      out.correct = res.sim.values_correct;
+      out.bucket_finish.push_back(out.total_cycles);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pfar::collectives

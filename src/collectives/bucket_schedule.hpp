@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "collectives/innetwork.hpp"
+
+namespace pfar::collectives {
+
+/// Bucketed-gradient execution strategies. Deep-learning frameworks issue
+/// gradients as a sequence of fused buckets; how the buckets map onto the
+/// in-network trees changes the pipeline behaviour:
+///  * kSerialized: one full Allreduce per bucket, back to back. Each
+///    bucket pays the full pipeline fill/drain of the tree set.
+///  * kFused: concatenate all buckets into one stream per tree — the
+///    hardware pipeline never drains between buckets, so fills are paid
+///    once. (Results become available only at the end; frameworks trade
+///    this against reaction latency.)
+enum class BucketStrategy {
+  kSerialized,
+  kFused,
+};
+
+struct BucketScheduleResult {
+  long long total_cycles = 0;
+  bool correct = true;
+  /// Per-bucket completion cycle (cumulative). For kFused there is a
+  /// single entry: everything lands together.
+  std::vector<long long> bucket_finish;
+};
+
+/// Executes a sequence of gradient-bucket Allreduces over one tree set and
+/// reports the end-to-end cycle count under the chosen strategy.
+BucketScheduleResult run_bucketed_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees,
+    const std::vector<long long>& bucket_sizes, const simnet::SimConfig& config,
+    BucketStrategy strategy);
+
+}  // namespace pfar::collectives

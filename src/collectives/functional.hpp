@@ -1,0 +1,104 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "model/congestion_model.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::collectives {
+
+/// Functional (non-timed) execution of the multi-tree Allreduce dataflow:
+/// given one input vector per node, computes what the in-network offload
+/// computes — per-tree sub-vectors reduced up each tree in child order and
+/// broadcast back — and returns each node's output vector.
+///
+/// This is the library's user-facing collective API: it exercises exactly
+/// the reduction association the hardware would produce (leaf-to-root,
+/// children combined in port order at every router), which matters for
+/// non-commutative or floating-point operators. Use AllreducePlan::simulate
+/// for timing; use this to process real data.
+///
+/// T must be a value type; `op` must be associative (Section 4.2's
+/// requirement). The vector is split across trees proportionally to the
+/// Algorithm 1 bandwidths, mirroring the paper's optimal distribution.
+template <typename T>
+class FunctionalAllreduce {
+ public:
+  using Op = std::function<T(const T&, const T&)>;
+
+  FunctionalAllreduce(const graph::Graph& topology,
+                      std::vector<trees::SpanningTree> forest, Op op)
+      : topology_(&topology), forest_(std::move(forest)), op_(std::move(op)) {
+    if (forest_.empty()) {
+      throw std::invalid_argument("FunctionalAllreduce: no trees");
+    }
+    for (const auto& t : forest_) {
+      if (!t.is_spanning_tree_of(topology)) {
+        throw std::invalid_argument(
+            "FunctionalAllreduce: tree does not span the topology");
+      }
+    }
+    bandwidths_ = model::compute_tree_bandwidths(topology, forest_, 1.0);
+  }
+
+  /// inputs[v] is node v's m-element vector; returns the m-element
+  /// reduction, identical at every node (so returned once).
+  std::vector<T> run(const std::vector<std::vector<T>>& inputs) const {
+    const int n = topology_->num_vertices();
+    if (static_cast<int>(inputs.size()) != n) {
+      throw std::invalid_argument("FunctionalAllreduce: need one vector per node");
+    }
+    const long long m = static_cast<long long>(inputs[0].size());
+    for (const auto& vec : inputs) {
+      if (static_cast<long long>(vec.size()) != m) {
+        throw std::invalid_argument("FunctionalAllreduce: ragged inputs");
+      }
+    }
+    if (m == 0) return {};
+    const auto split = model::optimal_split(m, bandwidths_);
+
+    std::vector<T> out(inputs[0]);  // sized m; overwritten below
+    long long offset = 0;
+    std::vector<T> acc(n, inputs[0][0]);
+    for (std::size_t t = 0; t < forest_.size(); ++t) {
+      const auto order = bottom_up_order(forest_[t]);
+      for (long long k = offset; k < offset + split[t]; ++k) {
+        // Reduction exactly as the router dataflow associates it: node
+        // value first, then children in port order, each child's subtree
+        // already reduced. Iterative (Hamiltonian trees are ~N/2 deep).
+        for (int v = 0; v < n; ++v) acc[v] = inputs[v][k];
+        for (int v : order) {
+          for (int c : forest_[t].children(v)) acc[v] = op_(acc[v], acc[c]);
+        }
+        out[k] = acc[forest_[t].root()];
+      }
+      offset += split[t];
+    }
+    return out;
+  }
+
+  const model::TreeBandwidths& bandwidths() const { return bandwidths_; }
+
+ private:
+  // Vertices ordered so every child precedes its parent (reversed BFS).
+  static std::vector<int> bottom_up_order(const trees::SpanningTree& tree) {
+    std::vector<int> order;
+    order.reserve(tree.num_vertices());
+    order.push_back(tree.root());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (int c : tree.children(order[i])) order.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+  }
+
+  const graph::Graph* topology_;
+  std::vector<trees::SpanningTree> forest_;
+  Op op_;
+  model::TreeBandwidths bandwidths_;
+};
+
+}  // namespace pfar::collectives

@@ -1,0 +1,255 @@
+#include "collectives/host_allreduce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfar::collectives {
+namespace {
+
+constexpr std::int64_t kNodeStride = 1000003;
+constexpr std::int64_t kElemStride = 31;
+
+std::int64_t rank_value(int rank, long long k) {
+  return static_cast<std::int64_t>(rank + 1) * kNodeStride +
+         static_cast<std::int64_t>(k) * kElemStride;
+}
+
+int floor_log2(int p) {
+  int l = 0;
+  while ((1 << (l + 1)) <= p) ++l;
+  return l;
+}
+
+// Ring chunk boundary c of p chunks over m elements.
+long long chunk_lo(long long m, int p, int c) {
+  return static_cast<long long>(c) * m / p;
+}
+
+void ring(int p, long long m, Transport& tr) {
+  // Reduce-scatter: p-1 rounds; rank i sends chunk (i - r) mod p to i+1.
+  for (int r = 0; r < p - 1; ++r) {
+    for (int i = 0; i < p; ++i) {
+      const int c = ((i - r) % p + p) % p;
+      tr.transfer(i, (i + 1) % p, chunk_lo(m, p, c), chunk_lo(m, p, c + 1),
+                  /*reduce=*/true);
+    }
+    tr.next_round();
+  }
+  // All-gather: rank i sends chunk (i + 1 - r) mod p to i+1.
+  for (int r = 0; r < p - 1; ++r) {
+    for (int i = 0; i < p; ++i) {
+      const int c = ((i + 1 - r) % p + p) % p;
+      tr.transfer(i, (i + 1) % p, chunk_lo(m, p, c), chunk_lo(m, p, c + 1),
+                  /*reduce=*/false);
+    }
+    tr.next_round();
+  }
+}
+
+// Maps participant index (0..p2-1) to the original rank after folding the
+// first 2*rem ranks pairwise (MPICH-style non-power-of-two handling).
+int participant_rank(int idx, int rem) {
+  return idx < rem ? 2 * idx : idx + rem;
+}
+
+void fold_in(long long m, int rem, Transport& tr) {
+  if (rem == 0) return;
+  for (int k = 0; k < rem; ++k) {
+    tr.transfer(2 * k + 1, 2 * k, 0, m, /*reduce=*/true);
+  }
+  tr.next_round();
+}
+
+void fold_out(long long m, int rem, Transport& tr) {
+  if (rem == 0) return;
+  for (int k = 0; k < rem; ++k) {
+    tr.transfer(2 * k, 2 * k + 1, 0, m, /*reduce=*/false);
+  }
+  tr.next_round();
+}
+
+void recursive_doubling(int p, long long m, Transport& tr) {
+  const int lg = floor_log2(p);
+  const int p2 = 1 << lg;
+  const int rem = p - p2;
+  fold_in(m, rem, tr);
+  for (int bit = 0; bit < lg; ++bit) {
+    for (int idx = 0; idx < p2; ++idx) {
+      const int partner = idx ^ (1 << bit);
+      // Both directions of the pairwise exchange, staged concurrently.
+      tr.transfer(participant_rank(idx, rem), participant_rank(partner, rem),
+                  0, m, /*reduce=*/true);
+    }
+    tr.next_round();
+  }
+  fold_out(m, rem, tr);
+}
+
+void halving_doubling(int p, long long m, Transport& tr) {
+  const int lg = floor_log2(p);
+  const int p2 = 1 << lg;
+  const int rem = p - p2;
+  fold_in(m, rem, tr);
+
+  // Per-participant range trajectory through the recursive halving.
+  std::vector<long long> lo(p2, 0), hi(p2, m);
+  // ranges[step][idx] = (lo, hi) at entry of halving step `step`.
+  std::vector<std::vector<std::pair<long long, long long>>> entry(
+      lg, std::vector<std::pair<long long, long long>>(p2));
+
+  for (int step = 0; step < lg; ++step) {
+    const int half = p2 >> (step + 1);
+    for (int idx = 0; idx < p2; ++idx) {
+      entry[step][idx] = {lo[idx], hi[idx]};
+    }
+    for (int idx = 0; idx < p2; ++idx) {
+      const int partner = idx ^ half;
+      const long long mid = lo[idx] + (hi[idx] - lo[idx]) / 2;
+      if ((idx & half) == 0) {
+        // Keep the low half; ship the high half to the partner.
+        tr.transfer(participant_rank(idx, rem),
+                    participant_rank(partner, rem), mid, hi[idx],
+                    /*reduce=*/true);
+      } else {
+        tr.transfer(participant_rank(idx, rem),
+                    participant_rank(partner, rem), lo[idx], mid,
+                    /*reduce=*/true);
+      }
+    }
+    for (int idx = 0; idx < p2; ++idx) {
+      const long long mid = lo[idx] + (hi[idx] - lo[idx]) / 2;
+      if ((idx & half) == 0) {
+        hi[idx] = mid;
+      } else {
+        lo[idx] = mid;
+      }
+    }
+    tr.next_round();
+  }
+
+  // All-gather by recursive doubling: undo the splits in reverse order.
+  for (int step = lg - 1; step >= 0; --step) {
+    const int half = p2 >> (step + 1);
+    for (int idx = 0; idx < p2; ++idx) {
+      const int partner = idx ^ half;
+      tr.transfer(participant_rank(idx, rem),
+                  participant_rank(partner, rem), lo[idx], hi[idx],
+                  /*reduce=*/false);
+    }
+    for (int idx = 0; idx < p2; ++idx) {
+      lo[idx] = entry[step][idx].first;
+      hi[idx] = entry[step][idx].second;
+    }
+    tr.next_round();
+  }
+  fold_out(m, rem, tr);
+}
+
+}  // namespace
+
+void run_host_allreduce(HostAlgorithm algo, int p, long long m,
+                        Transport& transport) {
+  if (p < 1 || m < 0) {
+    throw std::invalid_argument("run_host_allreduce: bad p or m");
+  }
+  if (p == 1 || m == 0) return;
+  switch (algo) {
+    case HostAlgorithm::kRing:
+      ring(p, m, transport);
+      break;
+    case HostAlgorithm::kRecursiveDoubling:
+      recursive_doubling(p, m, transport);
+      break;
+    case HostAlgorithm::kHalvingDoubling:
+      halving_doubling(p, m, transport);
+      break;
+  }
+}
+
+ScheduleRecorder::ScheduleRecorder(std::vector<int> placement)
+    : placement_(std::move(placement)) {
+  rounds_.emplace_back();
+}
+
+void ScheduleRecorder::transfer(int src_rank, int dst_rank, long long lo,
+                                long long hi, bool reduce) {
+  (void)reduce;
+  if (hi <= lo) return;
+  rounds_.back().push_back(
+      Message{placement_[src_rank], placement_[dst_rank], hi - lo});
+}
+
+void ScheduleRecorder::next_round() { rounds_.emplace_back(); }
+
+std::vector<Round> ScheduleRecorder::take_schedule() {
+  while (!rounds_.empty() && rounds_.back().empty()) rounds_.pop_back();
+  return std::move(rounds_);
+}
+
+DataExecutor::DataExecutor(int p, long long m) : p_(p), m_(m) {
+  data_.resize(p);
+  for (int r = 0; r < p; ++r) {
+    data_[r].resize(m);
+    for (long long k = 0; k < m; ++k) data_[r][k] = rank_value(r, k);
+  }
+  pending_.clear();
+}
+
+void DataExecutor::transfer(int src_rank, int dst_rank, long long lo,
+                            long long hi, bool reduce) {
+  if (hi <= lo) return;
+  // Snapshot the source now: all transfers within a round see pre-round
+  // state (synchronous-round semantics), applied at next_round().
+  Pending p;
+  p.dst = dst_rank;
+  p.lo = lo;
+  p.reduce = reduce;
+  p.payload.assign(data_[src_rank].begin() + lo, data_[src_rank].begin() + hi);
+  pending_.push_back(std::move(p));
+}
+
+void DataExecutor::next_round() {
+  for (auto& p : pending_) {
+    auto& vec = data_[p.dst];
+    for (std::size_t i = 0; i < p.payload.size(); ++i) {
+      if (p.reduce) {
+        vec[p.lo + i] += p.payload[i];
+      } else {
+        vec[p.lo + i] = p.payload[i];
+      }
+    }
+  }
+  pending_.clear();
+}
+
+bool DataExecutor::verify() const {
+  if (!pending_.empty()) return false;  // algorithm forgot a round barrier
+  for (long long k = 0; k < m_; ++k) {
+    std::int64_t expected = 0;
+    for (int r = 0; r < p_; ++r) expected += rank_value(r, k);
+    for (int r = 0; r < p_; ++r) {
+      if (data_[r][k] != expected) return false;
+    }
+  }
+  return true;
+}
+
+HostAllreduceResult run_host_baseline(HostAlgorithm algo,
+                                      const RoutedNetwork& net,
+                                      const std::vector<int>& placement,
+                                      long long m, double alpha, double beta,
+                                      long long verify_m) {
+  const int p = static_cast<int>(placement.size());
+  HostAllreduceResult out;
+
+  ScheduleRecorder recorder(placement);
+  run_host_allreduce(algo, p, m, recorder);
+  out.cost = schedule_cost(net, recorder.take_schedule(), alpha, beta);
+
+  DataExecutor executor(p, std::min(m, verify_m));
+  run_host_allreduce(algo, p, std::min(m, verify_m), executor);
+  out.correct = executor.verify();
+  return out;
+}
+
+}  // namespace pfar::collectives

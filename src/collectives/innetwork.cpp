@@ -1,0 +1,70 @@
+#include "collectives/innetwork.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pfar::collectives {
+
+std::vector<simnet::TreeEmbedding> to_embeddings(
+    const std::vector<trees::SpanningTree>& trees) {
+  std::vector<simnet::TreeEmbedding> out;
+  out.reserve(trees.size());
+  for (const auto& t : trees) {
+    out.push_back(simnet::TreeEmbedding{t.root(), t.parents()});
+  }
+  return out;
+}
+
+trees::SpanningTree bfs_tree(const graph::Graph& g, int root) {
+  std::vector<int> parent(g.num_vertices(), -1);
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::queue<int> frontier;
+  seen[root] = 1;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int w : g.neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        parent[w] = u;
+        frontier.push(w);
+      }
+    }
+  }
+  return trees::SpanningTree(root, std::move(parent));
+}
+
+InNetworkResult run_innetwork_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& spanning_trees, long long m,
+    const simnet::SimConfig& config, SplitPolicy policy) {
+  if (spanning_trees.empty()) {
+    throw std::invalid_argument("run_innetwork_allreduce: no trees");
+  }
+  InNetworkResult out;
+  out.m = m;
+  out.predicted = model::compute_tree_bandwidths(
+      topology, spanning_trees, static_cast<double>(config.link_bandwidth));
+  for (const auto& t : spanning_trees) {
+    out.max_depth = std::max(out.max_depth, t.depth());
+  }
+
+  if (policy == SplitPolicy::kOptimal) {
+    out.split = model::optimal_split(m, out.predicted);
+  } else {
+    out.split = util::apportion(
+        m, std::vector<double>(spanning_trees.size(), 1.0));
+  }
+
+  simnet::AllreduceSimulator sim(topology, to_embeddings(spanning_trees),
+                                 config);
+  out.sim = sim.run(out.split);
+  out.efficiency_vs_model =
+      out.sim.aggregate_bandwidth / out.predicted.aggregate;
+  return out;
+}
+
+}  // namespace pfar::collectives

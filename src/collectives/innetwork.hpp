@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "model/congestion_model.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::collectives {
+
+/// How the m vector elements are distributed across trees.
+enum class SplitPolicy {
+  /// m_i = m * B_i / sum(B) — the optimal distribution of Theorem 5.1.
+  kOptimal,
+  /// m_i = m / r, ignoring per-tree bandwidth; used as an ablation to show
+  /// why the bandwidth-proportional split matters.
+  kUniform,
+};
+
+/// Everything measured and predicted for one in-network Allreduce run.
+struct InNetworkResult {
+  simnet::SimResult sim;
+  model::TreeBandwidths predicted;   // Algorithm 1
+  std::vector<long long> split;      // m_i actually used
+  long long m = 0;                   // total vector elements
+  int max_depth = 0;                 // deepest tree (latency proxy)
+  /// Simulated aggregate bandwidth / Algorithm 1 aggregate — approaches
+  /// 1.0 as m grows (pipeline fill/drain amortizes away).
+  double efficiency_vs_model = 0.0;
+};
+
+/// Plans and simulates a multi-tree in-network Allreduce of an m-element
+/// vector over the given spanning trees (Sections 4.3, 5.2 end-to-end):
+/// computes Algorithm 1 bandwidths, splits the vector per `policy`, runs
+/// the cycle-level simulator and reports both measurement and prediction.
+InNetworkResult run_innetwork_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees, long long m,
+    const simnet::SimConfig& config, SplitPolicy policy = SplitPolicy::kOptimal);
+
+/// Converts library spanning trees into simulator embeddings.
+std::vector<simnet::TreeEmbedding> to_embeddings(
+    const std::vector<trees::SpanningTree>& trees);
+
+/// A single-tree in-network baseline: a BFS tree rooted at `root` (the
+/// SHARP-like topology-agnostic embedding whose Allreduce bandwidth is
+/// capped at one link, Section 1.1).
+trees::SpanningTree bfs_tree(const graph::Graph& g, int root);
+
+}  // namespace pfar::collectives

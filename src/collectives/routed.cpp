@@ -1,0 +1,87 @@
+#include "collectives/routed.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pfar::collectives {
+
+RoutedNetwork::RoutedNetwork(const graph::Graph& g)
+    : g_(&g), n_(g.num_vertices()) {
+  next_hop_.assign(static_cast<std::size_t>(n_) * n_, -1);
+  dist_.assign(static_cast<std::size_t>(n_) * n_, -1);
+  // BFS from each destination; neighbors are scanned in ascending id so the
+  // chosen next hop is deterministic.
+  for (int dst = 0; dst < n_; ++dst) {
+    auto* dist = &dist_[static_cast<std::size_t>(dst) * n_];
+    auto* hop = &next_hop_[static_cast<std::size_t>(dst) * n_];
+    std::queue<int> frontier;
+    dist[dst] = 0;
+    frontier.push(dst);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int w : g.neighbors(u)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          hop[w] = u;  // from w, step to u to get closer to dst
+          frontier.push(w);
+        }
+      }
+    }
+  }
+}
+
+int RoutedNetwork::hops(int src, int dst) const {
+  const int d = dist_[static_cast<std::size_t>(dst) * n_ + src];
+  if (d < 0) throw std::invalid_argument("RoutedNetwork: unreachable");
+  return d;
+}
+
+std::vector<int> RoutedNetwork::path(int src, int dst) const {
+  std::vector<int> out{src};
+  int cur = src;
+  while (cur != dst) {
+    cur = next_hop_[static_cast<std::size_t>(dst) * n_ + cur];
+    if (cur < 0) throw std::invalid_argument("RoutedNetwork: unreachable");
+    out.push_back(cur);
+  }
+  return out;
+}
+
+ScheduleCost schedule_cost(const RoutedNetwork& net,
+                           const std::vector<Round>& schedule, double alpha,
+                           double beta) {
+  ScheduleCost cost;
+  const int n = net.graph().num_vertices();
+  std::vector<long long> load(static_cast<std::size_t>(n) * n, 0);
+  for (const auto& round : schedule) {
+    if (round.empty()) continue;
+    ++cost.rounds;
+    int max_hops = 0;
+    std::vector<std::pair<int, int>> touched;
+    for (const auto& msg : round) {
+      if (msg.src == msg.dst || msg.elements == 0) continue;
+      const auto path = net.path(msg.src, msg.dst);
+      max_hops = std::max(max_hops, static_cast<int>(path.size()) - 1);
+      cost.total_elements_moved += msg.elements;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const std::size_t key =
+            static_cast<std::size_t>(path[i - 1]) * n + path[i];
+        if (load[key] == 0) touched.emplace_back(path[i - 1], path[i]);
+        load[key] += msg.elements;
+      }
+    }
+    long long max_load = 0;
+    for (const auto& [a, b] : touched) {
+      const std::size_t key = static_cast<std::size_t>(a) * n + b;
+      max_load = std::max(max_load, load[key]);
+      load[key] = 0;  // reset for the next round
+    }
+    cost.max_link_elements = std::max(cost.max_link_elements, max_load);
+    cost.total_time += alpha * max_hops + beta * static_cast<double>(max_load);
+  }
+  return cost;
+}
+
+}  // namespace pfar::collectives

@@ -1,0 +1,94 @@
+#include "core/planner.hpp"
+
+#include <stdexcept>
+
+#include "singer/disjoint.hpp"
+#include "trees/hamiltonian.hpp"
+#include "trees/low_depth.hpp"
+#include "util/numeric.hpp"
+
+namespace pfar::core {
+
+int AllreducePlan::max_depth() const {
+  int d = 0;
+  for (const auto& t : trees_) d = std::max(d, t.depth());
+  return d;
+}
+
+int AllreducePlan::max_congestion() const {
+  return trees::max_congestion(*topology_, trees_);
+}
+
+double AllreducePlan::optimal_bandwidth() const {
+  return model::optimal_polarfly_bandwidth(q_, 1.0);
+}
+
+std::vector<long long> AllreducePlan::split(long long m) const {
+  return model::optimal_split(m, bandwidths_);
+}
+
+collectives::InNetworkResult AllreducePlan::simulate(
+    long long m, const simnet::SimConfig& config) const {
+  return collectives::run_innetwork_allreduce(*topology_, trees_, m, config);
+}
+
+AllreducePlanner::AllreducePlanner(int q) : q_(q) {
+  if (!util::is_prime_power(q)) {
+    throw std::invalid_argument("AllreducePlanner: q must be a prime power");
+  }
+}
+
+AllreducePlan AllreducePlanner::build() const {
+  AllreducePlan plan;
+  plan.q_ = q_;
+  plan.solution_ = solution_;
+
+  switch (solution_) {
+    case Solution::kLowDepth: {
+      auto pf = std::make_shared<polarfly::PolarFly>(q_);
+      if (q_ % 2 == 1) {
+        const auto layout = polarfly::build_layout(*pf, starter_);
+        plan.trees_ = trees::build_low_depth_trees(*pf, layout);
+      } else {
+        // Even q: the paper's unpublished analogue, reconstructed in
+        // build_low_depth_trees_even (q-1 trees, depth <= 3, congestion 2).
+        plan.trees_ = trees::build_low_depth_trees_even(*pf, starter_);
+      }
+      plan.topology_ =
+          std::shared_ptr<const graph::Graph>(pf, &pf->graph());
+      plan.owner_ = pf;
+      break;
+    }
+    case Solution::kSingleTree: {
+      auto pf = std::make_shared<polarfly::PolarFly>(q_);
+      plan.trees_.push_back(collectives::bfs_tree(pf->graph(), 0));
+      plan.topology_ =
+          std::shared_ptr<const graph::Graph>(pf, &pf->graph());
+      plan.owner_ = pf;
+      break;
+    }
+    case Solution::kEdgeDisjoint: {
+      auto sg = std::make_shared<singer::SingerGraph>(q_);
+      const auto set = singer::find_disjoint_hamiltonians(sg->difference_set());
+      plan.trees_ = trees::hamiltonian_trees(set);
+      plan.topology_ =
+          std::shared_ptr<const graph::Graph>(sg, &sg->graph());
+      plan.owner_ = sg;
+      break;
+    }
+  }
+  plan.bandwidths_ =
+      model::compute_tree_bandwidths(*plan.topology_, plan.trees_, 1.0);
+  return plan;
+}
+
+std::string to_string(Solution s) {
+  switch (s) {
+    case Solution::kLowDepth: return "low-depth (Alg. 3)";
+    case Solution::kEdgeDisjoint: return "edge-disjoint Hamiltonian";
+    case Solution::kSingleTree: return "single BFS tree";
+  }
+  return "?";
+}
+
+}  // namespace pfar::core

@@ -1,0 +1,79 @@
+#include "core/resilience.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trees/packing.hpp"
+
+namespace pfar::core {
+
+std::shared_ptr<graph::Graph> remove_links(
+    const graph::Graph& original, const std::vector<graph::Edge>& failed) {
+  for (const auto& e : failed) {
+    if (!original.has_edge(e.u, e.v)) {
+      throw std::invalid_argument("remove_links: link not in topology");
+    }
+  }
+  auto residual = std::make_shared<graph::Graph>(original.num_vertices());
+  for (const auto& e : original.edges()) {
+    const bool is_failed =
+        std::find(failed.begin(), failed.end(), e) != failed.end();
+    if (!is_failed) residual->add_edge(e.u, e.v);
+  }
+  residual->finalize();
+  if (!residual->is_connected()) {
+    throw std::runtime_error("remove_links: residual topology disconnected");
+  }
+  return residual;
+}
+
+std::vector<trees::SpanningTree> surviving_trees(
+    const graph::Graph& original,
+    const std::vector<trees::SpanningTree>& original_trees,
+    const std::vector<graph::Edge>& failed) {
+  (void)original;
+  std::vector<trees::SpanningTree> out;
+  for (const auto& tree : original_trees) {
+    const auto edges = tree.edges();
+    const bool hit = std::any_of(failed.begin(), failed.end(),
+                                 [&](const graph::Edge& f) {
+                                   return std::find(edges.begin(),
+                                                    edges.end(),
+                                                    f) != edges.end();
+                                 });
+    if (!hit) out.push_back(tree);
+  }
+  return out;
+}
+
+DegradedPlan degrade_keep_surviving(
+    const graph::Graph& original,
+    const std::vector<trees::SpanningTree>& original_trees,
+    const std::vector<graph::Edge>& failed) {
+  DegradedPlan plan;
+  plan.topology = remove_links(original, failed);
+  plan.trees = surviving_trees(original, original_trees, failed);
+  if (plan.trees.empty()) {
+    throw std::runtime_error(
+        "degrade_keep_surviving: no tree survived; use degrade_repack");
+  }
+  plan.bandwidths = model::compute_tree_bandwidths(*plan.topology,
+                                                   plan.trees, 1.0);
+  return plan;
+}
+
+DegradedPlan degrade_repack(const graph::Graph& original,
+                            const std::vector<graph::Edge>& failed,
+                            int max_trees) {
+  DegradedPlan plan;
+  plan.topology = remove_links(original, failed);
+  plan.trees = trees::greedy_tree_packing(*plan.topology, max_trees);
+  if (plan.trees.empty()) {
+    throw std::runtime_error("degrade_repack: no spanning tree found");
+  }
+  plan.bandwidths = model::compute_tree_bandwidths(*plan.topology,
+                                                   plan.trees, 1.0);
+  return plan;
+}
+
+}  // namespace pfar::core

@@ -1,0 +1,76 @@
+#include "core/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pfar::core {
+
+std::string serialize_trees(int q,
+                            const std::vector<trees::SpanningTree>& ts) {
+  if (ts.empty()) throw std::invalid_argument("serialize_trees: no trees");
+  const int n = ts.front().num_vertices();
+  std::ostringstream os;
+  os << "pfar-trees 1\n";
+  os << "q " << q << "\n";
+  os << "n " << n << "\n";
+  os << "trees " << ts.size() << "\n";
+  for (const auto& t : ts) {
+    if (t.num_vertices() != n) {
+      throw std::invalid_argument("serialize_trees: inconsistent sizes");
+    }
+    os << "tree " << t.root();
+    for (int v = 0; v < n; ++v) os << ' ' << t.parent(v);
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("parse_trees: " + what);
+}
+
+}  // namespace
+
+ParsedTrees parse_trees(const std::string& text) {
+  std::istringstream is(text);
+  std::string token;
+
+  if (!(is >> token) || token != "pfar-trees") fail("missing magic");
+  int version = 0;
+  if (!(is >> version) || version != 1) fail("unsupported version");
+
+  ParsedTrees out;
+  int n = 0;
+  std::size_t count = 0;
+  if (!(is >> token) || token != "q" || !(is >> out.q) || out.q < 2) {
+    fail("bad q line");
+  }
+  if (!(is >> token) || token != "n" || !(is >> n) || n < 2) {
+    fail("bad n line");
+  }
+  if (!(is >> token) || token != "trees" || !(is >> count) || count == 0) {
+    fail("bad trees line");
+  }
+  for (std::size_t t = 0; t < count; ++t) {
+    int root = 0;
+    if (!(is >> token) || token != "tree" || !(is >> root)) {
+      fail("bad tree header at tree " + std::to_string(t));
+    }
+    std::vector<int> parent(n);
+    for (int v = 0; v < n; ++v) {
+      if (!(is >> parent[v])) fail("short parent list");
+      if (parent[v] < -1 || parent[v] >= n) fail("parent out of range");
+    }
+    try {
+      out.trees.emplace_back(root, std::move(parent));
+    } catch (const std::exception& e) {
+      fail(std::string("invalid tree: ") + e.what());
+    }
+  }
+  if (is >> token) fail("trailing content");
+  return out;
+}
+
+}  // namespace pfar::core

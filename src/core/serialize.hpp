@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::core {
+
+/// Serialized form of a planned tree set: a small line-oriented text
+/// format so a control plane can compute trees once and distribute them
+/// to router configuration agents.
+///
+///   pfar-trees 1
+///   q <q>
+///   n <vertices>
+///   trees <count>
+///   tree <root> <parent_0> ... <parent_{n-1}>     (repeated)
+///
+/// Parents use -1 at the root. Parsing validates structure (counts,
+/// ranges, single root) and SpanningTree's own acyclicity check.
+std::string serialize_trees(int q, const std::vector<trees::SpanningTree>& ts);
+
+struct ParsedTrees {
+  int q = 0;
+  std::vector<trees::SpanningTree> trees;
+};
+
+/// Inverse of serialize_trees; throws std::invalid_argument with a
+/// line-specific message on malformed input.
+ParsedTrees parse_trees(const std::string& text);
+
+}  // namespace pfar::core

@@ -1,0 +1,65 @@
+#include "gf/cubic_extension.hpp"
+
+#include <stdexcept>
+
+namespace pfar::gf {
+namespace {
+
+// Order of zeta = x in F_q[x]/(x^3 + g2 x^2 + g1 x + g0), capped at `bound`.
+// Returns 0 if zeta does not return to 1 within `bound` steps.
+long long order_of_zeta(const Field& f, Elem g0, Elem g1, Elem g2,
+                        long long bound) {
+  Elem c2 = 0, c1 = 1, c0 = 0;  // zeta^1
+  long long k = 1;
+  while (!(c2 == 0 && c1 == 0 && c0 == 1)) {
+    if (k >= bound) return 0;
+    const Elem carry = c2;
+    c2 = f.sub(c1, f.mul(carry, g2));
+    c1 = f.sub(c0, f.mul(carry, g1));
+    c0 = f.neg(f.mul(carry, g0));
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+CubicExtension::CubicExtension(const Field& base) : base_(&base) {
+  const int q = base.q();
+  order_ = static_cast<long long>(q) * q * q - 1;
+
+  // Lexicographic order over (g2, g1, g0): smaller leading coefficients
+  // first, matching the coefficient-tuple ordering of the paper's
+  // "lexicographically smallest" polynomial choice.
+  bool found = false;
+  for (Elem g2 = 0; g2 < q && !found; ++g2) {
+    for (Elem g1 = 0; g1 < q && !found; ++g1) {
+      for (Elem g0 = 1; g0 < q && !found; ++g0) {  // g0 != 0 or x | g
+        // A monic cubic is irreducible iff it has no roots in F_q; check
+        // roots first since it is far cheaper than the order test.
+        bool has_root = false;
+        for (Elem r = 0; r < q && !has_root; ++r) {
+          // g(r) = r^3 + g2 r^2 + g1 r + g0
+          const Elem r2 = base.mul(r, r);
+          const Elem r3 = base.mul(r2, r);
+          Elem val = base.add(r3, base.mul(g2, r2));
+          val = base.add(val, base.mul(g1, r));
+          val = base.add(val, g0);
+          has_root = (val == 0);
+        }
+        if (has_root) continue;
+        if (order_of_zeta(base, g0, g1, g2, order_) == order_) {
+          g0_ = g0;
+          g1_ = g1;
+          g2_ = g2;
+          found = true;
+        }
+      }
+    }
+  }
+  if (!found) {
+    throw std::logic_error("CubicExtension: no primitive cubic found");
+  }
+}
+
+}  // namespace pfar::gf

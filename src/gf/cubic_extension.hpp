@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gf/field.hpp"
+
+namespace pfar::gf {
+
+/// The cubic extension F_{q^3} = F_q[x] / (g), where g is the
+/// lexicographically smallest monic degree-3 polynomial over F_q whose root
+/// zeta = x is primitive (generates F_{q^3}^*). Primitivity implies
+/// irreducibility, so this matches the paper's Section 6.2 construction
+/// recipe ("degree-3 primitive polynomial f(x) over F_q with root zeta"),
+/// with the lexicographic tie-break the authors state they used.
+///
+/// Elements are coefficient triples (c2, c1, c0) over F_q representing
+/// c2*zeta^2 + c1*zeta + c0. The class exposes a streaming iteration over
+/// the powers zeta^l for l in [0, q^3 - 2], which is all the Singer
+/// difference-set construction needs.
+class CubicExtension {
+ public:
+  explicit CubicExtension(const Field& base);
+
+  const Field& base() const { return *base_; }
+
+  /// q^3 - 1, the multiplicative order of zeta.
+  long long order() const { return order_; }
+
+  /// Low coefficients (g0, g1, g2) of the monic modulus
+  /// g(x) = x^3 + g2 x^2 + g1 x + g0.
+  std::array<Elem, 3> modulus() const { return {g0_, g1_, g2_}; }
+
+  /// Coefficient triple of zeta^l stepped in-place: given (c2, c1, c0) for
+  /// zeta^l, overwrites it with the triple for zeta^{l+1}.
+  void step(Elem& c2, Elem& c1, Elem& c0) const {
+    const Field& f = *base_;
+    // zeta * (c2 z^2 + c1 z + c0) = c2 z^3 + c1 z^2 + c0 z, and
+    // z^3 = -(g2 z^2 + g1 z + g0).
+    const Elem carry = c2;
+    c2 = f.sub(c1, f.mul(carry, g2_));
+    c1 = f.sub(c0, f.mul(carry, g1_));
+    c0 = f.neg(f.mul(carry, g0_));
+  }
+
+  /// Calls visitor(l, c2, c1, c0) for every power zeta^l, l in [0, order).
+  template <typename Visitor>
+  void for_each_power(Visitor&& visit) const {
+    Elem c2 = 0, c1 = 0, c0 = 1;  // zeta^0 == 1
+    for (long long l = 0; l < order_; ++l) {
+      visit(l, c2, c1, c0);
+      step(c2, c1, c0);
+    }
+  }
+
+ private:
+  const Field* base_;
+  Elem g0_ = 0, g1_ = 0, g2_ = 0;
+  long long order_ = 0;
+};
+
+}  // namespace pfar::gf

@@ -1,0 +1,217 @@
+#include "gf/field.hpp"
+
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pfar::gf {
+namespace {
+
+// Digit-vector helpers over F_p used only during construction.
+using Digits = std::vector<int>;
+
+Digits to_digits(int value, int p, int len) {
+  Digits d(len, 0);
+  for (int i = 0; i < len; ++i) {
+    d[i] = value % p;
+    value /= p;
+  }
+  return d;
+}
+
+int from_digits(const Digits& d, int p) {
+  int value = 0;
+  for (int i = static_cast<int>(d.size()) - 1; i >= 0; --i) {
+    value = value * p + d[i];
+  }
+  return value;
+}
+
+// Multiplies the degree-(a-1) element `d` by x and reduces modulo the monic
+// polynomial with low coefficients `mod` (mod has a entries c_0..c_{a-1};
+// the leading coefficient c_a == 1 is implicit).
+Digits mul_by_x_mod(const Digits& d, const Digits& mod, int p) {
+  const int a = static_cast<int>(d.size());
+  Digits out(a, 0);
+  const int carry = d[a - 1];  // coefficient that overflows into x^a
+  for (int i = a - 1; i >= 1; --i) out[i] = d[i - 1];
+  out[0] = 0;
+  if (carry != 0) {
+    // x^a == -mod (mod f), so subtract carry * mod.
+    for (int i = 0; i < a; ++i) {
+      out[i] = (out[i] - carry * mod[i]) % p;
+      if (out[i] < 0) out[i] += p;
+    }
+  }
+  return out;
+}
+
+// Order of x in (F_p[x]/f)^*, bounded by `bound`; returns 0 if x never
+// returns to 1 within `bound` steps (i.e. x is not a unit or order > bound).
+long long order_of_x(const Digits& mod, int p, long long bound) {
+  const int a = static_cast<int>(mod.size());
+  Digits cur(a, 0);
+  if (a == 1) {
+    // Degenerate: handled by the prime-field path; not used.
+    return 0;
+  }
+  cur[1] = 1;  // the element x (== x^1)
+  Digits one(a, 0);
+  one[0] = 1;
+  long long k = 1;  // invariant: cur == x^k
+  while (cur != one) {
+    if (k >= bound) return 0;
+    cur = mul_by_x_mod(cur, mod, p);
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+Field::Field(int q) {
+  int p = 0, a = 0;
+  if (q < 2 || q > 4096 || !util::is_prime_power(q, &p, &a)) {
+    throw std::invalid_argument("Field: q must be a prime power in [2, 4096]");
+  }
+  q_ = q;
+  p_ = p;
+  a_ = a;
+
+  neg_.resize(q_);
+  inv_.assign(q_, 0);
+  add_.resize(static_cast<std::size_t>(q_) * q_);
+  mul_.resize(static_cast<std::size_t>(q_) * q_);
+  exp_.resize(q_ - 1);
+  log_.assign(q_, -1);
+
+  // Addition is digit-wise mod p regardless of the modulus polynomial.
+  for (Elem x = 0; x < q_; ++x) {
+    for (Elem y = 0; y < q_; ++y) {
+      int value = 0;
+      int xv = x, yv = y, scale = 1;
+      for (int i = 0; i < a_; ++i) {
+        value += ((xv % p_) + (yv % p_)) % p_ * scale;
+        xv /= p_;
+        yv /= p_;
+        scale *= p_;
+      }
+      add_[idx(x, y)] = value;
+    }
+  }
+  for (Elem x = 0; x < q_; ++x) {
+    int value = 0;
+    int xv = x, scale = 1;
+    for (int i = 0; i < a_; ++i) {
+      value += ((p_ - (xv % p_)) % p_) * scale;
+      xv /= p_;
+      scale *= p_;
+    }
+    neg_[x] = value;
+  }
+
+  if (a_ == 1) {
+    // Prime field: pick the smallest primitive root as generator.
+    int g = 0;
+    for (int cand = 1; cand < p_ && g == 0; ++cand) {
+      long long ord = 1;
+      long long cur = cand;
+      while (cur != 1) {
+        cur = (cur * cand) % p_;
+        ++ord;
+        if (ord > p_) break;
+      }
+      if (ord == p_ - 1) g = cand;
+    }
+    if (g == 0 && p_ == 2) g = 1;
+    if (g == 0) throw std::logic_error("Field: no primitive root found");
+    long long cur = 1;
+    for (int i = 0; i < q_ - 1; ++i) {
+      exp_[i] = static_cast<Elem>(cur);
+      log_[cur] = i;
+      cur = (cur * g) % p_;
+    }
+    for (Elem x = 0; x < q_; ++x) {
+      for (Elem y = 0; y < q_; ++y) {
+        mul_[idx(x, y)] = static_cast<Elem>((1LL * x * y) % p_);
+      }
+    }
+  } else {
+    // Extension field: find the lexicographically smallest monic degree-a
+    // polynomial f over F_p whose root x is primitive. Candidates are
+    // ordered by their coefficient encoding (c_{a-1}, ..., c_0).
+    Digits mod;
+    bool found = false;
+    for (int enc = 1; enc < q_ && !found; ++enc) {
+      Digits cand = to_digits(enc, p_, a_);
+      if (cand[0] == 0) continue;  // x | f => x not a unit
+      if (order_of_x(cand, p_, q_ - 1) == q_ - 1) {
+        mod = cand;
+        found = true;
+      }
+    }
+    if (!found) throw std::logic_error("Field: no primitive polynomial found");
+    modulus_ = mod;
+    modulus_.push_back(1);  // record the monic leading coefficient
+
+    // exp table: successive powers of the root x.
+    Digits cur(a_, 0);
+    cur[0] = 1;  // x^0
+    for (int i = 0; i < q_ - 1; ++i) {
+      const Elem e = static_cast<Elem>(from_digits(cur, p_));
+      exp_[i] = e;
+      log_[e] = i;
+      cur = mul_by_x_mod(cur, mod, p_);
+    }
+    // Multiplication via logs.
+    for (Elem x = 0; x < q_; ++x) {
+      for (Elem y = 0; y < q_; ++y) {
+        if (x == 0 || y == 0) {
+          mul_[idx(x, y)] = 0;
+        } else {
+          mul_[idx(x, y)] = exp_[(log_[x] + log_[y]) % (q_ - 1)];
+        }
+      }
+    }
+  }
+
+  for (Elem x = 1; x < q_; ++x) {
+    inv_[x] = exp_[(q_ - 1 - log_[x]) % (q_ - 1)];
+  }
+}
+
+Elem Field::inv(Elem x) const {
+  if (x == 0) throw std::domain_error("Field::inv: zero has no inverse");
+  return inv_[x];
+}
+
+Elem Field::pow(Elem x, long long e) const {
+  if (x == 0) {
+    if (e == 0) return 1;
+    if (e < 0) throw std::domain_error("Field::pow: zero to negative power");
+    return 0;
+  }
+  const long long m = q_ - 1;
+  long long r = (static_cast<long long>(log_[x]) * (e % m)) % m;
+  if (r < 0) r += m;
+  return exp_[r];
+}
+
+int Field::log(Elem x) const {
+  if (x == 0) throw std::domain_error("Field::log: log of zero");
+  return log_[x];
+}
+
+Elem Field::exp(long long e) const {
+  const long long m = q_ - 1;
+  long long r = e % m;
+  if (r < 0) r += m;
+  return exp_[r];
+}
+
+int Field::digit(Elem x, int i) const {
+  for (int k = 0; k < i; ++k) x /= p_;
+  return x % p_;
+}
+
+}  // namespace pfar::gf

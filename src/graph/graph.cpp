@@ -1,0 +1,145 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pfar::graph {
+
+Graph::Graph(int n) : n_(n), adj_(n), edge_index_(n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+}
+
+void Graph::add_edge(int u, int v) {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) {
+    throw std::out_of_range("Graph::add_edge: vertex out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (finalized_) throw std::logic_error("Graph::add_edge after finalize");
+  const Edge e(u, v);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.push_back(e);
+}
+
+void Graph::finalize() {
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    if (std::adjacent_find(list.begin(), list.end()) != list.end()) {
+      throw std::logic_error("Graph::finalize: duplicate edge");
+    }
+  }
+  std::sort(edges_.begin(), edges_.end());
+  for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
+    edge_index_[edges_[id].u].emplace_back(edges_[id].v, id);
+  }
+  for (auto& list : edge_index_) std::sort(list.begin(), list.end());
+  finalized_ = true;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  if (u == v) return false;
+  const auto& list = adj_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+int Graph::edge_id(int u, int v) const {
+  if (!finalized_) throw std::logic_error("Graph::edge_id before finalize");
+  const Edge e(u, v);
+  const auto& list = edge_index_[e.u];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), std::make_pair(e.v, -1));
+  if (it != list.end() && it->first == e.v) return it->second;
+  return -1;
+}
+
+int Graph::min_degree() const {
+  int best = n_ == 0 ? 0 : degree(0);
+  for (int v = 1; v < n_; ++v) best = std::min(best, degree(v));
+  return best;
+}
+
+int Graph::max_degree() const {
+  int best = 0;
+  for (int v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::vector<int> Graph::bfs_distances(int src) const {
+  std::vector<int> dist(n_, -1);
+  std::queue<int> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int w : adj_[u]) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_connected() const {
+  if (n_ == 0) return true;
+  const auto dist = bfs_distances(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+int Graph::diameter() const {
+  int best = 0;
+  for (int v = 0; v < n_; ++v) {
+    const auto dist = bfs_distances(v);
+    for (int d : dist) {
+      if (d < 0) return -1;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+int Graph::common_neighbor_count(int u, int v) const {
+  const auto& a = adj_[u];
+  const auto& b = adj_[v];
+  int count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+UnionFind::UnionFind(int n) : parent_(n), rank_(n, 0), components_(n) {
+  for (int i = 0; i < n; ++i) parent_[i] = i;
+}
+
+int UnionFind::find(int x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(int x, int y) {
+  int rx = find(x), ry = find(y);
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  --components_;
+  return true;
+}
+
+}  // namespace pfar::graph

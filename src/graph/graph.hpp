@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pfar::graph {
+
+/// Undirected edge with normalized endpoint order (u < v).
+struct Edge {
+  int u = 0;
+  int v = 0;
+
+  Edge() = default;
+  Edge(int a, int b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Simple undirected graph on vertices [0, n). Self-loops are rejected
+/// (PolarFly drops quadric self-loops; callers track them separately).
+/// Adjacency lists are kept sorted once `finalize()` is called, giving
+/// O(log d) `has_edge` and stable edge ids usable as array indices by the
+/// congestion model and the simulator.
+class Graph {
+ public:
+  explicit Graph(int n);
+
+  int num_vertices() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds edge {u, v}; duplicate additions are idempotent after finalize()
+  /// only if the caller avoided them — adding the same edge twice throws.
+  void add_edge(int u, int v);
+
+  /// Sorts adjacency and builds the edge-id index. Must be called after the
+  /// last add_edge and before queries that need edge ids.
+  void finalize();
+
+  bool has_edge(int u, int v) const;
+
+  /// Dense id of edge {u, v} in [0, num_edges()); -1 if absent.
+  int edge_id(int u, int v) const;
+
+  const Edge& edge(int id) const { return edges_[id]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<int>& neighbors(int v) const { return adj_[v]; }
+  int degree(int v) const { return static_cast<int>(adj_[v].size()); }
+
+  int min_degree() const;
+  int max_degree() const;
+
+  /// BFS hop distances from `src` (-1 for unreachable).
+  std::vector<int> bfs_distances(int src) const;
+
+  bool is_connected() const;
+
+  /// Exact diameter via all-sources BFS; -1 if disconnected. O(V*E).
+  int diameter() const;
+
+  /// Number of common neighbors of distinct u, v (the number of 2-paths
+  /// between them). ER_q must have at most one (Theorem 6.1).
+  int common_neighbor_count(int u, int v) const;
+
+ private:
+  int n_;
+  bool finalized_ = false;
+  std::vector<std::vector<int>> adj_;
+  std::vector<Edge> edges_;
+  // edge -> id lookup: per-u sorted vector of (v, id).
+  std::vector<std::vector<std::pair<int, int>>> edge_index_;
+};
+
+/// Disjoint-set union with path halving; used for spanning-tree validation.
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+  int find(int x);
+  /// Returns false if x and y were already in the same set.
+  bool unite(int x, int y);
+  int num_components() const { return components_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int components_;
+};
+
+}  // namespace pfar::graph

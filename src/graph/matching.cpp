@@ -1,0 +1,160 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace pfar::graph {
+namespace {
+
+/// Edmonds blossom matching, array-based contraction variant.
+class Blossom {
+ public:
+  explicit Blossom(const Graph& g)
+      : g_(g),
+        n_(g.num_vertices()),
+        mate_(n_, -1),
+        parent_(n_),
+        base_(n_),
+        q_(),
+        used_(n_),
+        blossom_(n_) {}
+
+  std::vector<int> solve() {
+    for (int v = 0; v < n_; ++v) {
+      if (mate_[v] == -1) augment_from(v);
+    }
+    return mate_;
+  }
+
+ private:
+  int lowest_common_ancestor(int a, int b) {
+    std::vector<char> seen(n_, 0);
+    for (;;) {
+      a = base_[a];
+      seen[a] = 1;
+      if (mate_[a] == -1) break;
+      a = parent_[mate_[a]];
+    }
+    for (;;) {
+      b = base_[b];
+      if (seen[b]) return b;
+      b = parent_[mate_[b]];
+    }
+  }
+
+  void mark_path(int v, int b, int child) {
+    while (base_[v] != b) {
+      blossom_[base_[v]] = 1;
+      blossom_[base_[mate_[v]]] = 1;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  void contract(int root, int u, int v) {
+    const int b = lowest_common_ancestor(u, v);
+    std::fill(blossom_.begin(), blossom_.end(), 0);
+    mark_path(u, b, v);
+    mark_path(v, b, u);
+    for (int i = 0; i < n_; ++i) {
+      if (blossom_[base_[i]]) {
+        base_[i] = b;
+        if (!used_[i]) {
+          used_[i] = 1;
+          q_.push(i);
+        }
+      }
+    }
+    (void)root;
+  }
+
+  int find_augmenting_path(int root) {
+    std::fill(used_.begin(), used_.end(), 0);
+    std::fill(parent_.begin(), parent_.end(), -1);
+    std::iota(base_.begin(), base_.end(), 0);
+    while (!q_.empty()) q_.pop();
+    used_[root] = 1;
+    q_.push(root);
+    while (!q_.empty()) {
+      const int u = q_.front();
+      q_.pop();
+      for (int w : g_.neighbors(u)) {
+        if (base_[u] == base_[w] || mate_[u] == w) continue;
+        if (w == root || (mate_[w] != -1 && parent_[mate_[w]] != -1)) {
+          contract(root, u, w);
+        } else if (parent_[w] == -1) {
+          parent_[w] = u;
+          if (mate_[w] == -1) return w;  // augmenting path found
+          used_[mate_[w]] = 1;
+          q_.push(mate_[w]);
+        }
+      }
+    }
+    return -1;
+  }
+
+  void augment_from(int root) {
+    const int leaf = find_augmenting_path(root);
+    if (leaf == -1) return;
+    // Flip matched/unmatched edges along the path back to the root.
+    int v = leaf;
+    while (v != -1) {
+      const int pv = parent_[v];
+      const int ppv = mate_[pv];
+      mate_[v] = pv;
+      mate_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  const Graph& g_;
+  int n_;
+  std::vector<int> mate_;
+  std::vector<int> parent_;
+  std::vector<int> base_;
+  std::queue<int> q_;
+  std::vector<char> used_;
+  std::vector<char> blossom_;
+};
+
+}  // namespace
+
+std::vector<int> maximum_matching(const Graph& g) {
+  return Blossom(g).solve();
+}
+
+std::vector<int> random_maximal_independent_set(const Graph& g,
+                                                util::Rng& rng) {
+  const int n = g.num_vertices();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with the deterministic Rng.
+  for (int i = n - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.next_below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<char> blocked(n, 0);
+  std::vector<int> chosen;
+  for (int v : order) {
+    if (blocked[v]) continue;
+    chosen.push_back(v);
+    blocked[v] = 1;
+    for (int w : g.neighbors(v)) blocked[w] = 1;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<int> best_random_independent_set(const Graph& g, util::Rng& rng,
+                                             int attempts) {
+  std::vector<int> best;
+  for (int i = 0; i < attempts; ++i) {
+    auto cand = random_maximal_independent_set(g, rng);
+    if (cand.size() > best.size()) best = std::move(cand);
+  }
+  return best;
+}
+
+}  // namespace pfar::graph

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pfar::graph {
+
+/// Maximum cardinality matching on a general graph (Edmonds' blossom
+/// algorithm, O(V^3)). Returns mate[v] = matched partner or -1.
+///
+/// Used for the edge-disjoint Hamiltonian-path selection of Section 7.3:
+/// picking pairwise element-disjoint (d_i, d_j) pairs whose difference is
+/// coprime to N is exactly a maximum matching on the "element graph" whose
+/// vertices are the q+1 difference-set elements.
+std::vector<int> maximum_matching(const Graph& g);
+
+/// A *maximal* (not maximum) independent set chosen greedily in a random
+/// vertex order — the paper's Section 7.3 method ("random maximal
+/// independent sets ... within 30 random instances"). Returns the chosen
+/// vertex ids.
+std::vector<int> random_maximal_independent_set(const Graph& g,
+                                                util::Rng& rng);
+
+/// Repeats random_maximal_independent_set up to `attempts` times and
+/// returns the largest set found (ties: first found).
+std::vector<int> best_random_independent_set(const Graph& g, util::Rng& rng,
+                                             int attempts);
+
+}  // namespace pfar::graph

@@ -1,0 +1,69 @@
+#include "model/alpha_beta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfar::model {
+namespace {
+
+int floor_log2(int p) {
+  int l = 0;
+  while ((1 << (l + 1)) <= p) ++l;
+  return l;
+}
+
+bool is_pow2(int p) { return (p & (p - 1)) == 0; }
+
+void check(int p, long long m) {
+  if (p < 1 || m < 0) {
+    throw std::invalid_argument("alpha-beta model: bad p or m");
+  }
+}
+
+}  // namespace
+
+double ring_allreduce_time(int p, long long m, const AlphaBeta& c) {
+  check(p, m);
+  if (p == 1) return 0.0;
+  const double md = static_cast<double>(m);
+  return 2.0 * (p - 1) * c.alpha + 2.0 * md * (p - 1) / p * c.beta;
+}
+
+double recursive_doubling_time(int p, long long m, const AlphaBeta& c) {
+  check(p, m);
+  if (p == 1) return 0.0;
+  const double md = static_cast<double>(m);
+  const int lg = floor_log2(p);
+  double t = lg * (c.alpha + md * c.beta);
+  if (!is_pow2(p)) t += 2.0 * (c.alpha + md * c.beta);  // fold in + out
+  return t;
+}
+
+double recursive_halving_doubling_time(int p, long long m,
+                                       const AlphaBeta& c) {
+  check(p, m);
+  if (p == 1) return 0.0;
+  const double md = static_cast<double>(m);
+  const int lg = floor_log2(p);
+  const int p2 = 1 << lg;
+  double t = 2.0 * lg * c.alpha + 2.0 * md * (p2 - 1) / p2 * c.beta;
+  if (!is_pow2(p)) t += 2.0 * (c.alpha + md * c.beta);
+  return t;
+}
+
+double single_tree_innetwork_time(int depth, long long m, const AlphaBeta& c) {
+  if (depth < 0 || m < 0) {
+    throw std::invalid_argument("single_tree_innetwork_time: bad args");
+  }
+  return 2.0 * depth * c.alpha + static_cast<double>(m) * c.beta;
+}
+
+double multi_tree_innetwork_time(int depth, long long m, double alpha,
+                                 double aggregate_bandwidth) {
+  if (depth < 0 || m < 0 || aggregate_bandwidth <= 0.0) {
+    throw std::invalid_argument("multi_tree_innetwork_time: bad args");
+  }
+  return 2.0 * depth * alpha + static_cast<double>(m) / aggregate_bandwidth;
+}
+
+}  // namespace pfar::model

@@ -1,0 +1,37 @@
+#pragma once
+
+namespace pfar::model {
+
+/// Classic alpha-beta (latency-bandwidth) cost models for the host-based
+/// Allreduce algorithms the paper positions against (Section 4.2) plus the
+/// in-network variants. `alpha` is per-message latency, `beta` time per
+/// vector element, `p` process count, `m` vector elements. Formulas follow
+/// Thakur/Rabenseifner; the non-power-of-two penalty is modeled as the
+/// standard extra full-vector exchange.
+struct AlphaBeta {
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Ring Allreduce (reduce-scatter + all-gather): 2(p-1) messages of m/p.
+double ring_allreduce_time(int p, long long m, const AlphaBeta& c);
+
+/// Recursive doubling on full vectors: ceil(log2 p) rounds (+ fold-in /
+/// fold-out for non-powers of two).
+double recursive_doubling_time(int p, long long m, const AlphaBeta& c);
+
+/// Rabenseifner recursive halving + doubling: 2 log2(p) alpha +
+/// 2 m beta (p-1)/p (+ non-power-of-two penalty).
+double recursive_halving_doubling_time(int p, long long m, const AlphaBeta& c);
+
+/// Single-tree in-network Allreduce: pipelined, so m*beta transfer plus a
+/// 2*depth hop latency (reduce up + broadcast down).
+double single_tree_innetwork_time(int depth, long long m, const AlphaBeta& c);
+
+/// Multi-tree in-network Allreduce with aggregate bandwidth
+/// `aggregate_bandwidth` in elements per unit time (Theorem 5.1):
+/// t = 2*depth*alpha + m / sum(B_i).
+double multi_tree_innetwork_time(int depth, long long m, double alpha,
+                                 double aggregate_bandwidth);
+
+}  // namespace pfar::model

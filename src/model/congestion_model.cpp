@@ -1,0 +1,97 @@
+#include "model/congestion_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace pfar::model {
+
+TreeBandwidths compute_tree_bandwidths(
+    const graph::Graph& g, const std::vector<trees::SpanningTree>& trees,
+    double link_bandwidth) {
+  if (link_bandwidth <= 0.0) {
+    throw std::invalid_argument("compute_tree_bandwidths: bandwidth <= 0");
+  }
+  const int num_edges = g.num_edges();
+  const int num_trees = static_cast<int>(trees.size());
+
+  // Per-tree edge-id lists and per-edge congestion C(e).
+  std::vector<std::vector<int>> tree_edges(num_trees);
+  std::vector<int> congestion(num_edges, 0);
+  for (int t = 0; t < num_trees; ++t) {
+    for (const auto& e : trees[t].edges()) {
+      const int id = g.edge_id(e.u, e.v);
+      if (id < 0) {
+        throw std::invalid_argument(
+            "compute_tree_bandwidths: tree edge not in graph");
+      }
+      tree_edges[t].push_back(id);
+      ++congestion[id];
+    }
+  }
+
+  std::vector<double> remaining(num_edges, link_bandwidth);  // L(e)
+  std::vector<char> edge_removed(num_edges, 0);
+  std::vector<char> tree_done(num_trees, 0);
+
+  TreeBandwidths out;
+  out.per_tree.assign(num_trees, 0.0);
+
+  int active = num_trees;
+  while (active > 0) {
+    // Bottleneck edge: argmin L(e)/C(e) among edges still carrying trees.
+    int e_min = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int e = 0; e < num_edges; ++e) {
+      if (edge_removed[e] || congestion[e] == 0) continue;
+      const double ratio = remaining[e] / congestion[e];
+      if (ratio < best) {
+        best = ratio;
+        e_min = e;
+      }
+    }
+    if (e_min < 0) {
+      throw std::logic_error(
+          "compute_tree_bandwidths: active trees but no congested edge");
+    }
+    const double share = remaining[e_min] / congestion[e_min];
+    for (int t = 0; t < num_trees; ++t) {
+      if (tree_done[t]) continue;
+      const bool contains =
+          std::find(tree_edges[t].begin(), tree_edges[t].end(), e_min) !=
+          tree_edges[t].end();
+      if (!contains) continue;
+      out.per_tree[t] = share;
+      for (int e : tree_edges[t]) {
+        remaining[e] = std::max(0.0, remaining[e] - share);
+        --congestion[e];
+      }
+      tree_done[t] = 1;
+      --active;
+    }
+    edge_removed[e_min] = 1;
+  }
+
+  for (double b : out.per_tree) out.aggregate += b;
+  return out;
+}
+
+std::vector<long long> optimal_split(long long m, const TreeBandwidths& bw) {
+  return util::apportion(m, bw.per_tree);
+}
+
+double optimal_polarfly_bandwidth(int q, double link_bandwidth) {
+  return (q + 1) * link_bandwidth / 2.0;
+}
+
+double predicted_allreduce_time(long long m, double latency,
+                                const TreeBandwidths& bw) {
+  if (bw.aggregate <= 0.0) {
+    throw std::invalid_argument("predicted_allreduce_time: zero bandwidth");
+  }
+  return latency + static_cast<double>(m) / bw.aggregate;
+}
+
+}  // namespace pfar::model

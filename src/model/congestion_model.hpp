@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::model {
+
+/// Output of Algorithm 1 (Performance under Congestion, Section 5.2).
+struct TreeBandwidths {
+  /// B_i for each input tree, in elements (or bytes) per unit time.
+  std::vector<double> per_tree;
+  /// Sum of B_i — the maximum achievable Allreduce bandwidth of the
+  /// embedding (Theorem 5.1).
+  double aggregate = 0.0;
+};
+
+/// Runs Algorithm 1 on a set of embedded Allreduce trees. `link_bandwidth`
+/// is the physical bandwidth B of every link. The bottleneck edge (lowest
+/// available-bandwidth/congestion ratio) fixes the bandwidth of every tree
+/// through it; the algorithm then iterates on the residual network. The
+/// result is independent of tie-breaking among bottleneck edges (asserted
+/// by tests).
+TreeBandwidths compute_tree_bandwidths(const graph::Graph& g,
+                                       const std::vector<trees::SpanningTree>& trees,
+                                       double link_bandwidth);
+
+/// Theorem 5.1 optimal sub-vector distribution: m_i = m * B_i / sum(B),
+/// rounded to integers summing to m by largest remainder.
+std::vector<long long> optimal_split(long long m, const TreeBandwidths& bw);
+
+/// Corollary 7.1: the optimal bidirectional in-network Allreduce bandwidth
+/// of PolarFly ER_q is (q + 1) * B / 2.
+double optimal_polarfly_bandwidth(int q, double link_bandwidth);
+
+/// Theorem 5.1 execution-time model: t = L + m / sum(B_i), with per-tree
+/// latency L (a function of tree depth handled by the caller).
+double predicted_allreduce_time(long long m, double latency,
+                                const TreeBandwidths& bw);
+
+}  // namespace pfar::model

@@ -1,0 +1,106 @@
+#include "polarfly/erq.hpp"
+
+#include <stdexcept>
+
+namespace pfar::polarfly {
+
+PolarFly::PolarFly(int q)
+    : q_(q), n_(q * q + q + 1), field_(q), graph_(n_) {
+  points_.resize(n_);
+  // Vertex ids: [1,y,z] -> y*q + z; [0,1,z] -> q^2 + z; [0,0,1] -> q^2 + q.
+  for (gf::Elem y = 0; y < q_; ++y) {
+    for (gf::Elem z = 0; z < q_; ++z) {
+      points_[y * q_ + z] = Point{1, y, z};
+    }
+  }
+  for (gf::Elem z = 0; z < q_; ++z) {
+    points_[q_ * q_ + z] = Point{0, 1, z};
+  }
+  points_[q_ * q_ + q_] = Point{0, 0, 1};
+
+  // For each vertex, its neighbors are the projective points of the 2-dim
+  // orthogonal complement of its vector: a line with q+1 points.
+  const gf::Field& f = field_;
+  for (int v = 0; v < n_; ++v) {
+    const Point& pt = points_[v];
+    Point b1, b2;  // basis of { u : u . pt == 0 }
+    if (pt.x != 0) {
+      // x = -(y*pt.y + z*pt.z)/pt.x with free (y, z).
+      const gf::Elem ix = f.inv(pt.x);
+      b1 = Point{f.neg(f.mul(pt.y, ix)), 1, 0};
+      b2 = Point{f.neg(f.mul(pt.z, ix)), 0, 1};
+    } else if (pt.y != 0) {
+      const gf::Elem iy = f.inv(pt.y);
+      b1 = Point{1, 0, 0};
+      b2 = Point{0, f.neg(f.mul(pt.z, iy)), 1};
+    } else {
+      b1 = Point{1, 0, 0};
+      b2 = Point{0, 1, 0};
+    }
+    // Projective points of span{b1, b2}: b2 and b1 + t*b2 for t in F_q.
+    auto visit = [&](gf::Elem ux, gf::Elem uy, gf::Elem uz) {
+      const Point u = normalize(ux, uy, uz);
+      const int w = vertex_of(u);
+      if (w > v) graph_.add_edge(v, w);  // each undirected edge added once
+    };
+    visit(b2.x, b2.y, b2.z);
+    for (gf::Elem t = 0; t < q_; ++t) {
+      visit(f.add(b1.x, f.mul(t, b2.x)), f.add(b1.y, f.mul(t, b2.y)),
+            f.add(b1.z, f.mul(t, b2.z)));
+    }
+  }
+  graph_.finalize();
+
+  // Classification: quadrics first, then V1 = neighbors of quadrics.
+  type_.assign(n_, VertexType::kV2);
+  for (int v = 0; v < n_; ++v) {
+    if (dot(points_[v], points_[v]) == 0) {
+      type_[v] = VertexType::kQuadric;
+      quadrics_.push_back(v);
+    }
+  }
+  for (int w : quadrics_) {
+    for (int u : graph_.neighbors(w)) {
+      if (type_[u] != VertexType::kQuadric) type_[u] = VertexType::kV1;
+    }
+  }
+}
+
+int PolarFly::vertex_of(const Point& pt) const {
+  if (pt.x == 1) return pt.y * q_ + pt.z;
+  if (pt.x == 0 && pt.y == 1) return q_ * q_ + pt.z;
+  if (pt.x == 0 && pt.y == 0 && pt.z == 1) return q_ * q_ + q_;
+  throw std::invalid_argument("PolarFly::vertex_of: point not normalized");
+}
+
+Point PolarFly::normalize(gf::Elem x, gf::Elem y, gf::Elem z) const {
+  const gf::Field& f = field_;
+  if (x != 0) {
+    const gf::Elem ix = f.inv(x);
+    return Point{1, f.mul(y, ix), f.mul(z, ix)};
+  }
+  if (y != 0) {
+    const gf::Elem iy = f.inv(y);
+    return Point{0, 1, f.mul(z, iy)};
+  }
+  if (z != 0) return Point{0, 0, 1};
+  throw std::invalid_argument("PolarFly::normalize: zero vector");
+}
+
+gf::Elem PolarFly::dot(const Point& a, const Point& b) const {
+  const gf::Field& f = field_;
+  gf::Elem s = f.mul(a.x, b.x);
+  s = f.add(s, f.mul(a.y, b.y));
+  s = f.add(s, f.mul(a.z, b.z));
+  return s;
+}
+
+int PolarFly::count(VertexType t) const {
+  int c = 0;
+  for (int v = 0; v < n_; ++v) {
+    if (type_[v] == t) ++c;
+  }
+  return c;
+}
+
+}  // namespace pfar::polarfly

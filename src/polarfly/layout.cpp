@@ -1,0 +1,80 @@
+#include "polarfly/layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfar::polarfly {
+
+Layout build_layout(const PolarFly& pf, int starter_index) {
+  if (pf.q() % 2 == 0) {
+    throw std::invalid_argument(
+        "build_layout: the published layout requires odd prime power q");
+  }
+  const auto& quadrics = pf.quadrics();
+  if (starter_index < 0 || starter_index >= static_cast<int>(quadrics.size())) {
+    throw std::out_of_range("build_layout: starter_index");
+  }
+  Layout layout;
+  layout.starter_quadric = quadrics[starter_index];
+  layout.quadric_cluster = quadrics;
+  layout.cluster_of.assign(pf.n(), -1);
+
+  const graph::Graph& g = pf.graph();
+  // Each neighbor v_i of the starter quadric seeds cluster C_i; C_i is v_i
+  // plus all non-quadric neighbors of v_i (Algorithm 2).
+  for (int center : g.neighbors(layout.starter_quadric)) {
+    const int i = static_cast<int>(layout.centers.size());
+    layout.centers.push_back(center);
+    std::vector<int> cluster{center};
+    layout.cluster_of[center] = i;
+    for (int u : g.neighbors(center)) {
+      if (!pf.is_quadric(u)) {
+        cluster.push_back(u);
+        layout.cluster_of[u] = i;
+      }
+    }
+    layout.clusters.push_back(std::move(cluster));
+  }
+
+  // Corollary 7.3: each center has exactly two quadric neighbors, the
+  // starter w and a unique non-starter w_i.
+  layout.nonstarter_quadric.assign(layout.centers.size(), -1);
+  for (std::size_t i = 0; i < layout.centers.size(); ++i) {
+    for (int u : g.neighbors(layout.centers[i])) {
+      if (pf.is_quadric(u) && u != layout.starter_quadric) {
+        if (layout.nonstarter_quadric[i] != -1) {
+          throw std::logic_error(
+              "build_layout: center with >2 quadric neighbors");
+        }
+        layout.nonstarter_quadric[i] = u;
+      }
+    }
+    if (layout.nonstarter_quadric[i] == -1) {
+      throw std::logic_error("build_layout: center missing non-starter quadric");
+    }
+  }
+  return layout;
+}
+
+int edges_within(const graph::Graph& g, const std::vector<int>& a) {
+  int count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      if (g.has_edge(a[i], a[j])) ++count;
+    }
+  }
+  return count;
+}
+
+int edges_between(const graph::Graph& g, const std::vector<int>& a,
+                  const std::vector<int>& b) {
+  int count = 0;
+  for (int u : a) {
+    for (int v : b) {
+      if (g.has_edge(u, v)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace pfar::polarfly

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "polarfly/erq.hpp"
+
+namespace pfar::polarfly {
+
+/// The modular PolarFly layout of Algorithm 2 (Section 6.1.1): the quadric
+/// cluster W plus q non-quadric clusters C_0..C_{q-1}, each anchored at a
+/// center v_i adjacent to the starter quadric. Valid for odd prime powers q
+/// (the paper restricts its published layout and low-depth trees to odd q).
+struct Layout {
+  int starter_quadric = -1;             // vertex id of w
+  std::vector<int> quadric_cluster;     // W: all quadrics, ascending
+  std::vector<int> centers;             // centers[i] = v_i
+  std::vector<std::vector<int>> clusters;  // clusters[i]: members of C_i
+                                           // (centers[i] first)
+  /// cluster_of[v]: index i of the C_i containing v, or -1 for quadrics.
+  std::vector<int> cluster_of;
+  /// nonstarter_quadric[i] = w_i, the unique non-starter quadric adjacent
+  /// to center v_i (Corollary 7.3).
+  std::vector<int> nonstarter_quadric;
+};
+
+/// Runs Algorithm 2. `starter_index` selects which quadric (by rank in
+/// PolarFly::quadrics()) is the starter w. Throws for even q.
+Layout build_layout(const PolarFly& pf, int starter_index = 0);
+
+/// Counts edges with both endpoints inside the vertex set `a`.
+int edges_within(const graph::Graph& g, const std::vector<int>& a);
+
+/// Counts edges with one endpoint in `a` and the other in `b` (disjoint).
+int edges_between(const graph::Graph& g, const std::vector<int>& a,
+                  const std::vector<int>& b);
+
+}  // namespace pfar::polarfly

@@ -1,0 +1,430 @@
+#include "simnet/allreduce_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace pfar::simnet {
+namespace {
+
+// Deterministic per-operand values so every result is checkable exactly:
+// node v's operand for element k of tree t.
+constexpr std::int64_t kNodeStride = 1000003;
+constexpr std::int64_t kTreeStride = 7919;
+constexpr std::int64_t kElemStride = 31;
+
+std::int64_t local_value(int node, int tree, long long k) {
+  return static_cast<std::int64_t>(node + 1) * kNodeStride +
+         static_cast<std::int64_t>(tree) * kTreeStride +
+         static_cast<std::int64_t>(k) * kElemStride;
+}
+
+std::int64_t sum_over_nodes(int num_nodes, int tree, long long k) {
+  const std::int64_t n = num_nodes;
+  return n * (n + 1) / 2 * kNodeStride +
+         n * (static_cast<std::int64_t>(tree) * kTreeStride +
+              static_cast<std::int64_t>(k) * kElemStride);
+}
+
+enum class Phase { kReduce, kBcast };
+
+// A packet: a contiguous chunk of one tree's element stream.
+using Packet = std::vector<std::int64_t>;
+
+// One virtual channel: the unidirectional, per-tree, per-phase logical
+// datapath on a physical link, with its own receiver buffer and credits
+// (Section 5.1's "VCs have disjoint resources").
+struct VcState {
+  int tree = -1;
+  Phase phase = Phase::kReduce;
+  int src = -1;
+  int dst = -1;
+  int dlink = -1;
+  int fork_index = -1;  // bcast only: child slot at src feeding this VC
+
+  std::deque<Packet> recv;  // receiver buffer, <= credits cap packets
+  int credits = 0;
+  std::deque<std::pair<long long, Packet>> data_inflight;
+  std::deque<long long> credit_inflight;
+};
+
+// Per-(router, tree) state: reduction engine inputs/outputs and the
+// broadcast fork stage.
+struct NodeTreeState {
+  int parent = -1;
+  std::vector<int> children;
+  std::vector<int> child_reduce_vc;
+  int parent_reduce_vc = -1;
+  int parent_bcast_vc = -1;
+  std::vector<int> child_bcast_vc;
+  std::vector<std::deque<Packet>> fork_stage;
+  std::deque<Packet> root_queue;  // root only: reduce -> bcast turnaround
+  long long injected = 0;   // local elements consumed by the engine
+  long long delivered = 0;  // elements delivered locally
+};
+
+}  // namespace
+
+AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
+                                       std::vector<TreeEmbedding> trees,
+                                       SimConfig config)
+    : topology_(topology), trees_(std::move(trees)), config_(config) {
+  if (config_.link_bandwidth < 1 || config_.link_latency < 0 ||
+      config_.vc_credits < 1 || config_.fork_buffer < 1 ||
+      config_.packet_payload < 1 || config_.packet_header_flits < 0) {
+    throw std::invalid_argument("AllreduceSimulator: bad config");
+  }
+  const int n = topology_.num_vertices();
+  for (const auto& tree : trees_) {
+    if (static_cast<int>(tree.parent.size()) != n) {
+      throw std::invalid_argument("AllreduceSimulator: tree size mismatch");
+    }
+    for (int v = 0; v < n; ++v) {
+      if (v == tree.root) {
+        if (tree.parent[v] != -1) {
+          throw std::invalid_argument("AllreduceSimulator: root has parent");
+        }
+        continue;
+      }
+      if (!topology_.has_edge(v, tree.parent[v])) {
+        throw std::invalid_argument(
+            "AllreduceSimulator: tree edge not a physical link");
+      }
+    }
+  }
+}
+
+SimResult AllreduceSimulator::run(
+    const std::vector<long long>& elements_per_tree) {
+  const int n = topology_.num_vertices();
+  const int num_trees = static_cast<int>(trees_.size());
+  if (static_cast<int>(elements_per_tree.size()) != num_trees) {
+    throw std::invalid_argument("run: elements_per_tree size mismatch");
+  }
+  const Collective mode = config_.collective;
+  const bool want_reduce = mode != Collective::kBroadcast;
+  const bool want_bcast = mode != Collective::kReduce;
+
+  const auto dlink_of = [&](int src, int dst) {
+    const int eid = topology_.edge_id(src, dst);
+    return 2 * eid + (src > dst ? 1 : 0);
+  };
+  const int num_dlinks = 2 * topology_.num_edges();
+
+  // ---- Build VCs and per-(node, tree) engine state. ----
+  std::vector<VcState> vcs;
+  std::vector<std::vector<int>> link_vcs(num_dlinks);
+  std::vector<NodeTreeState> state(static_cast<std::size_t>(n) * num_trees);
+  const auto st = [&](int node, int tree) -> NodeTreeState& {
+    return state[static_cast<std::size_t>(tree) * n + node];
+  };
+
+  const auto new_vc = [&](int tree, Phase phase, int src, int dst) {
+    VcState vc;
+    vc.tree = tree;
+    vc.phase = phase;
+    vc.src = src;
+    vc.dst = dst;
+    vc.dlink = dlink_of(src, dst);
+    vc.credits = config_.vc_credits;
+    vcs.push_back(std::move(vc));
+    const int id = static_cast<int>(vcs.size()) - 1;
+    link_vcs[vcs[id].dlink].push_back(id);
+    return id;
+  };
+
+  for (int t = 0; t < num_trees; ++t) {
+    const auto& tree = trees_[t];
+    for (int v = 0; v < n; ++v) {
+      st(v, t).parent = tree.parent[v];
+      if (tree.parent[v] >= 0) st(tree.parent[v], t).children.push_back(v);
+    }
+    for (int v = 0; v < n; ++v) {
+      NodeTreeState& s = st(v, t);
+      if (s.parent >= 0) {
+        if (want_reduce) {
+          s.parent_reduce_vc = new_vc(t, Phase::kReduce, v, s.parent);
+        }
+        if (want_bcast) {
+          s.parent_bcast_vc = new_vc(t, Phase::kBcast, s.parent, v);
+        }
+      }
+      s.fork_stage.resize(s.children.size());
+      s.child_bcast_vc.assign(s.children.size(), -1);
+      s.child_reduce_vc.assign(s.children.size(), -1);
+    }
+    for (int v = 0; v < n; ++v) {
+      NodeTreeState& s = st(v, t);
+      for (std::size_t c = 0; c < s.children.size(); ++c) {
+        const int child = s.children[c];
+        s.child_reduce_vc[c] = st(child, t).parent_reduce_vc;
+        s.child_bcast_vc[c] = st(child, t).parent_bcast_vc;
+        if (s.child_bcast_vc[c] >= 0) {
+          vcs[s.child_bcast_vc[c]].fork_index = static_cast<int>(c);
+        }
+      }
+    }
+  }
+
+  SimResult result;
+  result.num_vcs = static_cast<int>(vcs.size());
+  for (const auto& lv : link_vcs) {
+    result.max_vcs_per_link =
+        std::max(result.max_vcs_per_link, static_cast<int>(lv.size()));
+  }
+  // Lemma 7.8 accounting: distinct trees consuming each input port as a
+  // reduction input.
+  if (want_reduce) {
+    std::vector<int> reductions_per_port(num_dlinks, 0);
+    for (const auto& vc : vcs) {
+      if (vc.phase == Phase::kReduce) ++reductions_per_port[vc.dlink];
+    }
+    for (int c : reductions_per_port) {
+      result.max_reductions_per_input_port =
+          std::max(result.max_reductions_per_input_port, c);
+    }
+  }
+  result.link_flits.assign(num_dlinks, 0);
+  result.tree_finish_cycle.assign(num_trees, 0);
+  result.tree_first_delivery.assign(num_trees, -1);
+  result.values_correct = true;
+
+  // Deliveries expected per tree: at every node for Allreduce/Broadcast,
+  // at the root only for Reduce.
+  long long total_target = 0;
+  std::vector<long long> tree_remaining(num_trees);
+  for (int t = 0; t < num_trees; ++t) {
+    if (elements_per_tree[t] < 0) {
+      throw std::invalid_argument("run: negative element count");
+    }
+    result.total_elements += elements_per_tree[t];
+    const long long receivers = (mode == Collective::kReduce) ? 1 : n;
+    tree_remaining[t] = elements_per_tree[t] * receivers;
+    total_target += tree_remaining[t];
+  }
+  if (total_target == 0) return result;
+
+  const auto expected_value = [&](int tree, long long k) {
+    return mode == Collective::kBroadcast
+               ? local_value(trees_[tree].root, tree, k)
+               : sum_over_nodes(n, tree, k);
+  };
+
+  long long delivered_total = 0;
+  long long now = 0;
+  long long last_progress = 0;
+  std::vector<int> rr(num_dlinks, 0);
+  // Token-bucket link occupancy: `tokens` flit-slots accumulate at
+  // link_bandwidth per cycle (bounded burst); a packet consumes
+  // payload + header flits and may borrow, modeling multi-cycle packets.
+  std::vector<long long> tokens(num_dlinks, 0);
+  const int header = config_.packet_header_flits;
+
+  const auto vc_ready = [&](const VcState& vc) -> bool {
+    const NodeTreeState& s = st(vc.src, vc.tree);
+    if (vc.phase == Phase::kReduce) {
+      if (s.injected >= elements_per_tree[vc.tree]) return false;
+      for (int cvc : s.child_reduce_vc) {
+        if (vcs[cvc].recv.empty()) return false;
+      }
+      return true;
+    }
+    return !s.fork_stage[vc.fork_index].empty();
+  };
+
+  // Assembles the next reduction packet at node `src` for tree `tree`:
+  // local chunk combined with one packet from each child. Chunk sizes are
+  // aligned across children because every stream chunks the same way.
+  const auto make_reduce_packet = [&](int src, int tree) -> Packet {
+    NodeTreeState& s = st(src, tree);
+    const long long remaining = elements_per_tree[tree] - s.injected;
+    long long size = std::min<long long>(config_.packet_payload, remaining);
+    for (int cvc : s.child_reduce_vc) {
+      if (static_cast<long long>(vcs[cvc].recv.front().size()) != size) {
+        throw std::logic_error("reduce packet misalignment");
+      }
+    }
+    Packet packet(size);
+    for (long long i = 0; i < size; ++i) {
+      packet[i] = local_value(src, tree, s.injected + i);
+    }
+    s.injected += size;
+    for (int cvc : s.child_reduce_vc) {
+      const Packet& head = vcs[cvc].recv.front();
+      for (long long i = 0; i < size; ++i) packet[i] += head[i];
+      vcs[cvc].recv.pop_front();
+      vcs[cvc].credit_inflight.push_back(now + config_.link_latency);
+    }
+    return packet;
+  };
+
+  const auto deliver = [&](int node, int tree, const Packet& packet) {
+    NodeTreeState& s = st(node, tree);
+    if (result.tree_first_delivery[tree] < 0) {
+      result.tree_first_delivery[tree] = now;
+    }
+    for (std::int64_t value : packet) {
+      if (value != expected_value(tree, s.delivered)) {
+        result.values_correct = false;
+      }
+      ++s.delivered;
+      ++delivered_total;
+      if (--tree_remaining[tree] == 0) result.tree_finish_cycle[tree] = now;
+    }
+    last_progress = now;
+  };
+
+  while (delivered_total < total_target) {
+    if (now > config_.max_cycles) {
+      throw std::runtime_error("AllreduceSimulator: cycle limit exceeded");
+    }
+    if (now - last_progress > config_.stall_limit) {
+      throw std::runtime_error(
+          "AllreduceSimulator: deadlock detected at cycle " +
+          std::to_string(now));
+    }
+
+    // 1. Arrivals: land in-flight packets and returned credits.
+    for (auto& vc : vcs) {
+      while (!vc.data_inflight.empty() &&
+             vc.data_inflight.front().first <= now) {
+        vc.recv.push_back(std::move(vc.data_inflight.front().second));
+        vc.data_inflight.pop_front();
+        result.max_vc_occupancy = std::max(
+            result.max_vc_occupancy, static_cast<int>(vc.recv.size()));
+        last_progress = now;
+      }
+      while (!vc.credit_inflight.empty() &&
+             vc.credit_inflight.front() <= now) {
+        vc.credit_inflight.pop_front();
+        ++vc.credits;
+      }
+    }
+
+    // 2. Root engines. Allreduce/Reduce: final sums materialize at the
+    // root (into the turnaround queue or straight to local delivery).
+    // Broadcast: the root sources its own stream into the queue.
+    for (int t = 0; t < num_trees; ++t) {
+      NodeTreeState& s = st(trees_[t].root, t);
+      for (int fire = 0; fire < config_.link_bandwidth; ++fire) {
+        if (s.injected >= elements_per_tree[t]) break;
+        if (mode != Collective::kReduce &&
+            static_cast<int>(s.root_queue.size()) >= config_.vc_credits) {
+          break;
+        }
+        Packet packet;
+        if (mode == Collective::kBroadcast) {
+          const long long remaining = elements_per_tree[t] - s.injected;
+          const long long size =
+              std::min<long long>(config_.packet_payload, remaining);
+          packet.resize(size);
+          for (long long i = 0; i < size; ++i) {
+            packet[i] = local_value(trees_[t].root, t, s.injected + i);
+          }
+          s.injected += size;
+        } else {
+          bool inputs_ready = true;
+          for (int cvc : s.child_reduce_vc) {
+            if (vcs[cvc].recv.empty()) {
+              inputs_ready = false;
+              break;
+            }
+          }
+          if (!inputs_ready) break;
+          packet = make_reduce_packet(trees_[t].root, t);
+        }
+        if (mode == Collective::kReduce) {
+          deliver(trees_[t].root, t, packet);
+        } else {
+          s.root_queue.push_back(std::move(packet));
+        }
+        last_progress = now;
+      }
+    }
+
+    // 3. Broadcast replication: parent VC (or root queue) -> all fork
+    // stages + local delivery. Fork-stage room is required for all
+    // children, which bounds buffering and stays deadlock-free.
+    if (want_bcast) {
+      for (int t = 0; t < num_trees; ++t) {
+        for (int v = 0; v < n; ++v) {
+          NodeTreeState& s = st(v, t);
+          const bool is_root = (v == trees_[t].root);
+          if (!is_root && s.parent_bcast_vc < 0) continue;
+          for (int moves = 0; moves < config_.link_bandwidth; ++moves) {
+            bool room = true;
+            for (const auto& stage : s.fork_stage) {
+              if (static_cast<int>(stage.size()) >= config_.fork_buffer) {
+                room = false;
+                break;
+              }
+            }
+            if (!room) break;
+            Packet packet;
+            if (is_root) {
+              if (s.root_queue.empty()) break;
+              packet = std::move(s.root_queue.front());
+              s.root_queue.pop_front();
+            } else {
+              VcState& pvc = vcs[s.parent_bcast_vc];
+              if (pvc.recv.empty()) break;
+              packet = std::move(pvc.recv.front());
+              pvc.recv.pop_front();
+              pvc.credit_inflight.push_back(now + config_.link_latency);
+            }
+            deliver(v, t, packet);
+            for (auto& stage : s.fork_stage) stage.push_back(packet);
+          }
+        }
+      }
+    }
+
+    // 4. Link arbitration: round-robin over each directed link's VCs,
+    // consuming token-bucket flit slots (payload + header per packet).
+    for (int dl = 0; dl < num_dlinks; ++dl) {
+      const auto& ids = link_vcs[dl];
+      if (ids.empty()) continue;
+      tokens[dl] = std::min<long long>(
+          tokens[dl] + config_.link_bandwidth,
+          static_cast<long long>(config_.link_bandwidth) *
+              (config_.packet_payload + header));
+      const int count = static_cast<int>(ids.size());
+      const int probes = count * config_.link_bandwidth;
+      const int base = rr[dl];
+      for (int probe = 0; probe < probes && tokens[dl] > 0; ++probe) {
+        const int slot = (base + probe) % count;
+        VcState& vc = vcs[ids[slot]];
+        if (vc.credits <= 0 || !vc_ready(vc)) continue;
+        // True round-robin: rotate past the granted VC so competing trees
+        // alternate even when packets occupy the link for several cycles.
+        rr[dl] = (slot + 1) % count;
+        Packet packet;
+        if (vc.phase == Phase::kReduce) {
+          packet = make_reduce_packet(vc.src, vc.tree);
+        } else {
+          NodeTreeState& s = st(vc.src, vc.tree);
+          packet = std::move(s.fork_stage[vc.fork_index].front());
+          s.fork_stage[vc.fork_index].pop_front();
+        }
+        const long long flits =
+            static_cast<long long>(packet.size()) + header;
+        tokens[dl] -= flits;
+        result.link_flits[dl] += flits;
+        --vc.credits;
+        vc.data_inflight.emplace_back(now + config_.link_latency,
+                                      std::move(packet));
+        last_progress = now;
+      }
+    }
+
+    ++now;
+  }
+
+  result.cycles = now;
+  result.aggregate_bandwidth =
+      static_cast<double>(result.total_elements) / static_cast<double>(now);
+  return result;
+}
+
+}  // namespace pfar::simnet

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simnet/config.hpp"
+
+namespace pfar::simnet {
+
+/// A spanning tree embedded on the physical topology, given as a parent
+/// vector (-1 at the root). Each tree edge is a physical link; reduction
+/// traffic flows child -> parent, broadcast traffic parent -> child
+/// (Section 4.3).
+struct TreeEmbedding {
+  int root = 0;
+  std::vector<int> parent;
+};
+
+/// Outcome of one simulated multi-tree in-network Allreduce.
+struct SimResult {
+  /// Cycle at which the last node received the last broadcast element.
+  long long cycles = 0;
+  /// Completion cycle per tree (last broadcast delivery of that tree).
+  std::vector<long long> tree_finish_cycle;
+  /// Cycle of the first delivered element per tree — the pipeline-fill
+  /// latency, proportional to tree depth (the paper's latency metric).
+  std::vector<long long> tree_first_delivery;
+  /// Total elements reduced across all trees (sum of the per-tree counts).
+  long long total_elements = 0;
+  /// total_elements / cycles, in elements per cycle — directly comparable
+  /// with Algorithm 1's aggregate bandwidth when link_bandwidth = 1.
+  double aggregate_bandwidth = 0.0;
+  /// True iff every delivered element matched the exact expected
+  /// reduction value at every node (integer arithmetic, no tolerance).
+  bool values_correct = false;
+  /// Peak receiver-buffer occupancy observed over all VCs — must stay
+  /// within SimConfig::vc_credits (flow-control safety).
+  int max_vc_occupancy = 0;
+  /// Number of virtual channels instantiated (per-tree-per-direction link
+  /// state, the hardware cost Section 5.1 discusses).
+  int num_vcs = 0;
+  /// Highest number of VCs on any single directed link (worst-case per-link
+  /// state requirement; 1 for edge-disjoint trees).
+  int max_vcs_per_link = 0;
+  /// Highest number of distinct trees whose reduction consumes the same
+  /// router input port. Lemma 7.8 implies this is 1 for the paper's
+  /// low-depth trees: a single wide-radix arithmetic engine per router
+  /// suffices.
+  int max_reductions_per_input_port = 0;
+  /// Flits moved per directed link (utilization diagnostics), including
+  /// packet header flits.
+  std::vector<long long> link_flits;
+};
+
+/// Cycle-accurate simulator of pipelined in-network Allreduce over a set
+/// of concurrently active tree embeddings sharing physical links.
+///
+/// Model (Sections 4.4 / 5.1):
+///  * every node contributes one operand per element per tree and receives
+///    every broadcast element (global vector Allreduce, data-parallel over
+///    trees);
+///  * each router has a per-tree reduction engine: when one operand from
+///    each child and the local operand are available, it emits their sum
+///    toward the parent (streaming aggregation at link rate);
+///  * the root turns the final sums around into a broadcast that forks to
+///    all children and is delivered locally at every hop;
+///  * each directed physical link has `link_bandwidth` flits/cycle shared
+///    round-robin between the VCs of all trees crossing it — congested
+///    links divide bandwidth exactly as the paper's congestion model
+///    assumes;
+///  * every VC has a private receiver buffer governed by credits, so
+///    backpressure propagates hop-by-hop and no buffer ever overflows.
+///
+/// Values are int64 and the expected reductions are checked exactly.
+class AllreduceSimulator {
+ public:
+  AllreduceSimulator(const graph::Graph& topology,
+                     std::vector<TreeEmbedding> trees, SimConfig config);
+
+  /// Runs one Allreduce with `elements_per_tree[t]` vector elements
+  /// assigned to tree t (the m_i of Theorem 5.1). Throws on deadlock or
+  /// cycle-limit overrun.
+  SimResult run(const std::vector<long long>& elements_per_tree);
+
+ private:
+  const graph::Graph& topology_;
+  std::vector<TreeEmbedding> trees_;
+  SimConfig config_;
+};
+
+}  // namespace pfar::simnet

@@ -1,0 +1,45 @@
+#pragma once
+
+namespace pfar::simnet {
+
+/// Which collective dataflow the embedded trees execute (Section 4.3:
+/// Allreduce = reduction up the tree followed by a broadcast down it; the
+/// two halves are also useful on their own).
+enum class Collective {
+  kAllreduce,  // reduce to the root, then broadcast the result
+  kReduce,     // reduce to the root only (result lands at the root)
+  kBroadcast,  // root streams its vector down the tree (no reduction)
+};
+
+/// Parameters of the cycle-level router/link model (Section 4.4). The
+/// defaults model a PIUMA/SHARP-like device: pipelined reduction engines
+/// able to sustain link rate, credit-based flow control, and one virtual
+/// channel per (tree, direction) crossing a link — the per-tree state the
+/// paper's Section 5.1 discusses.
+struct SimConfig {
+  /// Flits a directed link can move per cycle (one element per flit).
+  int link_bandwidth = 1;
+  /// Wire/pipeline latency of a link in cycles.
+  int link_latency = 4;
+  /// Receiver buffer slots (packets) per virtual channel. Must cover the
+  /// credit round trip (2 * link_latency / packet duration) to sustain
+  /// full rate.
+  int vc_credits = 16;
+  /// Per-child staging slots (packets) used when a broadcast packet forks
+  /// to several children inside a router.
+  int fork_buffer = 4;
+  /// Vector elements carried per packet. Streams are chunked into packets
+  /// of this size (plus a final partial packet).
+  int packet_payload = 1;
+  /// Header/control flits prepended to each packet; models protocol
+  /// overhead: link efficiency = payload / (payload + header).
+  int packet_header_flits = 0;
+  /// Which collective to execute.
+  Collective collective = Collective::kAllreduce;
+  /// Safety valve: abort if the collective has not completed by this cycle.
+  long long max_cycles = 500'000'000;
+  /// Cycles without any flit movement before declaring deadlock.
+  long long stall_limit = 100'000;
+};
+
+}  // namespace pfar::simnet

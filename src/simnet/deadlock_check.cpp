@@ -1,0 +1,112 @@
+#include "simnet/deadlock_check.hpp"
+
+#include <stdexcept>
+
+namespace pfar::simnet {
+namespace {
+
+// Resource node kinds in the dependency graph, per (tree, vertex):
+//   reduce VC (toward parent), bcast VC (from parent), root turnaround.
+enum Kind { kReduceVc = 0, kBcastVc = 1, kTurnaround = 2 };
+
+}  // namespace
+
+DeadlockCheckResult check_deadlock_free(
+    const graph::Graph& topology, const std::vector<TreeEmbedding>& trees,
+    Collective collective) {
+  const int n = topology.num_vertices();
+  const int num_trees = static_cast<int>(trees.size());
+  const bool want_reduce = collective != Collective::kBroadcast;
+  const bool want_bcast = collective != Collective::kReduce;
+
+  // Dense ids: (tree, vertex, kind) -> 3 * (t * n + v) + kind.
+  const auto rid = [n](int t, int v, Kind k) {
+    return 3 * (static_cast<int>(t) * n + v) + static_cast<int>(k);
+  };
+  const int total = 3 * n * num_trees;
+  std::vector<std::vector<int>> wait_for(total);
+  std::vector<char> present(total, 0);
+
+  DeadlockCheckResult result;
+  for (int t = 0; t < num_trees; ++t) {
+    const auto& tree = trees[t];
+    if (static_cast<int>(tree.parent.size()) != n) {
+      throw std::invalid_argument("check_deadlock_free: tree size mismatch");
+    }
+    for (int v = 0; v < n; ++v) {
+      const int parent = tree.parent[v];
+      if (v == tree.root) {
+        if (want_reduce && want_bcast) present[rid(t, v, kTurnaround)] = 1;
+        continue;
+      }
+      if (want_reduce) present[rid(t, v, kReduceVc)] = 1;
+      if (want_bcast) present[rid(t, v, kBcastVc)] = 1;
+      // Draining v's reduce VC (held at parent) requires emitting into the
+      // parent's own upward VC — or the turnaround at the root.
+      if (want_reduce) {
+        if (parent == tree.root) {
+          if (want_bcast) {
+            wait_for[rid(t, v, kReduceVc)].push_back(
+                rid(t, parent, kTurnaround));
+          }
+        } else {
+          wait_for[rid(t, v, kReduceVc)].push_back(
+              rid(t, parent, kReduceVc));
+        }
+      }
+      // Draining the broadcast VC into v requires credit on each of v's
+      // children's broadcast VCs.
+      if (want_bcast) {
+        for (int c = 0; c < n; ++c) {
+          if (tree.parent[c] == v) {
+            wait_for[rid(t, v, kBcastVc)].push_back(rid(t, c, kBcastVc));
+          }
+        }
+      }
+    }
+    // The turnaround drains into the root's children's broadcast VCs.
+    if (want_reduce && want_bcast) {
+      for (int c = 0; c < n; ++c) {
+        if (tree.parent[c] == tree.root) {
+          wait_for[rid(t, tree.root, kTurnaround)].push_back(
+              rid(t, c, kBcastVc));
+        }
+      }
+    }
+  }
+
+  for (int r = 0; r < total; ++r) {
+    if (present[r]) ++result.resources;
+    result.dependencies += static_cast<int>(wait_for[r].size());
+  }
+
+  // Cycle detection via iterative three-color DFS.
+  std::vector<char> color(total, 0);  // 0 white, 1 gray, 2 black
+  for (int start = 0; start < total; ++start) {
+    if (!present[start] || color[start] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < wait_for[node].size()) {
+        const int next = wait_for[node][idx++];
+        if (color[next] == 1) {
+          result.cycle_witness = next;
+          result.deadlock_free = false;
+          return result;
+        }
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  result.deadlock_free = true;
+  return result;
+}
+
+}  // namespace pfar::simnet

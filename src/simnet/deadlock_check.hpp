@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simnet/allreduce_sim.hpp"
+
+namespace pfar::simnet {
+
+/// Static deadlock-freedom verification for a set of tree embeddings, by
+/// the classic channel-dependency argument (Dally-Seitz): build the
+/// directed graph whose nodes are virtual channels (plus per-node
+/// turnaround/fork resources) and whose edges are "holding X may wait for
+/// Y"; the configuration is deadlock-free iff this graph is acyclic.
+///
+/// For the paper's embeddings the dependencies are:
+///  * reduction: the VC from child c to node v is drained only when v's
+///    engine can emit into v's parent reduce VC (or the root turnaround
+///    queue), so child-VC -> parent-VC edges follow each tree upward;
+///  * broadcast: the VC into node v is drained into the fork stages,
+///    which drain into each child's broadcast VC — edges follow the tree
+///    downward;
+///  * the root turnaround couples the reduce root to the broadcast root.
+/// Trees are cycle-free in both directions and different trees share no
+/// VC state, so the union must be acyclic — this check mechanizes that
+/// argument and guards future embedding generators (e.g. degraded plans,
+/// greedy packings) against regressions.
+struct DeadlockCheckResult {
+  bool deadlock_free = false;
+  /// Number of resource nodes in the dependency graph.
+  int resources = 0;
+  /// Number of wait-for edges.
+  int dependencies = 0;
+  /// If a cycle exists, one resource on it (index into the internal
+  /// numbering; for diagnostics only).
+  int cycle_witness = -1;
+};
+
+DeadlockCheckResult check_deadlock_free(const graph::Graph& topology,
+                                        const std::vector<TreeEmbedding>& trees,
+                                        Collective collective = Collective::kAllreduce);
+
+}  // namespace pfar::simnet

@@ -1,0 +1,259 @@
+#include "simnet/traffic_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace pfar::simnet {
+namespace {
+
+struct Packet {
+  int dst = 0;
+  int via = -1;  // Valiant intermediate; -1 once (or if never) reached
+  long long generated = 0;
+  int hops = 0;
+  bool measured = false;
+};
+
+// One input port: a FIFO of parked packets plus the in-flight pipeline of
+// packets still traversing the upstream link.
+struct Port {
+  std::deque<Packet> fifo;
+  std::deque<std::pair<long long, Packet>> inflight;
+};
+
+}  // namespace
+
+TrafficSimulator::TrafficSimulator(const graph::Graph& topology)
+    : topology_(topology) {
+  const int n = topology_.num_vertices();
+  if (n < 2 || !topology_.is_connected()) {
+    throw std::invalid_argument("TrafficSimulator: need a connected graph");
+  }
+  next_hop_.assign(static_cast<std::size_t>(n) * n, -1);
+  for (int dst = 0; dst < n; ++dst) {
+    auto* hop = &next_hop_[static_cast<std::size_t>(dst) * n];
+    std::queue<int> frontier;
+    std::vector<int> dist(n, -1);
+    dist[dst] = 0;
+    frontier.push(dst);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int w : topology_.neighbors(u)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          hop[w] = u;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+}
+
+TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
+  if (config.injection_rate < 0.0 || config.injection_rate > 1.0 ||
+      config.packet_flits < 1 || config.buffer_packets < 1 ||
+      config.link_latency < 0) {
+    throw std::invalid_argument("TrafficSimulator: bad config");
+  }
+  const int n = topology_.num_vertices();
+  util::Rng rng(config.seed);
+
+  // Fixed permutation targets (derangement-ish: re-draw self-targets).
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[static_cast<int>(rng.next_below(i + 1))]);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (perm[i] == i) perm[i] = (i + 1) % n;
+  }
+
+  const auto pick_destination = [&](int src) {
+    switch (config.pattern) {
+      case TrafficPattern::kPermutation:
+        return perm[src];
+      case TrafficPattern::kHotspot:
+        if (src != 0 && rng.next_double() < config.hotspot_fraction) return 0;
+        [[fallthrough]];
+      case TrafficPattern::kUniform: {
+        int dst = static_cast<int>(rng.next_below(n - 1));
+        if (dst >= src) ++dst;  // uniform over others
+        return dst;
+      }
+    }
+    return (src + 1) % n;
+  };
+
+  // Ports: for each node, one input port per incoming neighbor link plus
+  // one injection port (index = degree). Port lookup by (node, from).
+  std::vector<std::vector<Port>> ports(n);
+  std::vector<std::vector<int>> from_index(n);  // neighbor rank lookup
+  for (int v = 0; v < n; ++v) {
+    ports[v].resize(topology_.degree(v) + 1);
+    from_index[v].assign(n, -1);
+    const auto& nbrs = topology_.neighbors(v);
+    for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+      from_index[v][nbrs[i]] = i;
+    }
+  }
+  // Unbounded source queues (latency includes source queueing, the
+  // standard open-loop measurement methodology).
+  std::vector<std::deque<Packet>> source(n);
+  // Credits toward each (node, input port).
+  std::vector<std::vector<int>> credits(n);
+  std::vector<std::vector<std::deque<long long>>> credit_return(n);
+  for (int v = 0; v < n; ++v) {
+    credits[v].assign(ports[v].size(), config.buffer_packets);
+    credit_return[v].resize(ports[v].size());
+  }
+  // Output-link occupancy token buckets and round-robin pointers.
+  std::vector<std::vector<long long>> tokens(n);
+  std::vector<std::vector<int>> rr(n);
+  for (int v = 0; v < n; ++v) {
+    tokens[v].assign(topology_.degree(v), 0);
+    rr[v].assign(topology_.degree(v), 0);
+  }
+
+  TrafficResult result;
+  std::vector<long long> latencies;
+  latencies.reserve(config.measure_packets);
+  long long total_hops = 0;
+  long long measured_start = -1;
+  long long now = 0;
+
+  while (static_cast<long long>(latencies.size()) < config.measure_packets) {
+    if (now >= config.max_cycles) {
+      result.saturated = true;
+      break;
+    }
+
+    // 1. Arrivals and credit returns.
+    for (int v = 0; v < n; ++v) {
+      for (std::size_t p = 0; p < ports[v].size(); ++p) {
+        Port& port = ports[v][p];
+        while (!port.inflight.empty() &&
+               port.inflight.front().first <= now) {
+          port.fifo.push_back(port.inflight.front().second);
+          port.inflight.pop_front();
+        }
+        auto& returns = credit_return[v][p];
+        while (!returns.empty() && returns.front() <= now) {
+          returns.pop_front();
+          ++credits[v][p];
+        }
+      }
+    }
+
+    // 2. Injection: generated packets enter the source queue; the source
+    // queue feeds the injection port when it has buffer room.
+    for (int v = 0; v < n; ++v) {
+      if (rng.next_double() < config.injection_rate) {
+        Packet pkt;
+        pkt.dst = pick_destination(v);
+        if (config.routing == Routing::kValiant) {
+          const int via = static_cast<int>(rng.next_below(n));
+          if (via != v && via != pkt.dst) pkt.via = via;
+        }
+        pkt.generated = now;
+        pkt.measured = now >= config.warmup_cycles;
+        source[v].push_back(pkt);
+      }
+      const std::size_t inj = ports[v].size() - 1;
+      while (!source[v].empty() &&
+             static_cast<int>(ports[v][inj].fifo.size()) <
+                 config.buffer_packets) {
+        ports[v][inj].fifo.push_back(source[v].front());
+        source[v].pop_front();
+      }
+    }
+
+    // 3. Switch allocation + traversal: each output link grants one input
+    // port per free slot (round-robin), consuming link occupancy tokens.
+    for (int v = 0; v < n; ++v) {
+      const auto& nbrs = topology_.neighbors(v);
+      const int num_ports = static_cast<int>(ports[v].size());
+      // Ejection first: heads destined here leave immediately. A head that
+      // reached its Valiant intermediate sheds it and keeps routing.
+      for (int p = 0; p < num_ports; ++p) {
+        Port& port = ports[v][p];
+        while (!port.fifo.empty()) {
+          Packet& head = port.fifo.front();
+          if (head.via == v) head.via = -1;
+          if (head.dst != v || head.via >= 0) break;
+          if (head.measured) {
+            if (measured_start < 0) measured_start = now;
+            latencies.push_back(now - head.generated);
+            total_hops += head.hops;
+          }
+          port.fifo.pop_front();
+          if (p < num_ports - 1) {  // network port: return a credit upstream
+            credit_return[v][p].push_back(now + config.link_latency);
+          }
+        }
+      }
+      for (int out = 0; out < static_cast<int>(nbrs.size()); ++out) {
+        tokens[v][out] = std::min<long long>(
+            tokens[v][out] + 1, config.packet_flits);
+        if (tokens[v][out] <= 0) continue;
+        const int next = nbrs[out];
+        const int in_port_at_next = from_index[next][v];
+        if (credits[next][in_port_at_next] <= 0) continue;
+        // Round-robin over this router's input ports for this output.
+        int granted = -1;
+        for (int probe = 0; probe < num_ports; ++probe) {
+          const int p = (rr[v][out] + probe) % num_ports;
+          Port& port = ports[v][p];
+          if (port.fifo.empty()) continue;
+          const Packet& head = port.fifo.front();
+          const int target = head.via >= 0 ? head.via : head.dst;
+          if (target == v) continue;  // ejection handled above
+          const int hop =
+              next_hop_[static_cast<std::size_t>(target) * n + v];
+          if (hop != next) continue;
+          granted = p;
+          break;
+        }
+        if (granted < 0) continue;
+        rr[v][out] = (granted + 1) % num_ports;
+        Port& port = ports[v][granted];
+        Packet pkt = port.fifo.front();
+        port.fifo.pop_front();
+        if (granted < num_ports - 1) {
+          credit_return[v][granted].push_back(now + config.link_latency);
+        }
+        ++pkt.hops;
+        tokens[v][out] -= config.packet_flits;
+        --credits[next][in_port_at_next];
+        ports[next][in_port_at_next].inflight.emplace_back(
+            now + config.link_latency + config.packet_flits, pkt);
+      }
+    }
+
+    ++now;
+  }
+
+  result.delivered = static_cast<long long>(latencies.size());
+  if (result.delivered > 0) {
+    double sum = 0.0;
+    for (long long l : latencies) sum += static_cast<double>(l);
+    result.avg_latency = sum / static_cast<double>(result.delivered);
+    result.avg_hops =
+        static_cast<double>(total_hops) / static_cast<double>(result.delivered);
+    std::sort(latencies.begin(), latencies.end());
+    result.p99_latency = latencies[latencies.size() * 99 / 100];
+    const long long span = now - (measured_start < 0 ? now : measured_start);
+    if (span > 0) {
+      result.throughput = static_cast<double>(result.delivered) /
+                          static_cast<double>(span) / n;
+    }
+  } else {
+    result.saturated = true;
+  }
+  return result;
+}
+
+}  // namespace pfar::simnet

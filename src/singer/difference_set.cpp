@@ -1,0 +1,69 @@
+#include "singer/difference_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gf/cubic_extension.hpp"
+#include "util/numeric.hpp"
+
+namespace pfar::singer {
+
+DifferenceSet build_difference_set(const gf::Field& field) {
+  DifferenceSet out;
+  out.q = field.q();
+  out.n = static_cast<long long>(out.q) * out.q + out.q + 1;
+
+  const gf::CubicExtension ext(field);
+  std::vector<long long> elems;
+  ext.for_each_power([&](long long l, gf::Elem c2, gf::Elem c1, gf::Elem c0) {
+    if (l == 0) {
+      elems.push_back(0);  // zeta^0 = 1 spans the constants' class
+    } else if (c2 == 0 && c1 == 1) {
+      (void)c0;  // zeta^l = zeta + c0
+      elems.push_back(l % out.n);
+    }
+  });
+  std::sort(elems.begin(), elems.end());
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  if (static_cast<int>(elems.size()) != out.q + 1) {
+    throw std::logic_error("build_difference_set: wrong cardinality");
+  }
+  out.elements = std::move(elems);
+  if (!is_valid_difference_set(out.elements, out.n)) {
+    throw std::logic_error("build_difference_set: validation failed");
+  }
+  return out;
+}
+
+DifferenceSet build_difference_set(int q) {
+  const gf::Field field(q);
+  return build_difference_set(field);
+}
+
+bool is_valid_difference_set(const std::vector<long long>& d, long long n) {
+  std::vector<char> seen(n, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      if (i == j) continue;
+      long long diff = (d[i] - d[j]) % n;
+      if (diff < 0) diff += n;
+      if (diff == 0 || seen[diff]) return false;
+      seen[diff] = 1;
+    }
+  }
+  // Every value 1..n-1 must be hit: counts match iff sizes line up.
+  const long long hits =
+      static_cast<long long>(d.size()) * (static_cast<long long>(d.size()) - 1);
+  return hits == n - 1;
+}
+
+std::vector<long long> reflection_points(const DifferenceSet& d) {
+  const long long half = util::mod_inverse(2, d.n);
+  std::vector<long long> out;
+  out.reserve(d.elements.size());
+  for (long long e : d.elements) out.push_back(util::mod_mul(half, e, d.n));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pfar::singer

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "gf/field.hpp"
+
+namespace pfar::singer {
+
+/// A Singer (perfect) difference set D of order q+1 over Z_N, N = q^2+q+1
+/// (Definition 6.2): the q(q+1) pairwise differences (d_i - d_j) mod N hit
+/// every value 1..N-1 exactly once.
+struct DifferenceSet {
+  int q = 0;
+  long long n = 0;                    // N = q^2 + q + 1
+  std::vector<long long> elements;    // sorted, |elements| == q + 1
+};
+
+/// Builds the Singer difference set via the paper's Section 6.2 recipe:
+/// enumerate powers of a primitive root zeta of F_{q^3} (lexicographically
+/// smallest primitive cubic modulus) and collect the exponents l with
+/// zeta^l of the form zeta + k (k in F_q), plus l = 0 (the element 1),
+/// reduced mod N. The result is validated against Definition 6.2.
+DifferenceSet build_difference_set(const gf::Field& field);
+
+/// Convenience: builds the field internally.
+DifferenceSet build_difference_set(int q);
+
+/// Checks Definition 6.2 exhaustively.
+bool is_valid_difference_set(const std::vector<long long>& d, long long n);
+
+/// Reflection points (Definition 6.5) = 2^{-1} * d mod N for d in D
+/// (Corollary 6.8); these are the quadrics of PolarFly. Sorted.
+std::vector<long long> reflection_points(const DifferenceSet& d);
+
+}  // namespace pfar::singer

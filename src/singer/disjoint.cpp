@@ -1,0 +1,76 @@
+#include "singer/disjoint.hpp"
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "util/numeric.hpp"
+
+namespace pfar::singer {
+namespace {
+
+DisjointHamiltonianSet materialize(
+    const DifferenceSet& d,
+    std::vector<std::pair<long long, long long>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  DisjointHamiltonianSet out;
+  out.pairs = std::move(pairs);
+  out.paths.reserve(out.pairs.size());
+  for (const auto& [d0, d1] : out.pairs) {
+    out.paths.push_back(build_alternating_path(d, d0, d1));
+  }
+  return out;
+}
+
+}  // namespace
+
+int disjoint_hamiltonian_upper_bound(int q) { return (q + 1) / 2; }
+
+DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d) {
+  const int k = static_cast<int>(d.elements.size());
+  graph::Graph element_graph(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (util::gcd_ll(d.elements[i] - d.elements[j], d.n) == 1) {
+        element_graph.add_edge(i, j);
+      }
+    }
+  }
+  element_graph.finalize();
+  const auto mate = graph::maximum_matching(element_graph);
+
+  std::vector<std::pair<long long, long long>> pairs;
+  for (int i = 0; i < k; ++i) {
+    if (mate[i] > i) {
+      pairs.emplace_back(d.elements[i], d.elements[mate[i]]);
+    }
+  }
+  return materialize(d, std::move(pairs));
+}
+
+DisjointHamiltonianSet find_disjoint_hamiltonians_random(
+    const DifferenceSet& d, util::Rng& rng, int attempts) {
+  const auto ham_pairs = hamiltonian_pairs(d);
+  const int m = static_cast<int>(ham_pairs.size());
+  // Pair-conflict graph G_S: vertices are Hamiltonian pairs, edges connect
+  // pairs sharing a difference-set element.
+  graph::Graph conflict(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const bool share = ham_pairs[i].first == ham_pairs[j].first ||
+                         ham_pairs[i].first == ham_pairs[j].second ||
+                         ham_pairs[i].second == ham_pairs[j].first ||
+                         ham_pairs[i].second == ham_pairs[j].second;
+      if (share) conflict.add_edge(i, j);
+    }
+  }
+  conflict.finalize();
+  const auto chosen = graph::best_random_independent_set(conflict, rng, attempts);
+
+  std::vector<std::pair<long long, long long>> pairs;
+  pairs.reserve(chosen.size());
+  for (int id : chosen) pairs.push_back(ham_pairs[id]);
+  return materialize(d, std::move(pairs));
+}
+
+}  // namespace pfar::singer

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "singer/paths.hpp"
+#include "util/rng.hpp"
+
+namespace pfar::singer {
+
+/// A set of pairwise edge-disjoint alternating-sum Hamiltonian paths in
+/// S_q, each identified by its difference-set element pair. Because every
+/// edge's sum is one of the pair's two colors, paths built from pairwise
+/// element-disjoint pairs are automatically edge-disjoint (Section 7.2).
+struct DisjointHamiltonianSet {
+  std::vector<std::pair<long long, long long>> pairs;
+  std::vector<AlternatingPath> paths;
+
+  int size() const { return static_cast<int>(paths.size()); }
+};
+
+/// Upper bound floor((q+1)/2) on the number of edge-disjoint Hamiltonian
+/// paths (Lemma 7.18).
+int disjoint_hamiltonian_upper_bound(int q);
+
+/// Exact maximum set via maximum matching on the "element graph" (vertices
+/// = difference-set elements, edges = pairs with gcd(d_i - d_j, N) == 1).
+/// An element-disjoint pair selection of maximum size is exactly a maximum
+/// matching, so this is provably optimal — it attains floor((q+1)/2) for
+/// every prime power q < 128, the paper's Section 7.3 empirical claim.
+DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d);
+
+/// The paper's Section 7.3 method: random maximal independent sets on the
+/// pair-conflict graph G_S (vertices = Hamiltonian pairs, edges = pairs
+/// sharing an element), best of `attempts` instances. Kept for comparison
+/// with the exact matching method.
+DisjointHamiltonianSet find_disjoint_hamiltonians_random(
+    const DifferenceSet& d, util::Rng& rng, int attempts = 30);
+
+}  // namespace pfar::singer

@@ -1,0 +1,33 @@
+#include "singer/singer_graph.hpp"
+
+#include <algorithm>
+
+namespace pfar::singer {
+
+SingerGraph::SingerGraph(DifferenceSet d)
+    : d_(std::move(d)), graph_(static_cast<int>(d_.n)) {
+  build();
+}
+
+SingerGraph::SingerGraph(int q) : SingerGraph(build_difference_set(q)) {}
+
+void SingerGraph::build() {
+  const long long n = d_.n;
+  reflection_ = reflection_points(d_);
+  is_reflection_.assign(n, 0);
+  for (long long r : reflection_) is_reflection_[r] = 1;
+
+  for (long long i = 0; i < n; ++i) {
+    for (long long d : d_.elements) {
+      long long j = (d - i) % n;
+      if (j < 0) j += n;
+      if (j == i) continue;  // self-loop at a reflection point
+      if (i < j) {
+        graph_.add_edge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  graph_.finalize();
+}
+
+}  // namespace pfar::singer

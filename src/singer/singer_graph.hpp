@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "singer/difference_set.hpp"
+
+namespace pfar::singer {
+
+/// The Singer graph S_q (Definition 6.3): vertices 0..N-1, edge (i, j)
+/// iff (i + j) mod N is in the difference set D. Isomorphic to ER_q
+/// (Theorem 6.6). Self-loops at reflection points are dropped from the
+/// graph but tracked separately, mirroring PolarFly.
+///
+/// The edge sum (i + j) mod N, always an element of D, acts as an edge
+/// *color*; alternating-sum paths (Section 7.2) use exactly two colors and
+/// paths with disjoint color pairs are automatically edge-disjoint.
+class SingerGraph {
+ public:
+  explicit SingerGraph(DifferenceSet d);
+  /// Convenience: derives the difference set for q internally.
+  explicit SingerGraph(int q);
+
+  const DifferenceSet& difference_set() const { return d_; }
+  const graph::Graph& graph() const { return graph_; }
+  long long n() const { return d_.n; }
+  int q() const { return d_.q; }
+
+  /// Edge sum (i + j) mod N of an edge; the edge's color in D.
+  long long edge_sum(int i, int j) const {
+    return (static_cast<long long>(i) + j) % d_.n;
+  }
+
+  bool is_reflection_point(int v) const { return is_reflection_[v]; }
+  /// Sorted reflection-point ids (these are PolarFly's quadrics,
+  /// Corollary 6.8).
+  const std::vector<long long>& reflection() const { return reflection_; }
+
+ private:
+  void build();
+
+  DifferenceSet d_;
+  graph::Graph graph_;
+  std::vector<long long> reflection_;
+  std::vector<char> is_reflection_;
+};
+
+}  // namespace pfar::singer

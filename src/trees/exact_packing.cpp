@@ -1,0 +1,190 @@
+#include "trees/exact_packing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace pfar::trees {
+namespace {
+
+/// Partitions edges of g into k forests of maximum total size via
+/// matroid-union augmentation.
+class ForestPacker {
+ public:
+  ForestPacker(const graph::Graph& g, int k)
+      : g_(g),
+        k_(k),
+        n_(g.num_vertices()),
+        owner_(g.num_edges(), -1),
+        adj_(k, std::vector<std::vector<std::pair<int, int>>>(n_)) {}
+
+  /// Attempts to place every edge; returns the number placed.
+  int pack() {
+    int placed = 0;
+    for (int e = 0; e < g_.num_edges(); ++e) {
+      if (insert(e)) ++placed;
+    }
+    return placed;
+  }
+
+  /// Forest i's edge ids.
+  std::vector<int> forest_edges(int i) const {
+    std::vector<int> out;
+    for (int e = 0; e < g_.num_edges(); ++e) {
+      if (owner_[e] == i) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  // Path between u and v inside forest i as edge ids; empty if
+  // disconnected there.
+  std::vector<int> forest_path(int i, int u, int v) const {
+    std::vector<int> prev_edge(n_, -1);
+    std::vector<int> prev_node(n_, -1);
+    std::vector<char> seen(n_, 0);
+    std::queue<int> frontier;
+    seen[u] = 1;
+    frontier.push(u);
+    while (!frontier.empty() && !seen[v]) {
+      const int x = frontier.front();
+      frontier.pop();
+      for (const auto& [y, eid] : adj_[i][x]) {
+        if (!seen[y]) {
+          seen[y] = 1;
+          prev_edge[y] = eid;
+          prev_node[y] = x;
+          frontier.push(y);
+        }
+      }
+    }
+    std::vector<int> path;
+    if (!seen[v]) return path;
+    for (int x = v; x != u; x = prev_node[x]) path.push_back(prev_edge[x]);
+    return path;
+  }
+
+  bool connected_in_forest(int i, int u, int v) const {
+    return !forest_path(i, u, v).empty() || u == v;
+  }
+
+  void attach(int e, int i) {
+    owner_[e] = i;
+    const auto& edge = g_.edge(e);
+    adj_[i][edge.u].emplace_back(edge.v, e);
+    adj_[i][edge.v].emplace_back(edge.u, e);
+  }
+
+  void detach(int e) {
+    const int i = owner_[e];
+    const auto& edge = g_.edge(e);
+    auto scrub = [&](int x) {
+      auto& list = adj_[i][x];
+      list.erase(std::find_if(list.begin(), list.end(),
+                              [&](const auto& p) { return p.second == e; }));
+    };
+    scrub(edge.u);
+    scrub(edge.v);
+    owner_[e] = -1;
+  }
+
+  // Augmenting insertion: BFS over edges that would have to move.
+  bool insert(int e0) {
+    const int num_edges = g_.num_edges();
+    std::vector<int> parent_edge(num_edges, -2);   // -2 = unvisited
+    std::vector<int> parent_forest(num_edges, -1);
+    parent_edge[e0] = -1;
+    std::deque<int> frontier{e0};
+
+    while (!frontier.empty()) {
+      const int f = frontier.front();
+      frontier.pop_front();
+      const auto& fe = g_.edge(f);
+      for (int i = 0; i < k_; ++i) {
+        const auto path = forest_path(i, fe.u, fe.v);
+        if (path.empty()) {
+          // f fits into forest i: apply the swap chain back to e0.
+          int cur = f;
+          int target = i;
+          for (;;) {
+            if (owner_[cur] >= 0) detach(cur);
+            attach(cur, target);
+            const int p = parent_edge[cur];
+            if (p < 0) break;
+            target = parent_forest[cur];
+            cur = p;
+          }
+          return true;
+        }
+        for (int gid : path) {
+          if (parent_edge[gid] == -2) {
+            parent_edge[gid] = f;
+            parent_forest[gid] = i;
+            frontier.push_back(gid);
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  const graph::Graph& g_;
+  int k_;
+  int n_;
+  std::vector<int> owner_;
+  // adj_[forest][vertex] = (neighbor, edge id)
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> adj_;
+};
+
+}  // namespace
+
+bool has_k_disjoint_spanning_trees(const graph::Graph& g, int k) {
+  if (k <= 0) return true;
+  const long long need =
+      static_cast<long long>(k) * (g.num_vertices() - 1);
+  if (need > g.num_edges()) return false;
+  ForestPacker packer(g, k);
+  return packer.pack() >= need;
+}
+
+std::vector<SpanningTree> exact_tree_packing(const graph::Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<SpanningTree> out;
+  if (n < 2 || !g.is_connected()) return out;
+  const int bound = g.num_edges() / (n - 1);
+  for (int k = bound; k >= 1; --k) {
+    ForestPacker packer(g, k);
+    const long long need = static_cast<long long>(k) * (n - 1);
+    if (packer.pack() < need) continue;
+    // Each forest has exactly n-1 edges and is acyclic => spanning tree.
+    for (int i = 0; i < k; ++i) {
+      graph::Graph forest(n);
+      for (int e : packer.forest_edges(i)) {
+        forest.add_edge(g.edge(e).u, g.edge(e).v);
+      }
+      forest.finalize();
+      // Root at 0; derive parents by BFS.
+      std::vector<int> parent(n, -1);
+      std::vector<char> seen(n, 0);
+      std::queue<int> frontier;
+      seen[0] = 1;
+      frontier.push(0);
+      while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        for (int w : forest.neighbors(u)) {
+          if (!seen[w]) {
+            seen[w] = 1;
+            parent[w] = u;
+            frontier.push(w);
+          }
+        }
+      }
+      out.emplace_back(0, std::move(parent));
+    }
+    return out;
+  }
+  return out;
+}
+
+}  // namespace pfar::trees

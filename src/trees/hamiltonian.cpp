@@ -1,0 +1,38 @@
+#include "trees/hamiltonian.hpp"
+
+#include <stdexcept>
+
+namespace pfar::trees {
+
+SpanningTree hamiltonian_path_tree(const singer::AlternatingPath& path) {
+  if (!path.hamiltonian) {
+    throw std::invalid_argument("hamiltonian_path_tree: path not Hamiltonian");
+  }
+  const auto& vs = path.vertices;
+  const int n = static_cast<int>(vs.size());
+  // Midpoint of b_1..b_N (N odd): index (N+1)/2, i.e. 0-based (n-1)/2
+  // (Lemma 7.17).
+  const int mid = (n - 1) / 2;
+  std::vector<int> parent(n, -1);
+  for (int idx = 0; idx < n; ++idx) {
+    const int v = static_cast<int>(vs[idx]);
+    if (idx < mid) {
+      parent[v] = static_cast<int>(vs[idx + 1]);
+    } else if (idx > mid) {
+      parent[v] = static_cast<int>(vs[idx - 1]);
+    }
+  }
+  return SpanningTree(static_cast<int>(vs[mid]), std::move(parent));
+}
+
+std::vector<SpanningTree> hamiltonian_trees(
+    const singer::DisjointHamiltonianSet& set) {
+  std::vector<SpanningTree> out;
+  out.reserve(set.paths.size());
+  for (const auto& path : set.paths) {
+    out.push_back(hamiltonian_path_tree(path));
+  }
+  return out;
+}
+
+}  // namespace pfar::trees

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "singer/disjoint.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::trees {
+
+/// Converts an alternating-sum Hamiltonian path into a spanning tree rooted
+/// at the path midpoint, which minimizes depth at (N-1)/2 (Lemma 7.17).
+SpanningTree hamiltonian_path_tree(const singer::AlternatingPath& path);
+
+/// Converts every path of an edge-disjoint Hamiltonian set (Section 7.2)
+/// into midpoint-rooted spanning trees. The resulting set has congestion 1
+/// (edge-disjoint), i.e. zero congestion in the paper's sense.
+std::vector<SpanningTree> hamiltonian_trees(
+    const singer::DisjointHamiltonianSet& set);
+
+}  // namespace pfar::trees

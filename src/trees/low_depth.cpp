@@ -1,0 +1,155 @@
+#include "trees/low_depth.hpp"
+
+#include <stdexcept>
+
+namespace pfar::trees {
+
+std::vector<SpanningTree> build_low_depth_trees(
+    const polarfly::PolarFly& pf, const polarfly::Layout& layout) {
+  const graph::Graph& g = pf.graph();
+  const int n = g.num_vertices();
+  const int q = pf.q();
+  const int w = layout.starter_quadric;
+
+  // E_a: availability of each edge for the level-3 center attachments
+  // (line 1 of Algorithm 3). Shared across all trees.
+  std::vector<char> available(g.num_edges(), 1);
+
+  std::vector<SpanningTree> out;
+  out.reserve(q);
+  for (int i = 0; i < q; ++i) {
+    const int root = layout.centers[i];
+    std::vector<int> parent(n, -1);
+    std::vector<char> in_tree(n, 0);
+    in_tree[root] = 1;
+
+    // Level 1: every neighbor of the root (lines 4-5).
+    for (int u : g.neighbors(root)) {
+      parent[u] = root;
+      in_tree[u] = 1;
+    }
+    // Level 2: expand level-1 vertices except the starter quadric
+    // (lines 6-8). Expanding w would pull in the other centers at depth 2
+    // but would put q-1 trees' traffic on w's q links; the proof of
+    // Theorem 7.6 depends on skipping it.
+    for (int u : g.neighbors(root)) {
+      if (u == w) continue;
+      for (int z : g.neighbors(u)) {
+        if (!in_tree[z]) {
+          parent[z] = u;
+          in_tree[z] = 1;
+        }
+      }
+    }
+    // Level 3: attach every other cluster center via an edge still in E_a
+    // (lines 9-12).
+    for (int j = 0; j < q; ++j) {
+      if (j == i) continue;
+      const int center = layout.centers[j];
+      if (in_tree[center]) {
+        throw std::logic_error(
+            "build_low_depth_trees: center covered early (layout broken)");
+      }
+      int chosen = -1;
+      for (int u : g.neighbors(center)) {
+        const int id = g.edge_id(u, center);
+        if (available[id] && in_tree[u]) {
+          chosen = u;
+          break;
+        }
+      }
+      if (chosen < 0) {
+        throw std::logic_error(
+            "build_low_depth_trees: no available edge for a center "
+            "(contradicts Theorem 7.4)");
+      }
+      parent[center] = chosen;
+      in_tree[center] = 1;
+      available[g.edge_id(chosen, center)] = 0;
+    }
+
+    out.emplace_back(root, std::move(parent));
+  }
+  return out;
+}
+
+std::vector<SpanningTree> build_low_depth_trees_even(
+    const polarfly::PolarFly& pf, int starter_index) {
+  if (pf.q() % 2 != 0) {
+    throw std::invalid_argument(
+        "build_low_depth_trees_even: even prime power q required");
+  }
+  const graph::Graph& g = pf.graph();
+  const int n = g.num_vertices();
+  const auto& quadrics = pf.quadrics();
+  if (starter_index < 0 ||
+      starter_index >= static_cast<int>(quadrics.size())) {
+    throw std::out_of_range("build_low_depth_trees_even: starter_index");
+  }
+  const int w = quadrics[starter_index];
+  // The nucleus is the unique vertex adjacent to every quadric; in the
+  // canonical coordinates it is [1,1,1] (characteristic 2).
+  const int nucleus = pf.vertex_of(polarfly::Point{1, 1, 1});
+
+  std::vector<int> centers;
+  for (int u : g.neighbors(w)) {
+    if (u != nucleus) centers.push_back(u);
+  }
+
+  std::vector<char> available(g.num_edges(), 1);
+  std::vector<SpanningTree> out;
+  out.reserve(centers.size());
+  for (int root : centers) {
+    std::vector<int> parent(n, -1);
+    std::vector<int> level(n, -1);
+    level[root] = 0;
+    // Level 1: the whole cluster of `root` plus the starter quadric.
+    for (int u : g.neighbors(root)) {
+      parent[u] = root;
+      level[u] = 1;
+    }
+    // Level 2: expand the non-quadric level-1 vertices (expanding w would
+    // concentrate all trees' traffic on w's q links, as in Algorithm 3).
+    for (int u : g.neighbors(root)) {
+      if (pf.is_quadric(u)) continue;
+      for (int z : g.neighbors(u)) {
+        if (level[z] < 0) {
+          parent[z] = u;
+          level[z] = 2;
+        }
+      }
+    }
+    // Attach the leftovers (other centers, the nucleus, remaining
+    // quadrics) through the shared edge pool, each under its shallowest
+    // covered neighbor; repeat while progress is made so chains like
+    // quadric -> nucleus resolve.
+    int covered = 0;
+    for (int v = 0; v < n; ++v) covered += level[v] >= 0;
+    bool progress = true;
+    while (covered < n && progress) {
+      progress = false;
+      for (int v = 0; v < n; ++v) {
+        if (level[v] >= 0) continue;
+        int best = -1;
+        for (int u : g.neighbors(v)) {
+          if (level[u] < 0 || !available[g.edge_id(u, v)]) continue;
+          if (best < 0 || level[u] < level[best]) best = u;
+        }
+        if (best < 0) continue;
+        parent[v] = best;
+        level[v] = level[best] + 1;
+        available[g.edge_id(best, v)] = 0;
+        ++covered;
+        progress = true;
+      }
+    }
+    if (covered < n) {
+      throw std::logic_error(
+          "build_low_depth_trees_even: attachment pool exhausted");
+    }
+    out.emplace_back(root, std::move(parent));
+  }
+  return out;
+}
+
+}  // namespace pfar::trees

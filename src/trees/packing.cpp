@@ -1,0 +1,58 @@
+#include "trees/packing.hpp"
+
+#include <vector>
+
+namespace pfar::trees {
+
+std::vector<SpanningTree> greedy_tree_packing(const graph::Graph& g,
+                                              int max_trees) {
+  const int n = g.num_vertices();
+  std::vector<SpanningTree> out;
+  if (n < 2) return out;
+  std::vector<char> used(g.num_edges(), 0);
+
+  for (;;) {
+    if (max_trees >= 0 && static_cast<int>(out.size()) >= max_trees) break;
+    // DFS over unused edges. DFS trees are path-heavy (at most two tree
+    // edges per vertex along the spine), so they spread edge usage evenly
+    // across vertices — a BFS tree would be a star on dense graphs and
+    // exhaust the root's links after one round. The root and the neighbor
+    // scan offset rotate per tree to diversify shapes further.
+    const int round = static_cast<int>(out.size());
+    const int root = (round * 2654435761u) % n;
+    std::vector<int> parent(n, -1);
+    std::vector<char> seen(n, 0);
+    std::vector<int> stack{root};
+    seen[root] = 1;
+    int covered = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      const auto& nbrs = g.neighbors(u);
+      const int deg = static_cast<int>(nbrs.size());
+      int next = -1;
+      for (int i = 0; i < deg; ++i) {
+        const int w = nbrs[(i + round + u) % deg];
+        if (!seen[w] && !used[g.edge_id(u, w)]) {
+          next = w;
+          break;
+        }
+      }
+      if (next < 0) {
+        stack.pop_back();
+        continue;
+      }
+      seen[next] = 1;
+      parent[next] = u;
+      ++covered;
+      stack.push_back(next);
+    }
+    if (covered < n) break;  // residual graph no longer spans
+    for (int v = 0; v < n; ++v) {
+      if (v != root) used[g.edge_id(v, parent[v])] = 1;
+    }
+    out.emplace_back(root, std::move(parent));
+  }
+  return out;
+}
+
+}  // namespace pfar::trees

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::trees {
+
+/// Greedy edge-disjoint spanning-tree packing: repeatedly extracts a BFS
+/// spanning tree from the remaining edges until none exists. Returns the
+/// trees found (each pairwise edge-disjoint with the others).
+///
+/// This is a heuristic lower bound on the packing number (the exact value
+/// is given by Nash-Williams/Tutte and needs matroid union); it is used
+/// by the topology-comparison benches to show how many concurrent
+/// Allreduce trees generic topologies support, contrasted with PolarFly's
+/// *constructive, provably optimal* Hamiltonian set. On the dense regular
+/// topologies compared it typically attains floor(E/(N-1)) or comes
+/// within one tree of it.
+std::vector<SpanningTree> greedy_tree_packing(const graph::Graph& g,
+                                              int max_trees = -1);
+
+}  // namespace pfar::trees

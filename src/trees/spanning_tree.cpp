@@ -1,0 +1,112 @@
+#include "trees/spanning_tree.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace pfar::trees {
+
+SpanningTree::SpanningTree(int root, std::vector<int> parent)
+    : root_(root), parent_(std::move(parent)) {
+  const int n = static_cast<int>(parent_.size());
+  if (root_ < 0 || root_ >= n || parent_[root_] != -1) {
+    throw std::invalid_argument("SpanningTree: bad root");
+  }
+  children_.assign(n, {});
+  for (int v = 0; v < n; ++v) {
+    if (v == root_) continue;
+    if (parent_[v] < 0 || parent_[v] >= n) {
+      throw std::invalid_argument("SpanningTree: vertex without parent");
+    }
+    children_[parent_[v]].push_back(v);
+  }
+  // Levels via BFS from the root; also detects cycles/disconnection
+  // (a cycle never gets a level assigned).
+  level_.assign(n, -1);
+  std::queue<int> frontier;
+  level_[root_] = 0;
+  frontier.push(root_);
+  int visited = 0;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    ++visited;
+    depth_ = std::max(depth_, level_[u]);
+    for (int c : children_[u]) {
+      level_[c] = level_[u] + 1;
+      frontier.push(c);
+    }
+  }
+  if (visited != n) {
+    throw std::invalid_argument("SpanningTree: parent vector has a cycle");
+  }
+}
+
+std::vector<graph::Edge> SpanningTree::edges() const {
+  std::vector<graph::Edge> out;
+  out.reserve(parent_.size() - 1);
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (v != root_) out.emplace_back(v, parent_[v]);
+  }
+  return out;
+}
+
+bool SpanningTree::is_spanning_tree_of(const graph::Graph& g) const {
+  if (g.num_vertices() != num_vertices()) return false;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (v == root_) continue;
+    if (!g.has_edge(v, parent_[v])) return false;
+  }
+  // Connectivity/acyclicity already guaranteed by the constructor.
+  return true;
+}
+
+std::vector<int> edge_congestion(const graph::Graph& g,
+                                 const std::vector<SpanningTree>& trees) {
+  std::vector<int> congestion(g.num_edges(), 0);
+  for (const auto& tree : trees) {
+    for (const auto& e : tree.edges()) {
+      const int id = g.edge_id(e.u, e.v);
+      if (id < 0) {
+        throw std::invalid_argument("edge_congestion: tree edge not in graph");
+      }
+      ++congestion[id];
+    }
+  }
+  return congestion;
+}
+
+int max_congestion(const graph::Graph& g,
+                   const std::vector<SpanningTree>& trees) {
+  int best = 0;
+  for (int c : edge_congestion(g, trees)) best = std::max(best, c);
+  return best;
+}
+
+bool edge_disjoint(const graph::Graph& g,
+                   const std::vector<SpanningTree>& trees) {
+  return max_congestion(g, trees) <= 1;
+}
+
+bool opposite_reduction_flows(const graph::Graph& g,
+                              const std::vector<SpanningTree>& trees) {
+  // orientation[id]: +1 if reduction flows u->v (v is the parent side),
+  // -1 if v->u, for the normalized edge {u < v}; 0 if unused so far.
+  std::vector<int> orientation(g.num_edges(), 0);
+  std::vector<int> uses(g.num_edges(), 0);
+  for (const auto& tree : trees) {
+    for (int x = 0; x < tree.num_vertices(); ++x) {
+      if (x == tree.root()) continue;
+      const int p = tree.parent(x);
+      const graph::Edge e(x, p);
+      const int id = g.edge_id(e.u, e.v);
+      const int dir = (p == e.v) ? +1 : -1;  // child -> parent direction
+      ++uses[id];
+      if (uses[id] > 2) return false;
+      if (uses[id] == 2 && orientation[id] == dir) return false;
+      orientation[id] = dir;
+    }
+  }
+  return true;
+}
+
+}  // namespace pfar::trees

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pfar::trees {
+
+/// A rooted spanning tree embedded in a network graph, stored as a parent
+/// vector. This is the unit the paper's whole optimization problem is
+/// phrased in (Section 3): an Allreduce instance reduces up the tree and
+/// broadcasts back down it.
+class SpanningTree {
+ public:
+  /// parent[v] = parent vertex, -1 exactly at the root.
+  SpanningTree(int root, std::vector<int> parent);
+
+  int root() const { return root_; }
+  int num_vertices() const { return static_cast<int>(parent_.size()); }
+  int parent(int v) const { return parent_[v]; }
+  const std::vector<int>& parents() const { return parent_; }
+  const std::vector<int>& children(int v) const { return children_[v]; }
+
+  /// Distance of v from the root (levels computed once at construction).
+  int level(int v) const { return level_[v]; }
+  /// Tree depth = max level (the paper's latency proxy).
+  int depth() const { return depth_; }
+
+  /// The n-1 tree edges as normalized graph edges.
+  std::vector<graph::Edge> edges() const;
+
+  /// True iff every tree edge exists in g, the tree spans all of g's
+  /// vertices and is connected/acyclic (Theorem 7.4-style validation).
+  bool is_spanning_tree_of(const graph::Graph& g) const;
+
+ private:
+  int root_;
+  int depth_ = 0;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> level_;
+};
+
+/// Congestion per graph edge id: the number of trees containing that edge
+/// (Section 5.1). Edges absent from every tree get 0.
+std::vector<int> edge_congestion(const graph::Graph& g,
+                                 const std::vector<SpanningTree>& trees);
+
+/// Worst-case congestion over all links.
+int max_congestion(const graph::Graph& g,
+                   const std::vector<SpanningTree>& trees);
+
+/// True iff all trees are pairwise edge-disjoint (congestion <= 1).
+bool edge_disjoint(const graph::Graph& g,
+                   const std::vector<SpanningTree>& trees);
+
+/// Lemma 7.8 property: for every physical link shared by exactly two
+/// trees, the reduction traffic flows in opposite directions (the edge is
+/// oriented towards the root differently in the two trees). Returns true
+/// if the property holds for every shared link, and also requires
+/// congestion <= 2.
+bool opposite_reduction_flows(const graph::Graph& g,
+                              const std::vector<SpanningTree>& trees);
+
+}  // namespace pfar::trees

@@ -1,0 +1,41 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace pfar::util {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";  // bare flag
+    }
+  }
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+}  // namespace pfar::util

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace pfar::util {
+
+/// Tiny command-line flag parser for the examples and bench binaries.
+/// Accepts `--key=value` and `--key value`; anything else is ignored.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  /// Value of --key, or `fallback` if absent.
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pfar::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pfar::util {
+
+/// Minimal aligned-column table printer used by the bench binaries to emit
+/// the rows of the paper's tables and figure series as plain text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-like conversion.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  /// Renders the table with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (cells containing commas or quotes are quoted) so
+  /// bench output can feed plotting scripts directly.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(bool v) { return v ? "yes" : "no"; }
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.4f", static_cast<double>(v));
+      return buf;
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pfar::util

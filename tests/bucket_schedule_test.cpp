@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/bucket_schedule.hpp"
+#include "core/planner.hpp"
+
+namespace pfar::collectives {
+namespace {
+
+TEST(BucketScheduleTest, FusedBeatsSerialized) {
+  // Fusing buckets into one stream pays the tree pipeline fill once
+  // instead of once per bucket.
+  const auto plan = core::AllreducePlanner(5).build();
+  const std::vector<long long> buckets{500, 500, 500, 500};
+  const auto serialized = run_bucketed_allreduce(
+      plan.topology(), plan.trees(), buckets, simnet::SimConfig{},
+      BucketStrategy::kSerialized);
+  const auto fused = run_bucketed_allreduce(
+      plan.topology(), plan.trees(), buckets, simnet::SimConfig{},
+      BucketStrategy::kFused);
+  EXPECT_TRUE(serialized.correct);
+  EXPECT_TRUE(fused.correct);
+  EXPECT_LT(fused.total_cycles, serialized.total_cycles);
+  EXPECT_EQ(serialized.bucket_finish.size(), buckets.size());
+  EXPECT_EQ(fused.bucket_finish.size(), 1u);
+}
+
+TEST(BucketScheduleTest, FusionGainLargerForDeepTrees) {
+  // Hamiltonian trees have a (N-1)/2 pipeline fill, so fusing matters far
+  // more there than for depth-3 trees.
+  const auto shallow = core::AllreducePlanner(5).build();
+  const auto deep =
+      core::AllreducePlanner(5).solution(core::Solution::kEdgeDisjoint).build();
+  const std::vector<long long> buckets(8, 200);
+  const auto gain = [&](const core::AllreducePlan& plan) {
+    const auto s = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                          buckets, simnet::SimConfig{},
+                                          BucketStrategy::kSerialized);
+    const auto f = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                          buckets, simnet::SimConfig{},
+                                          BucketStrategy::kFused);
+    return static_cast<double>(s.total_cycles) / f.total_cycles;
+  };
+  EXPECT_GT(gain(deep), gain(shallow));
+}
+
+TEST(BucketScheduleTest, SerializedFinishTimesAreMonotone) {
+  const auto plan = core::AllreducePlanner(3).build();
+  const std::vector<long long> buckets{100, 300, 50};
+  const auto r = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                        buckets, simnet::SimConfig{},
+                                        BucketStrategy::kSerialized);
+  ASSERT_EQ(r.bucket_finish.size(), 3u);
+  EXPECT_LT(r.bucket_finish[0], r.bucket_finish[1]);
+  EXPECT_LT(r.bucket_finish[1], r.bucket_finish[2]);
+  EXPECT_EQ(r.bucket_finish.back(), r.total_cycles);
+}
+
+TEST(BucketScheduleTest, RejectsEmptyBucketList) {
+  const auto plan = core::AllreducePlanner(3).build();
+  EXPECT_THROW(run_bucketed_allreduce(plan.topology(), plan.trees(), {},
+                                      simnet::SimConfig{},
+                                      BucketStrategy::kFused),
+               std::invalid_argument);
+}
+
+TEST(MultiJobTest, PartitionedTreesServeTwoJobsConcurrently) {
+  // Tenancy: split the q low-depth trees between two jobs; both streams
+  // run concurrently on disjoint tree subsets of the same fabric, and
+  // every element of both jobs reduces exactly.
+  const auto plan = core::AllreducePlanner(7).build();
+  std::vector<simnet::TreeEmbedding> embeddings;
+  for (const auto& t : plan.trees()) {
+    embeddings.push_back(simnet::TreeEmbedding{t.root(), t.parents()});
+  }
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings,
+                                 simnet::SimConfig{});
+  // Job A on trees 0..3, job B on trees 4..6 (element counts differ).
+  std::vector<long long> elements(plan.num_trees(), 0);
+  for (int t = 0; t < 4; ++t) elements[t] = 2000;
+  for (int t = 4; t < plan.num_trees(); ++t) elements[t] = 1000;
+  const auto r = sim.run(elements);
+  EXPECT_TRUE(r.values_correct);
+  EXPECT_EQ(r.total_elements,
+            std::accumulate(elements.begin(), elements.end(), 0LL));
+  // Job B's smaller streams finish earlier.
+  EXPECT_LT(r.tree_finish_cycle[5], r.tree_finish_cycle[0]);
+}
+
+}  // namespace
+}  // namespace pfar::collectives

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "collectives/innetwork.hpp"
+#include "core/planner.hpp"
+#include "core/resilience.hpp"
+#include "simnet/deadlock_check.hpp"
+
+namespace pfar::simnet {
+namespace {
+
+std::vector<TreeEmbedding> embeddings_of(const core::AllreducePlan& plan) {
+  std::vector<TreeEmbedding> out;
+  for (const auto& t : plan.trees()) {
+    out.push_back(TreeEmbedding{t.root(), t.parents()});
+  }
+  return out;
+}
+
+TEST(DeadlockCheckTest, PaperEmbeddingsAreDeadlockFree) {
+  for (const auto solution :
+       {core::Solution::kLowDepth, core::Solution::kEdgeDisjoint,
+        core::Solution::kSingleTree}) {
+    for (int q : {3, 5, 7}) {
+      if (solution == core::Solution::kLowDepth && q % 2 == 0) continue;
+      const auto plan = core::AllreducePlanner(q).solution(solution).build();
+      const auto r =
+          check_deadlock_free(plan.topology(), embeddings_of(plan));
+      EXPECT_TRUE(r.deadlock_free)
+          << core::to_string(solution) << " q=" << q;
+      EXPECT_GT(r.resources, 0);
+      EXPECT_GT(r.dependencies, 0);
+    }
+  }
+}
+
+TEST(DeadlockCheckTest, HalfCollectivesToo) {
+  const auto plan = core::AllreducePlanner(5).build();
+  const auto embeddings = embeddings_of(plan);
+  for (Collective mode : {Collective::kReduce, Collective::kBroadcast}) {
+    const auto r = check_deadlock_free(plan.topology(), embeddings, mode);
+    EXPECT_TRUE(r.deadlock_free);
+  }
+}
+
+TEST(DeadlockCheckTest, DegradedPlansRemainDeadlockFree) {
+  const auto plan = core::AllreducePlanner(7).build();
+  const auto repack = core::degrade_repack(
+      plan.topology(), {plan.topology().edge(0), plan.topology().edge(40)});
+  std::vector<TreeEmbedding> embeddings;
+  for (const auto& t : repack.trees) {
+    embeddings.push_back(TreeEmbedding{t.root(), t.parents()});
+  }
+  const auto r = check_deadlock_free(*repack.topology, embeddings);
+  EXPECT_TRUE(r.deadlock_free);
+}
+
+TEST(DeadlockCheckTest, DetectsArtificialCycle) {
+  // Hand-craft a broken "embedding" whose parent vector forms a ring of
+  // dependencies: v's parent is v+1 mod n with no true root. We emulate it
+  // by lying about the root: parent[root] = -1 but another vertex points
+  // into the root's subtree forming a bcast cycle... a genuine cycle needs
+  // a malformed tree, which SpanningTree would reject — so feed the
+  // checker raw TreeEmbedding data directly.
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.finalize();
+  // "Tree": 0 -> 1 -> 2 -> 0 plus root claim at 0 with parent -1...
+  // parent: 1's parent 2, 2's parent 0, and 0 claims root. This is a
+  // valid tree shape actually (path 0<-2<-1); craft a real cycle instead:
+  // two "trees" where A says 1's parent is 0 and B says 0's parent is 1
+  // cannot cycle either (distinct VC namespaces). The checker must report
+  // deadlock only for a *within-tree* wait cycle, which a parent cycle
+  // creates: parent[1] = 2, parent[2] = 1, root = 0 (vertex 0 detached).
+  TreeEmbedding broken;
+  broken.root = 0;
+  broken.parent = {-1, 2, 1};
+  const auto r = check_deadlock_free(g, {broken});
+  EXPECT_FALSE(r.deadlock_free);
+  EXPECT_GE(r.cycle_witness, 0);
+}
+
+}  // namespace
+}  // namespace pfar::simnet

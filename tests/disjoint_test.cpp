@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "singer/disjoint.hpp"
+#include "singer/singer_graph.hpp"
+#include "util/numeric.hpp"
+
+namespace pfar::singer {
+namespace {
+
+void expect_valid_disjoint_set(const DifferenceSet& d,
+                               const DisjointHamiltonianSet& set) {
+  // All paths Hamiltonian, pairwise element-disjoint pairs.
+  std::set<long long> used_elements;
+  for (const auto& [d0, d1] : set.pairs) {
+    EXPECT_TRUE(used_elements.insert(d0).second);
+    EXPECT_TRUE(used_elements.insert(d1).second);
+    EXPECT_EQ(util::gcd_ll(d0 - d1, d.n), 1);
+  }
+  for (const auto& path : set.paths) {
+    EXPECT_TRUE(path.hamiltonian);
+  }
+  // Pairwise edge-disjoint, checked explicitly on the vertex sequences.
+  std::set<std::pair<long long, long long>> edges;
+  for (const auto& path : set.paths) {
+    for (std::size_t i = 1; i < path.vertices.size(); ++i) {
+      long long a = path.vertices[i - 1], b = path.vertices[i];
+      if (a > b) std::swap(a, b);
+      EXPECT_TRUE(edges.emplace(a, b).second)
+          << "shared edge " << a << "-" << b;
+    }
+  }
+}
+
+class DisjointSelection : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisjointSelection, MatchingAttainsUpperBound) {
+  // Section 7.3: floor((q+1)/2) edge-disjoint Hamiltonian paths exist for
+  // every prime power q < 128; the matching method must find them.
+  const int q = GetParam();
+  const DifferenceSet d = build_difference_set(q);
+  const auto set = find_disjoint_hamiltonians(d);
+  EXPECT_EQ(set.size(), disjoint_hamiltonian_upper_bound(q)) << "q=" << q;
+  expect_valid_disjoint_set(d, set);
+}
+
+TEST_P(DisjointSelection, RandomMethodMatchesWithinThirtyAttempts) {
+  // The paper: "We were able to find a maximum independent set ... within
+  // 30 random instances" for all radixes.
+  const int q = GetParam();
+  const DifferenceSet d = build_difference_set(q);
+  util::Rng rng(2023);
+  const auto set = find_disjoint_hamiltonians_random(d, rng, 30);
+  EXPECT_EQ(set.size(), disjoint_hamiltonian_upper_bound(q)) << "q=" << q;
+  expect_valid_disjoint_set(d, set);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, DisjointSelection,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16,
+                                           17, 19, 23, 25, 27, 29, 31, 32));
+
+TEST(DisjointTest, UpperBoundFormula) {
+  EXPECT_EQ(disjoint_hamiltonian_upper_bound(3), 2);
+  EXPECT_EQ(disjoint_hamiltonian_upper_bound(4), 2);
+  EXPECT_EQ(disjoint_hamiltonian_upper_bound(5), 3);
+  EXPECT_EQ(disjoint_hamiltonian_upper_bound(11), 6);
+  EXPECT_EQ(disjoint_hamiltonian_upper_bound(127), 64);
+}
+
+TEST(DisjointTest, OddQUsesAllElements) {
+  // For odd q, q+1 elements pair off perfectly; the optimal set uses every
+  // difference-set element exactly once.
+  const DifferenceSet d = build_difference_set(11);
+  const auto set = find_disjoint_hamiltonians(d);
+  std::set<long long> used;
+  for (const auto& [d0, d1] : set.pairs) {
+    used.insert(d0);
+    used.insert(d1);
+  }
+  EXPECT_EQ(used.size(), d.elements.size());
+}
+
+TEST(DisjointTest, Q4LeavesOneColorUnused) {
+  // Figure 4b: for q = 4 the two disjoint Hamiltonian paths leave the
+  // edges of one difference-set color unused.
+  const DifferenceSet d = build_difference_set(4);
+  const auto set = find_disjoint_hamiltonians(d);
+  EXPECT_EQ(set.size(), 2);
+  std::set<long long> used;
+  for (const auto& [d0, d1] : set.pairs) {
+    used.insert(d0);
+    used.insert(d1);
+  }
+  EXPECT_EQ(used.size(), 4u);  // of 5 elements
+}
+
+TEST(DisjointTest, PathsCoverAllEdgesForOddQWhenOptimal) {
+  // (q+1)/2 disjoint Hamiltonian paths of q(q+1) edges each use all
+  // q(q+1)^2/2 edges of S_q: the embedding saturates the network.
+  const int q = 7;
+  const SingerGraph s(q);
+  const auto set = find_disjoint_hamiltonians(s.difference_set());
+  long long covered = 0;
+  for (const auto& path : set.paths) covered += path.length();
+  EXPECT_EQ(covered, s.graph().num_edges());
+}
+
+}  // namespace
+}  // namespace pfar::singer

@@ -1,0 +1,116 @@
+// Even-characteristic structure of ER_q. The paper's layout/low-depth
+// solution covers odd q only, but its Hamiltonian solution and PolarFly
+// itself exist for even q; these tests pin the even-q facts the library
+// relies on (and the reason the odd-q layout does not carry over).
+
+#include <gtest/gtest.h>
+
+#include "polarfly/erq.hpp"
+#include "model/congestion_model.hpp"
+#include "polarfly/layout.hpp"
+#include "trees/low_depth.hpp"
+
+namespace pfar::polarfly {
+namespace {
+
+class EvenQ : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvenQ, QuadricsAreCollinear) {
+  // In characteristic 2, x^2+y^2+z^2 = (x+y+z)^2, so the quadrics are
+  // exactly the q+1 points of the line x+y+z = 0 — a completely different
+  // shape from the odd-q conic, which is why Algorithm 2's properties
+  // fail for even q.
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const auto& f = pf.field();
+  for (int v = 0; v < pf.n(); ++v) {
+    const Point& pt = pf.point(v);
+    const gf::Elem s = f.add(f.add(pt.x, pt.y), pt.z);
+    EXPECT_EQ(pf.is_quadric(v), s == 0) << "vertex " << v;
+  }
+}
+
+TEST_P(EvenQ, NucleusSeesAllQuadricsOthersSeeOne) {
+  // Even q: every non-quadric's polar line meets the quadric line in one
+  // point — except the *nucleus* [1,1,1], whose polar line IS the quadric
+  // line, so it neighbors all q+1 quadrics. Hence V2 is empty (unlike odd
+  // q where |V2| = q(q-1)/2), which is why the odd-q layout of Algorithm 2
+  // does not carry over.
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const int nucleus = pf.vertex_of(Point{1, 1, 1});
+  EXPECT_FALSE(pf.is_quadric(nucleus));
+  for (int v = 0; v < pf.n(); ++v) {
+    if (pf.is_quadric(v)) continue;
+    int quadric_neighbors = 0;
+    for (int u : pf.graph().neighbors(v)) {
+      if (pf.is_quadric(u)) ++quadric_neighbors;
+    }
+    EXPECT_EQ(quadric_neighbors, v == nucleus ? q + 1 : 1) << "vertex " << v;
+  }
+  EXPECT_EQ(pf.count(VertexType::kV2), 0);
+  EXPECT_EQ(pf.count(VertexType::kV1), q * q);
+}
+
+TEST_P(EvenQ, QuadricsNotAdjacentToEachOther) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  for (int w1 : pf.quadrics()) {
+    for (int w2 : pf.quadrics()) {
+      if (w1 < w2) {
+        EXPECT_FALSE(pf.graph().has_edge(w1, w2));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenPrimePowers, EvenQ,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+// The reconstructed even-q low-depth solution (the paper mentions one
+// exists but does not publish it): q-1 trees rooted at the starter
+// quadric's non-nucleus neighbors, with the same depth/congestion/flow
+// guarantees as Algorithm 3 measured empirically.
+class EvenLowDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvenLowDepth, SpanningDepthCongestionAndFlows) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const auto ts = trees::build_low_depth_trees_even(pf);
+  ASSERT_EQ(static_cast<int>(ts.size()), q - 1);
+  for (const auto& t : ts) {
+    EXPECT_TRUE(t.is_spanning_tree_of(pf.graph()));
+    EXPECT_LE(t.depth(), 3);
+  }
+  EXPECT_LE(trees::max_congestion(pf.graph(), ts), 2);
+  EXPECT_TRUE(trees::opposite_reduction_flows(pf.graph(), ts));
+}
+
+TEST_P(EvenLowDepth, BandwidthAtLeastHalfOfTreeCount) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const auto ts = trees::build_low_depth_trees_even(pf);
+  const auto bw = model::compute_tree_bandwidths(pf.graph(), ts, 1.0);
+  EXPECT_GE(bw.aggregate, (q - 1) / 2.0 - 1e-9);
+  EXPECT_LE(bw.aggregate, (q + 1) / 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenPrimePowers, EvenLowDepth,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(EvenLowDepthTest, RejectsOddQ) {
+  const PolarFly pf(5);
+  EXPECT_THROW(trees::build_low_depth_trees_even(pf), std::invalid_argument);
+}
+
+TEST(EvenLowDepthTest, AllStarterChoicesWork) {
+  const PolarFly pf(8);
+  for (int s = 0; s <= 8; s += 4) {
+    const auto ts = trees::build_low_depth_trees_even(pf, s);
+    EXPECT_EQ(ts.size(), 7u);
+    EXPECT_LE(trees::max_congestion(pf.graph(), ts), 2);
+  }
+}
+
+}  // namespace
+}  // namespace pfar::polarfly

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "collectives/functional.hpp"
+#include "core/planner.hpp"
+#include "util/rng.hpp"
+
+namespace pfar::collectives {
+namespace {
+
+std::vector<std::vector<std::int64_t>> random_inputs(int n, long long m,
+                                                     util::Rng& rng) {
+  std::vector<std::vector<std::int64_t>> inputs(n);
+  for (auto& vec : inputs) {
+    vec.resize(m);
+    for (auto& x : vec) x = static_cast<std::int64_t>(rng.next_below(1000));
+  }
+  return inputs;
+}
+
+class FunctionalOnPlans
+    : public ::testing::TestWithParam<std::tuple<core::Solution, int>> {};
+
+TEST_P(FunctionalOnPlans, SumMatchesReference) {
+  const auto [solution, q] = GetParam();
+  if (solution == core::Solution::kLowDepth && q % 2 == 0) GTEST_SKIP();
+  const auto plan = core::AllreducePlanner(q).solution(solution).build();
+  util::Rng rng(42);
+  const long long m = 257;
+  const auto inputs = random_inputs(plan.num_nodes(), m, rng);
+
+  FunctionalAllreduce<std::int64_t> ar(
+      plan.topology(), plan.trees(),
+      [](const std::int64_t& a, const std::int64_t& b) { return a + b; });
+  const auto out = ar.run(inputs);
+
+  ASSERT_EQ(static_cast<long long>(out.size()), m);
+  for (long long k = 0; k < m; ++k) {
+    std::int64_t expected = 0;
+    for (const auto& vec : inputs) expected += vec[k];
+    EXPECT_EQ(out[k], expected) << "k=" << k;
+  }
+}
+
+TEST_P(FunctionalOnPlans, MinAndMaxOperators) {
+  const auto [solution, q] = GetParam();
+  if (solution == core::Solution::kLowDepth && q % 2 == 0) GTEST_SKIP();
+  const auto plan = core::AllreducePlanner(q).solution(solution).build();
+  util::Rng rng(7);
+  const auto inputs = random_inputs(plan.num_nodes(), 64, rng);
+
+  FunctionalAllreduce<std::int64_t> armin(
+      plan.topology(), plan.trees(),
+      [](const std::int64_t& a, const std::int64_t& b) {
+        return std::min(a, b);
+      });
+  FunctionalAllreduce<std::int64_t> armax(
+      plan.topology(), plan.trees(),
+      [](const std::int64_t& a, const std::int64_t& b) {
+        return std::max(a, b);
+      });
+  const auto lo = armin.run(inputs);
+  const auto hi = armax.run(inputs);
+  for (long long k = 0; k < 64; ++k) {
+    std::int64_t emin = inputs[0][k], emax = inputs[0][k];
+    for (const auto& vec : inputs) {
+      emin = std::min(emin, vec[k]);
+      emax = std::max(emax, vec[k]);
+    }
+    EXPECT_EQ(lo[k], emin);
+    EXPECT_EQ(hi[k], emax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndFields, FunctionalOnPlans,
+    ::testing::Combine(::testing::Values(core::Solution::kLowDepth,
+                                         core::Solution::kEdgeDisjoint,
+                                         core::Solution::kSingleTree),
+                       ::testing::Values(3, 4, 5, 7, 9)));
+
+TEST(FunctionalTest, FloatAssociationIsDeterministic) {
+  // Floating-point sums depend on association; the functional executor
+  // must reproduce the router dataflow order deterministically.
+  const auto plan = core::AllreducePlanner(5).build();
+  util::Rng rng(3);
+  std::vector<std::vector<double>> inputs(plan.num_nodes());
+  for (auto& vec : inputs) {
+    vec.resize(16);
+    for (auto& x : vec) x = rng.next_double();
+  }
+  FunctionalAllreduce<double> ar(
+      plan.topology(), plan.trees(),
+      [](const double& a, const double& b) { return a + b; });
+  const auto a = ar.run(inputs);
+  const auto b = ar.run(inputs);
+  EXPECT_EQ(a, b);  // bitwise-identical across runs
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    double expected = 0;
+    for (const auto& vec : inputs) expected += vec[k];
+    EXPECT_NEAR(a[k], expected, 1e-9);
+  }
+}
+
+TEST(FunctionalTest, RejectsBadInputs) {
+  const auto plan = core::AllreducePlanner(3).build();
+  FunctionalAllreduce<int> ar(plan.topology(), plan.trees(),
+                              [](const int& a, const int& b) { return a + b; });
+  std::vector<std::vector<int>> wrong_count(3, std::vector<int>(4, 1));
+  EXPECT_THROW(ar.run(wrong_count), std::invalid_argument);
+  std::vector<std::vector<int>> ragged(plan.num_nodes(),
+                                       std::vector<int>(4, 1));
+  ragged.back().resize(5);
+  EXPECT_THROW(ar.run(ragged), std::invalid_argument);
+  EXPECT_THROW(FunctionalAllreduce<int>(
+                   plan.topology(), {},
+                   [](const int& a, const int& b) { return a + b; }),
+               std::invalid_argument);
+}
+
+TEST(FunctionalTest, NonCommutativeOperatorFollowsPortOrder) {
+  // String concatenation is associative but not commutative: the result is
+  // well-defined by the dataflow and must equal a reference computed with
+  // the same traversal.
+  const auto plan = core::AllreducePlanner(3)
+                        .solution(core::Solution::kSingleTree)
+                        .build();
+  const int n = plan.num_nodes();
+  std::vector<std::vector<std::string>> inputs(n);
+  for (int v = 0; v < n; ++v) inputs[v] = {std::string(1, 'a' + v % 26)};
+  FunctionalAllreduce<std::string> ar(
+      plan.topology(), plan.trees(),
+      [](const std::string& a, const std::string& b) { return a + b; });
+  const auto out = ar.run(inputs);
+  // Every node's character appears exactly once.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(static_cast<int>(out[0].size()), n);
+  for (int v = 0; v < n; ++v) {
+    EXPECT_NE(out[0].find('a' + v % 26), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pfar::collectives

@@ -1,0 +1,192 @@
+// Randomized cross-validation of the graph substrate against brute-force
+// reference implementations on small random graphs, plus property checks
+// on the performance model and host algorithms over randomized parameters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "collectives/host_allreduce.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "model/congestion_model.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+
+namespace pfar {
+namespace {
+
+graph::Graph random_graph(int n, double p, util::Rng& rng) {
+  graph::Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.next_double() < p) g.add_edge(i, j);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+// Exponential-time exact maximum matching for tiny graphs.
+int brute_force_matching(const graph::Graph& g) {
+  const auto& edges = g.edges();
+  const int m = static_cast<int>(edges.size());
+  int best = 0;
+  // Iterate subsets of edges (m <= ~16).
+  for (int mask = 0; mask < (1 << m); ++mask) {
+    if (__builtin_popcount(mask) <= best) continue;
+    std::vector<char> used(g.num_vertices(), 0);
+    bool ok = true;
+    for (int e = 0; e < m && ok; ++e) {
+      if (!(mask & (1 << e))) continue;
+      if (used[edges[e].u] || used[edges[e].v]) {
+        ok = false;
+      } else {
+        used[edges[e].u] = used[edges[e].v] = 1;
+      }
+    }
+    if (ok) best = __builtin_popcount(mask);
+  }
+  return best;
+}
+
+TEST(FuzzMatching, BlossomMatchesBruteForce) {
+  util::Rng rng(101);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Keep edge count <= 16 for the brute force.
+    graph::Graph g = random_graph(7, 0.35, rng);
+    if (g.num_edges() > 16) continue;
+    const auto mate = graph::maximum_matching(g);
+    int size = 0;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (mate[v] > v) ++size;
+    }
+    EXPECT_EQ(size, brute_force_matching(g)) << "iter " << iter;
+  }
+}
+
+TEST(FuzzGraph, BfsMatchesFloydWarshall) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    graph::Graph g = random_graph(12, 0.3, rng);
+    const int n = g.num_vertices();
+    // Floyd-Warshall reference.
+    constexpr int kInf = 1 << 20;
+    std::vector<int> dist(n * n, kInf);
+    for (int v = 0; v < n; ++v) dist[v * n + v] = 0;
+    for (const auto& e : g.edges()) {
+      dist[e.u * n + e.v] = dist[e.v * n + e.u] = 1;
+    }
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          dist[i * n + j] = std::min(dist[i * n + j],
+                                     dist[i * n + k] + dist[k * n + j]);
+        }
+      }
+    }
+    for (int src = 0; src < n; ++src) {
+      const auto bfs = g.bfs_distances(src);
+      for (int v = 0; v < n; ++v) {
+        const int expected = dist[src * n + v] >= kInf ? -1 : dist[src * n + v];
+        EXPECT_EQ(bfs[v], expected);
+      }
+    }
+  }
+}
+
+TEST(FuzzModel, AlgorithmOneIsOrderIndependentAndConservative) {
+  // Random spanning-tree subsets of random connected graphs: Algorithm 1
+  // must (a) never overfill a link, (b) give every tree positive
+  // bandwidth, (c) be invariant under tree permutation.
+  util::Rng rng(55);
+  for (int iter = 0; iter < 15; ++iter) {
+    graph::Graph g = random_graph(10, 0.5, rng);
+    if (!g.is_connected()) continue;
+    // Build 3 random DFS-ish spanning trees (may overlap arbitrarily).
+    std::vector<trees::SpanningTree> ts;
+    for (int t = 0; t < 3; ++t) {
+      std::vector<int> order(g.num_vertices());
+      std::iota(order.begin(), order.end(), 0);
+      for (int i = g.num_vertices() - 1; i > 0; --i) {
+        std::swap(order[i], order[rng.next_below(i + 1)]);
+      }
+      const int root = order[0];
+      std::vector<int> parent(g.num_vertices(), -1);
+      std::vector<char> seen(g.num_vertices(), 0);
+      seen[root] = 1;
+      std::vector<int> stack{root};
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (int w : g.neighbors(u)) {
+          if (!seen[w]) {
+            seen[w] = 1;
+            parent[w] = u;
+            stack.push_back(w);
+          }
+        }
+      }
+      ts.emplace_back(root, std::move(parent));
+    }
+    const auto bw = model::compute_tree_bandwidths(g, ts, 1.0);
+    for (double b : bw.per_tree) {
+      EXPECT_GT(b, 0.0);
+      EXPECT_LE(b, 1.0 + 1e-9);
+    }
+    // Conservation per link.
+    std::vector<double> load(g.num_edges(), 0.0);
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+      for (const auto& e : ts[t].edges()) {
+        load[g.edge_id(e.u, e.v)] += bw.per_tree[t];
+      }
+    }
+    for (double l : load) EXPECT_LE(l, 1.0 + 1e-9);
+    // Permutation invariance.
+    std::vector<trees::SpanningTree> reversed(ts.rbegin(), ts.rend());
+    const auto bw2 = model::compute_tree_bandwidths(g, reversed, 1.0);
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+      EXPECT_NEAR(bw.per_tree[t], bw2.per_tree[ts.size() - 1 - t], 1e-9);
+    }
+  }
+}
+
+TEST(FuzzHostAlgorithms, RandomSizesStayCorrect) {
+  util::Rng rng(77);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int p = 2 + static_cast<int>(rng.next_below(30));
+    const long long m = 1 + static_cast<long long>(rng.next_below(100));
+    for (auto algo : {collectives::HostAlgorithm::kRing,
+                      collectives::HostAlgorithm::kRecursiveDoubling,
+                      collectives::HostAlgorithm::kHalvingDoubling}) {
+      collectives::DataExecutor exec(p, m);
+      collectives::run_host_allreduce(algo, p, m, exec);
+      EXPECT_TRUE(exec.verify())
+          << "algo " << static_cast<int>(algo) << " p=" << p << " m=" << m;
+    }
+  }
+}
+
+TEST(FuzzApportion, AlwaysSumsAndRespectsMonotonicity) {
+  util::Rng rng(31);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int k = 1 + static_cast<int>(rng.next_below(8));
+    std::vector<double> weights(k);
+    for (auto& w : weights) w = rng.next_double() + 0.01;
+    const long long total = static_cast<long long>(rng.next_below(100000));
+    const auto split = util::apportion(total, weights);
+    EXPECT_EQ(std::accumulate(split.begin(), split.end(), 0LL), total);
+    const double sum =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    for (int i = 0; i < k; ++i) {
+      // Largest-remainder stays within 1 of the exact quota.
+      const double quota = total * weights[i] / sum;
+      EXPECT_GE(split[i], static_cast<long long>(quota) - 1);
+      EXPECT_LE(split[i], static_cast<long long>(quota) + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfar

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "polarfly/layout.hpp"
+
+namespace pfar::polarfly {
+namespace {
+
+// Properties 1-3 of the PolarFly layout (Section 6.1.1), for odd prime
+// powers q and multiple starter quadrics.
+class LayoutProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutProperties, EveryVertexInExactlyOneCluster) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = build_layout(pf);
+  std::vector<int> membership(pf.n(), 0);
+  for (int w : layout.quadric_cluster) ++membership[w];
+  for (const auto& cluster : layout.clusters) {
+    for (int v : cluster) ++membership[v];
+  }
+  for (int v = 0; v < pf.n(); ++v) {
+    EXPECT_EQ(membership[v], 1) << "vertex " << v;
+  }
+}
+
+TEST_P(LayoutProperties, PropertyOneClusterContents) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = build_layout(pf);
+  // (1) |W| = q+1 and every non-quadric cluster has q vertices.
+  EXPECT_EQ(static_cast<int>(layout.quadric_cluster.size()), q + 1);
+  EXPECT_EQ(static_cast<int>(layout.clusters.size()), q);
+  for (const auto& cluster : layout.clusters) {
+    EXPECT_EQ(static_cast<int>(cluster.size()), q);
+  }
+  // (2) no edges between quadrics.
+  EXPECT_EQ(edges_within(pf.graph(), layout.quadric_cluster), 0);
+  // (3) the center is adjacent to all other vertices in its cluster.
+  for (std::size_t i = 0; i < layout.clusters.size(); ++i) {
+    const int center = layout.centers[i];
+    for (int v : layout.clusters[i]) {
+      if (v != center) {
+        EXPECT_TRUE(pf.graph().has_edge(center, v));
+      }
+    }
+  }
+}
+
+TEST_P(LayoutProperties, PropertyTwoQuadricClusterConnectivity) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = build_layout(pf);
+  const auto& g = pf.graph();
+  for (std::size_t i = 0; i < layout.clusters.size(); ++i) {
+    const auto& cluster = layout.clusters[i];
+    // (1) q+1 edges between W and C_i.
+    EXPECT_EQ(edges_between(g, layout.quadric_cluster, cluster), q + 1);
+    // (2) every quadric is adjacent to exactly one vertex in C_i.
+    for (int w : layout.quadric_cluster) {
+      int adjacent = 0;
+      for (int v : cluster) {
+        if (g.has_edge(w, v)) ++adjacent;
+      }
+      EXPECT_EQ(adjacent, 1) << "quadric " << w << " cluster " << i;
+    }
+    // (3) every V1 vertex in C_i is adjacent to exactly two quadrics.
+    for (int v : cluster) {
+      if (pf.type(v) != VertexType::kV1) continue;
+      int adjacent = 0;
+      for (int w : layout.quadric_cluster) {
+        if (g.has_edge(w, v)) ++adjacent;
+      }
+      EXPECT_EQ(adjacent, 2) << "V1 vertex " << v;
+    }
+  }
+}
+
+TEST_P(LayoutProperties, PropertyThreeInterClusterConnectivity) {
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = build_layout(pf);
+  const auto& g = pf.graph();
+  for (int i = 0; i < q; ++i) {
+    for (int j = 0; j < q; ++j) {
+      if (i == j) continue;
+      const auto& ci = layout.clusters[i];
+      const auto& cj = layout.clusters[j];
+      // (1) q-2 edges between distinct clusters.
+      if (j > i) {
+        EXPECT_EQ(edges_between(g, ci, cj), q - 2);
+      }
+      // (2) exactly the center v_j and one non-center u in C_j are not
+      // adjacent to C_i.
+      int non_adjacent = 0;
+      bool center_non_adjacent = false;
+      int the_non_center = -1;
+      for (int u : cj) {
+        bool adj = false;
+        for (int v : ci) {
+          if (g.has_edge(u, v)) {
+            adj = true;
+            break;
+          }
+        }
+        if (!adj) {
+          ++non_adjacent;
+          if (u == layout.centers[j]) {
+            center_non_adjacent = true;
+          } else {
+            the_non_center = u;
+          }
+        }
+      }
+      EXPECT_EQ(non_adjacent, 2);
+      EXPECT_TRUE(center_non_adjacent);
+      ASSERT_NE(the_non_center, -1);
+      // (3) a non-starter quadric adjacent to both u and v_i exists.
+      bool found = false;
+      for (int w : layout.quadric_cluster) {
+        if (w == layout.starter_quadric) continue;
+        if (g.has_edge(w, the_non_center) &&
+            g.has_edge(w, layout.centers[i])) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(LayoutProperties, CorollarySevenThreeUniqueNonStarterQuadrics) {
+  // Corollary 7.3: non-starter quadrics pair off 1:1 with cluster centers.
+  const int q = GetParam();
+  const PolarFly pf(q);
+  const Layout layout = build_layout(pf);
+  std::vector<int> ws = layout.nonstarter_quadric;
+  std::sort(ws.begin(), ws.end());
+  EXPECT_EQ(std::unique(ws.begin(), ws.end()), ws.end());
+  EXPECT_EQ(static_cast<int>(ws.size()), q);
+  for (int w : ws) {
+    EXPECT_TRUE(pf.is_quadric(w));
+    EXPECT_NE(w, layout.starter_quadric);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddPrimePowers, LayoutProperties,
+                         ::testing::Values(3, 5, 7, 9, 11, 13, 17, 25, 27));
+
+TEST(LayoutTest, RejectsEvenQ) {
+  const PolarFly pf(4);
+  EXPECT_THROW(build_layout(pf), std::invalid_argument);
+}
+
+TEST(LayoutTest, AllStarterChoicesWork) {
+  const PolarFly pf(7);
+  for (int s = 0; s < static_cast<int>(pf.quadrics().size()); ++s) {
+    const Layout layout = build_layout(pf, s);
+    EXPECT_EQ(layout.starter_quadric, pf.quadrics()[s]);
+    EXPECT_EQ(static_cast<int>(layout.clusters.size()), 7);
+  }
+  EXPECT_THROW(build_layout(pf, 99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pfar::polarfly

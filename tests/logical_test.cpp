@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "collectives/logical.hpp"
+#include "core/planner.hpp"
+#include "polarfly/erq.hpp"
+
+namespace pfar::collectives {
+namespace {
+
+graph::Graph line_graph(int n) {
+  graph::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.finalize();
+  return g;
+}
+
+TEST(LogicalBandwidthTest, PhysicalEdgesReduceToAlgorithmOne) {
+  // A logical tree whose every edge is physical behaves like Algorithm 1:
+  // single chain tree on a line gets full bandwidth.
+  const auto g = line_graph(4);
+  const RoutedNetwork net(g);
+  LogicalTree t{0, {-1, 0, 1, 2}};
+  const auto bw = logical_tree_bandwidths(net, {t}, 2.0);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 2.0);
+  EXPECT_EQ(bw.max_link_flows, 1);
+}
+
+TEST(LogicalBandwidthTest, MultiHopLogicalEdgeSharesLinks) {
+  // Logical star at node 0 on a line 0-1-2-3: node 3's logical edge to 0
+  // is routed 3->2->1->0, stacking flows on (1,0): flows there = 3
+  // (from nodes 1, 2, 3) so each tree stream gets B/3.
+  const auto g = line_graph(4);
+  const RoutedNetwork net(g);
+  LogicalTree star{0, {-1, 0, 0, 0}};
+  const auto bw = logical_tree_bandwidths(net, {star}, 1.0);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 1.0 / 3.0);
+  EXPECT_EQ(bw.max_link_flows, 3);
+}
+
+TEST(LogicalBandwidthTest, TwoTreesOpposingChainsShareDirections) {
+  // Allreduce is bidirectional: chains rooted at opposite ends put one
+  // tree's reduction and the other's broadcast on each directed link, so
+  // both trees get B/2 — exactly Algorithm 1 on the shared undirected
+  // edges (and the Lemma 7.8 situation).
+  const auto g = line_graph(3);
+  const RoutedNetwork net(g);
+  LogicalTree a{0, {-1, 0, 1}};
+  LogicalTree b{2, {1, 2, -1}};
+  const auto bw = logical_tree_bandwidths(net, {a, b}, 1.0);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 0.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[1], 0.5);
+  EXPECT_EQ(bw.max_link_flows, 2);
+}
+
+TEST(LogicalBandwidthTest, PaperTreesMatchPhysicalAnalysis) {
+  // The paper's low-depth trees, analyzed as logical trees, must give
+  // exactly the Algorithm 1 reduction-direction result (q/2 aggregate),
+  // since every logical edge is a physical link.
+  const int q = 5;
+  const auto plan = core::AllreducePlanner(q).build();
+  const RoutedNetwork net(plan.topology());
+  std::vector<LogicalTree> logical;
+  for (const auto& t : plan.trees()) {
+    logical.push_back(LogicalTree{t.root(), t.parents()});
+  }
+  const auto bw = logical_tree_bandwidths(net, logical, 1.0);
+  EXPECT_NEAR(bw.aggregate, q / 2.0, 1e-9);
+  EXPECT_LE(bw.max_link_flows, 2);
+}
+
+TEST(LogicalBandwidthTest, RandomLogicalTreesLoseBandwidth) {
+  const int q = 7;
+  const auto plan = core::AllreducePlanner(q).build();
+  const RoutedNetwork net(plan.topology());
+  util::Rng rng(5);
+  const auto logical =
+      random_logical_trees(plan.num_nodes(), q, q + 1, rng);
+  const auto bw = logical_tree_bandwidths(net, logical, 1.0);
+  // Oblivious routing stacks many flows on some link; must be well below
+  // the physical construction's q/2.
+  EXPECT_LT(bw.aggregate, plan.aggregate_bandwidth());
+  EXPECT_GT(bw.max_link_flows, 2);
+}
+
+TEST(RandomLogicalTreesTest, WellFormed) {
+  util::Rng rng(9);
+  const auto trees = random_logical_trees(20, 4, 3, rng);
+  ASSERT_EQ(trees.size(), 4u);
+  for (const auto& t : trees) {
+    int roots = 0;
+    std::vector<int> children(20, 0);
+    for (int v = 0; v < 20; ++v) {
+      if (t.parent[v] == -1) {
+        ++roots;
+        EXPECT_EQ(v, t.root);
+      } else {
+        EXPECT_GE(t.parent[v], 0);
+        EXPECT_LT(t.parent[v], 20);
+        ++children[t.parent[v]];
+      }
+    }
+    EXPECT_EQ(roots, 1);
+    for (int v = 0; v < 20; ++v) EXPECT_LE(children[v], 3);  // arity bound
+  }
+  EXPECT_THROW(random_logical_trees(0, 1, 1, rng), std::invalid_argument);
+}
+
+TEST(LogicalDepthTest, HopWeightedDepth) {
+  // Line 0-1-2-3, logical chain 0<-1<-3 (skipping 2): edge (3,1) routes
+  // over 2 hops, total depth 3.
+  const auto g = line_graph(4);
+  const RoutedNetwork net(g);
+  LogicalTree t{0, {-1, 0, 1, 1}};
+  EXPECT_EQ(logical_depth(net, t), 3);
+  // Physical chain: depth = 3 hops as well.
+  LogicalTree chain{0, {-1, 0, 1, 2}};
+  EXPECT_EQ(logical_depth(net, chain), 3);
+}
+
+}  // namespace
+}  // namespace pfar::collectives

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "model/alpha_beta.hpp"
+#include "model/congestion_model.hpp"
+#include "polarfly/layout.hpp"
+#include "singer/singer_graph.hpp"
+#include "trees/hamiltonian.hpp"
+#include "trees/low_depth.hpp"
+
+namespace pfar::model {
+namespace {
+
+using trees::SpanningTree;
+
+TEST(CongestionModelTest, SingleTreeGetsFullLink) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  const SpanningTree t(0, {-1, 0, 1});
+  const auto bw = compute_tree_bandwidths(g, {t}, 4.0);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 4.0);
+  EXPECT_DOUBLE_EQ(bw.aggregate, 4.0);
+}
+
+TEST(CongestionModelTest, TwoTreesSharingEveryEdgeSplitEvenly) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  const SpanningTree a(0, {-1, 0, 1});
+  const SpanningTree b(2, {1, 2, -1});  // same undirected edges
+  const auto bw = compute_tree_bandwidths(g, {a, b}, 1.0);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 0.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[1], 0.5);
+  EXPECT_DOUBLE_EQ(bw.aggregate, 1.0);
+}
+
+TEST(CongestionModelTest, DisjointTreesGetFullBandwidthEach) {
+  // K4 has two edge-disjoint spanning trees.
+  graph::Graph g(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.add_edge(i, j);
+  }
+  g.finalize();
+  const SpanningTree a(0, {-1, 0, 1, 2});       // chain 0-1-2-3
+  const SpanningTree b(0, {-1, 3, 0, 0});       // 0-2, 0-3, 1-3
+  const std::vector<SpanningTree> ts{a, b};
+  ASSERT_TRUE(trees::edge_disjoint(g, ts));
+  const auto bw = compute_tree_bandwidths(g, ts, 2.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 2.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[1], 2.5);
+  EXPECT_DOUBLE_EQ(bw.aggregate, 5.0);
+}
+
+TEST(CongestionModelTest, AsymmetricCongestion) {
+  // Path 0-1-2-3 plus chord 0-3 and 1-3: tree A uses {01,12,23}, tree B
+  // uses {01,13,03}: only edge 01 is shared.
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.finalize();
+  const SpanningTree a(0, {-1, 0, 1, 2});
+  const SpanningTree b(0, {-1, 0, 3, 1});  // parents: 1<-0, 2<-3, 3<-1
+  const auto bw = compute_tree_bandwidths(g, {a, b}, 1.0);
+  // Edge 01 congestion 2 is the single bottleneck: both trees get 1/2.
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 0.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[1], 0.5);
+}
+
+TEST(CongestionModelTest, LateTreesGetResidualBandwidth) {
+  // Trees A and B share edge (0,1); once A and B are fixed at 1/2 each,
+  // tree C (which avoids (0,1)) is limited by the residual 1/2 left on the
+  // links it shares with A. Checks the iterative residual logic of
+  // Algorithm 1.
+  graph::Graph g(4);
+  g.add_edge(0, 1);  // A, B
+  g.add_edge(1, 2);  // A, C
+  g.add_edge(2, 3);  // A, C
+  g.add_edge(0, 2);  // B, C
+  g.add_edge(1, 3);  // B
+  g.add_edge(0, 3);  // unused
+  g.finalize();
+  const SpanningTree a(0, {-1, 0, 1, 2});       // 01, 12, 23
+  const SpanningTree b(0, {-1, 0, 0, 1});       // 01, 02, 13
+  const SpanningTree c(1, {2, -1, 1, 2});       // 02, 12, 23
+  const auto bw = compute_tree_bandwidths(g, {a, b, c}, 1.0);
+  EXPECT_DOUBLE_EQ(bw.per_tree[0], 0.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[1], 0.5);
+  EXPECT_DOUBLE_EQ(bw.per_tree[2], 0.5);
+  EXPECT_DOUBLE_EQ(bw.aggregate, 1.5);
+}
+
+TEST(CongestionModelTest, ConservationPerLink) {
+  // Sum over trees of B_i on each link never exceeds link bandwidth.
+  const polarfly::PolarFly pf(7);
+  const auto ts = trees::build_low_depth_trees(pf, polarfly::build_layout(pf));
+  const double B = 3.0;
+  const auto bw = compute_tree_bandwidths(pf.graph(), ts, B);
+  std::vector<double> load(pf.graph().num_edges(), 0.0);
+  for (std::size_t t = 0; t < ts.size(); ++t) {
+    for (const auto& e : ts[t].edges()) {
+      load[pf.graph().edge_id(e.u, e.v)] += bw.per_tree[t];
+    }
+  }
+  for (double l : load) EXPECT_LE(l, B + 1e-9);
+}
+
+TEST(CongestionModelTest, LowDepthTreesMeetCorollarySevenSeven) {
+  // Corollary 7.7: aggregate >= q B / 2 for the low-depth set.
+  for (int q : {3, 5, 7, 9, 11, 13}) {
+    const polarfly::PolarFly pf(q);
+    const auto ts =
+        trees::build_low_depth_trees(pf, polarfly::build_layout(pf));
+    const auto bw = compute_tree_bandwidths(pf.graph(), ts, 1.0);
+    EXPECT_GE(bw.aggregate, q / 2.0 - 1e-9) << "q=" << q;
+    EXPECT_LE(bw.aggregate, optimal_polarfly_bandwidth(q, 1.0) + 1e-9);
+  }
+}
+
+TEST(CongestionModelTest, HamiltonianTreesAreOptimalForOddQ) {
+  // Theorem 7.19: aggregate == floor((q+1)/2) B; optimal for odd q.
+  for (int q : {3, 5, 7, 9, 11}) {
+    const singer::SingerGraph s(q);
+    const auto set = singer::find_disjoint_hamiltonians(s.difference_set());
+    const auto ts = trees::hamiltonian_trees(set);
+    const auto bw = compute_tree_bandwidths(s.graph(), ts, 1.0);
+    EXPECT_DOUBLE_EQ(bw.aggregate, (q + 1) / 2.0) << "q=" << q;
+    EXPECT_DOUBLE_EQ(bw.aggregate, optimal_polarfly_bandwidth(q, 1.0));
+  }
+}
+
+TEST(CongestionModelTest, RejectsForeignTreeEdges) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  graph::Graph other(3);
+  other.add_edge(0, 1);
+  other.add_edge(0, 2);
+  other.finalize();
+  const SpanningTree t(0, {-1, 0, 0});  // uses edge (0,2), absent from g
+  EXPECT_THROW(compute_tree_bandwidths(g, {t}, 1.0), std::invalid_argument);
+}
+
+TEST(OptimalSplitTest, ProportionalAndExact) {
+  TreeBandwidths bw;
+  bw.per_tree = {1.0, 1.0, 2.0};
+  bw.aggregate = 4.0;
+  const auto split = optimal_split(100, bw);
+  EXPECT_EQ(split[0], 25);
+  EXPECT_EQ(split[1], 25);
+  EXPECT_EQ(split[2], 50);
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), 0LL), 100);
+}
+
+TEST(OptimalSplitTest, EqualizesTreeTimes) {
+  // Theorem 5.1: with m_i = m B_i / sum(B), all trees take (almost) equal
+  // time m_i / B_i.
+  TreeBandwidths bw;
+  bw.per_tree = {0.5, 1.0, 1.5};
+  bw.aggregate = 3.0;
+  const long long m = 300000;
+  const auto split = optimal_split(m, bw);
+  const double t0 = static_cast<double>(split[0]) / bw.per_tree[0];
+  for (std::size_t i = 1; i < split.size(); ++i) {
+    const double ti = static_cast<double>(split[i]) / bw.per_tree[i];
+    EXPECT_NEAR(ti, t0, 2.0 / bw.per_tree[i] + 2.0 / bw.per_tree[0]);
+  }
+  EXPECT_NEAR(predicted_allreduce_time(m, 0.0, bw), m / 3.0, 1.0);
+}
+
+TEST(AlphaBetaTest, RingModel) {
+  const AlphaBeta c{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(1, 100, c), 0.0);
+  // 2(p-1) alpha + 2 m (p-1)/p beta for p=4, m=100:
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(4, 100, c),
+                   2 * 3 * 2.0 + 2 * 100 * 0.75 * 0.5);
+}
+
+TEST(AlphaBetaTest, RecursiveDoublingPowersOfTwo) {
+  const AlphaBeta c{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(recursive_doubling_time(8, 10, c), 3 * (1.0 + 10.0));
+  // Non-power-of-two adds a full extra exchange.
+  EXPECT_DOUBLE_EQ(recursive_doubling_time(9, 10, c),
+                   3 * (1.0 + 10.0) + 2 * (1.0 + 10.0));
+}
+
+TEST(AlphaBetaTest, BandwidthOptimalBeatsLatencyOptimalForLargeM) {
+  const AlphaBeta c{10.0, 0.01};
+  const int p = 16;
+  EXPECT_LT(ring_allreduce_time(p, 1 << 20, c),
+            recursive_doubling_time(p, 1 << 20, c));
+  EXPECT_LT(recursive_doubling_time(p, 8, c), ring_allreduce_time(p, 8, c));
+}
+
+TEST(AlphaBetaTest, MultiTreeBeatsSingleTreeByAggregateFactor) {
+  const AlphaBeta c{1.0, 1.0};
+  const long long m = 1 << 20;
+  const double single = single_tree_innetwork_time(2, m, c);
+  const double multi = multi_tree_innetwork_time(3, m, 1.0, 6.0);
+  EXPECT_NEAR(single / multi, 6.0, 0.01);
+}
+
+TEST(AlphaBetaTest, InputValidation) {
+  const AlphaBeta c{1.0, 1.0};
+  EXPECT_THROW(ring_allreduce_time(0, 1, c), std::invalid_argument);
+  EXPECT_THROW(single_tree_innetwork_time(-1, 1, c), std::invalid_argument);
+  EXPECT_THROW(multi_tree_innetwork_time(1, 1, 1.0, 0.0),
+               std::invalid_argument);
+  TreeBandwidths empty;
+  EXPECT_THROW(predicted_allreduce_time(10, 0.0, empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfar::model

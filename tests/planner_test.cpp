@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/planner.hpp"
+
+namespace pfar::core {
+namespace {
+
+TEST(PlannerTest, LowDepthPlanProperties) {
+  const auto plan = AllreducePlanner(7).solution(Solution::kLowDepth).build();
+  EXPECT_EQ(plan.q(), 7);
+  EXPECT_EQ(plan.num_nodes(), 57);
+  EXPECT_EQ(plan.num_trees(), 7);
+  EXPECT_LE(plan.max_depth(), 3);
+  EXPECT_LE(plan.max_congestion(), 2);
+  EXPECT_NEAR(plan.aggregate_bandwidth(), 3.5, 1e-9);
+  EXPECT_NEAR(plan.optimal_bandwidth(), 4.0, 1e-9);
+}
+
+TEST(PlannerTest, EdgeDisjointPlanProperties) {
+  const auto plan =
+      AllreducePlanner(7).solution(Solution::kEdgeDisjoint).build();
+  EXPECT_EQ(plan.num_trees(), 4);
+  EXPECT_EQ(plan.max_congestion(), 1);
+  EXPECT_EQ(plan.max_depth(), (57 - 1) / 2);
+  EXPECT_NEAR(plan.aggregate_bandwidth(), plan.optimal_bandwidth(), 1e-9);
+}
+
+TEST(PlannerTest, SingleTreePlanIsBandwidthCapped) {
+  const auto plan =
+      AllreducePlanner(7).solution(Solution::kSingleTree).build();
+  EXPECT_EQ(plan.num_trees(), 1);
+  EXPECT_NEAR(plan.aggregate_bandwidth(), 1.0, 1e-9);
+  EXPECT_LE(plan.max_depth(), 2);
+}
+
+TEST(PlannerTest, SplitSumsToM) {
+  const auto plan = AllreducePlanner(5).build();
+  const auto split = plan.split(12345);
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), 0LL), 12345);
+  EXPECT_EQ(split.size(), static_cast<std::size_t>(plan.num_trees()));
+}
+
+TEST(PlannerTest, SimulateEndToEnd) {
+  const auto plan = AllreducePlanner(5).solution(Solution::kLowDepth).build();
+  const auto res = plan.simulate(10000);
+  EXPECT_TRUE(res.sim.values_correct);
+  EXPECT_GT(res.efficiency_vs_model, 0.85);
+}
+
+TEST(PlannerTest, EdgeDisjointWorksForEvenQ) {
+  // The Hamiltonian solution covers even prime powers too.
+  const auto plan =
+      AllreducePlanner(4).solution(Solution::kEdgeDisjoint).build();
+  EXPECT_EQ(plan.num_trees(), 2);
+  EXPECT_EQ(plan.max_congestion(), 1);
+  const auto res = plan.simulate(2000);
+  EXPECT_TRUE(res.sim.values_correct);
+}
+
+TEST(PlannerTest, LowDepthEvenQUsesReconstruction) {
+  // The paper's even-q low-depth solution is unpublished; the planner uses
+  // this library's reconstruction: q-1 trees, depth <= 3, congestion <= 2.
+  const auto plan = AllreducePlanner(4).solution(Solution::kLowDepth).build();
+  EXPECT_EQ(plan.num_trees(), 3);
+  EXPECT_LE(plan.max_depth(), 3);
+  EXPECT_LE(plan.max_congestion(), 2);
+  const auto res = plan.simulate(3000);
+  EXPECT_TRUE(res.sim.values_correct);
+}
+
+TEST(PlannerTest, RejectsNonPrimePower) {
+  EXPECT_THROW(AllreducePlanner(6), std::invalid_argument);
+  EXPECT_THROW(AllreducePlanner(1), std::invalid_argument);
+}
+
+TEST(PlannerTest, StarterQuadricSelectable) {
+  const auto p0 = AllreducePlanner(5).starter_quadric(0).build();
+  const auto p3 = AllreducePlanner(5).starter_quadric(3).build();
+  // Different starters root the trees at different centers.
+  EXPECT_NE(p0.trees()[0].root(), p3.trees()[0].root());
+  EXPECT_LE(p3.max_congestion(), 2);
+}
+
+TEST(PlannerTest, SolutionNames) {
+  EXPECT_FALSE(to_string(Solution::kLowDepth).empty());
+  EXPECT_FALSE(to_string(Solution::kEdgeDisjoint).empty());
+  EXPECT_FALSE(to_string(Solution::kSingleTree).empty());
+}
+
+}  // namespace
+}  // namespace pfar::core

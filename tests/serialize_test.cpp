@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "core/serialize.hpp"
+
+namespace pfar::core {
+namespace {
+
+TEST(SerializeTest, RoundTripLowDepth) {
+  const auto plan = AllreducePlanner(5).build();
+  const std::string text = serialize_trees(plan.q(), plan.trees());
+  const auto parsed = parse_trees(text);
+  EXPECT_EQ(parsed.q, 5);
+  ASSERT_EQ(parsed.trees.size(), plan.trees().size());
+  for (std::size_t i = 0; i < parsed.trees.size(); ++i) {
+    EXPECT_EQ(parsed.trees[i].root(), plan.trees()[i].root());
+    EXPECT_EQ(parsed.trees[i].parents(), plan.trees()[i].parents());
+    EXPECT_TRUE(parsed.trees[i].is_spanning_tree_of(plan.topology()));
+  }
+}
+
+TEST(SerializeTest, RoundTripEdgeDisjoint) {
+  const auto plan =
+      AllreducePlanner(4).solution(Solution::kEdgeDisjoint).build();
+  const auto parsed = parse_trees(serialize_trees(plan.q(), plan.trees()));
+  EXPECT_EQ(parsed.q, 4);
+  EXPECT_EQ(parsed.trees.size(), 2u);
+  EXPECT_EQ(parsed.trees[0].depth(), plan.trees()[0].depth());
+}
+
+TEST(SerializeTest, FormatIsStable) {
+  const auto plan = AllreducePlanner(3).build();
+  const std::string text = serialize_trees(3, plan.trees());
+  EXPECT_EQ(text.rfind("pfar-trees 1\nq 3\nn 13\ntrees 3\n", 0), 0u);
+}
+
+TEST(SerializeTest, ParserRejectsMalformedInput) {
+  const auto plan = AllreducePlanner(3).build();
+  const std::string good = serialize_trees(3, plan.trees());
+
+  EXPECT_THROW(parse_trees(""), std::invalid_argument);
+  EXPECT_THROW(parse_trees("wrong-magic 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trees("pfar-trees 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trees("pfar-trees 1\nq 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trees(good + " extra"), std::invalid_argument);
+
+  // Truncated parent list.
+  const std::string truncated = good.substr(0, good.size() - 10);
+  EXPECT_THROW(parse_trees(truncated), std::invalid_argument);
+
+  // Out-of-range parent.
+  std::string corrupted = good;
+  corrupted.replace(corrupted.find("tree "), 6, "tree 99");
+  EXPECT_THROW(parse_trees(corrupted), std::invalid_argument);
+}
+
+TEST(SerializeTest, ParserRejectsCyclicTree) {
+  // Hand-written input whose parent vector contains a 2-cycle.
+  const std::string text =
+      "pfar-trees 1\nq 3\nn 4\ntrees 1\ntree 0 -1 2 1 0\n";
+  EXPECT_THROW(parse_trees(text), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsEmptySet) {
+  EXPECT_THROW(serialize_trees(3, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfar::core

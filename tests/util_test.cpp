@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace pfar::util {
+namespace {
+
+TEST(NumericTest, IsPrime) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(127));
+  EXPECT_FALSE(is_prime(128));
+  EXPECT_TRUE(is_prime(104729));  // 10000th prime
+  EXPECT_FALSE(is_prime(104730));
+}
+
+TEST(NumericTest, IsPrimePower) {
+  int p = 0, a = 0;
+  EXPECT_TRUE(is_prime_power(2, &p, &a));
+  EXPECT_EQ(p, 2);
+  EXPECT_EQ(a, 1);
+  EXPECT_TRUE(is_prime_power(8, &p, &a));
+  EXPECT_EQ(p, 2);
+  EXPECT_EQ(a, 3);
+  EXPECT_TRUE(is_prime_power(81, &p, &a));
+  EXPECT_EQ(p, 3);
+  EXPECT_EQ(a, 4);
+  EXPECT_TRUE(is_prime_power(125, &p, &a));
+  EXPECT_EQ(p, 5);
+  EXPECT_EQ(a, 3);
+  EXPECT_FALSE(is_prime_power(1));
+  EXPECT_FALSE(is_prime_power(6));
+  EXPECT_FALSE(is_prime_power(12));
+  EXPECT_FALSE(is_prime_power(100));
+}
+
+TEST(NumericTest, PrimePowersInRange) {
+  const auto pp = prime_powers_in(2, 32);
+  const std::vector<int> expected{2,  3,  4,  5,  7,  8,  9,  11, 13,
+                                  16, 17, 19, 23, 25, 27, 29, 31, 32};
+  EXPECT_EQ(pp, expected);
+}
+
+TEST(NumericTest, Gcd) {
+  EXPECT_EQ(gcd_ll(12, 18), 6);
+  EXPECT_EQ(gcd_ll(-12, 18), 6);
+  EXPECT_EQ(gcd_ll(0, 5), 5);
+  EXPECT_EQ(gcd_ll(7, 13), 1);
+}
+
+TEST(NumericTest, Totient) {
+  EXPECT_EQ(totient(1), 1);
+  EXPECT_EQ(totient(13), 12);
+  EXPECT_EQ(totient(21), 12);
+  EXPECT_EQ(totient(100), 40);
+  // phi(N) for N = q^2+q+1, cross-checked by brute force.
+  for (long long n : {7LL, 13LL, 21LL, 31LL, 57LL, 133LL, 183LL}) {
+    long long brute = 0;
+    for (long long k = 1; k < n; ++k) {
+      if (gcd_ll(k, n) == 1) ++brute;
+    }
+    EXPECT_EQ(totient(n), brute) << "n=" << n;
+  }
+}
+
+TEST(NumericTest, ModInverse) {
+  EXPECT_EQ(mod_inverse(2, 13), 7);
+  EXPECT_EQ(mod_inverse(2, 21), 11);  // Lemma 6.7: (N+1)/2
+  for (long long n : {13LL, 21LL, 57LL, 183LL}) {
+    EXPECT_EQ(mod_inverse(2, n), (n + 1) / 2) << "n=" << n;
+  }
+  EXPECT_THROW(mod_inverse(3, 21), std::invalid_argument);
+}
+
+TEST(NumericTest, ApportionSumsToTotal) {
+  const auto split = apportion(100, {1.0, 1.0, 1.0});
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), 0LL), 100);
+  EXPECT_EQ(split.size(), 3u);
+  for (long long s : split) EXPECT_GE(s, 33);
+}
+
+TEST(NumericTest, ApportionProportional) {
+  const auto split = apportion(90, {1.0, 2.0});
+  EXPECT_EQ(split[0], 30);
+  EXPECT_EQ(split[1], 60);
+}
+
+TEST(NumericTest, ApportionZeroTotal) {
+  const auto split = apportion(0, {3.0, 1.0});
+  EXPECT_EQ(split[0], 0);
+  EXPECT_EQ(split[1], 0);
+}
+
+TEST(NumericTest, ApportionUnevenWeights) {
+  const auto split = apportion(10, {0.5, 0.25, 0.25});
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), 0LL), 10);
+  EXPECT_EQ(split[0], 5);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table t({"a", "bbb"});
+  t.add(1, 2.5);
+  t.add("x", "y");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("2.5000"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvOutputQuotesSpecialCells) {
+  Table t({"name", "value"});
+  t.add("plain", 1);
+  t.add("with,comma", 2);
+  t.add("with\"quote", 3);
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name,value\n"), std::string::npos);
+  EXPECT_NE(s.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(s.find("\"with,comma\",2\n"), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfar::util
