@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_construction_choices.dir/ablation_construction_choices.cpp.o"
+  "CMakeFiles/ablation_construction_choices.dir/ablation_construction_choices.cpp.o.d"
+  "ablation_construction_choices"
+  "ablation_construction_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_construction_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latency_bw_crossover.dir/ablation_latency_bw_crossover.cpp.o"
+  "CMakeFiles/ablation_latency_bw_crossover.dir/ablation_latency_bw_crossover.cpp.o.d"
+  "ablation_latency_bw_crossover"
+  "ablation_latency_bw_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latency_bw_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

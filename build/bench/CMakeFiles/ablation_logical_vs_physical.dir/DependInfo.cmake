@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_logical_vs_physical.cpp" "bench/CMakeFiles/ablation_logical_vs_physical.dir/ablation_logical_vs_physical.cpp.o" "gcc" "bench/CMakeFiles/ablation_logical_vs_physical.dir/ablation_logical_vs_physical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/pfar_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pfar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/pfar_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pfar_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/pfar_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/polarfly/CMakeFiles/pfar_polarfly.dir/DependInfo.cmake"
+  "/root/repo/build/src/singer/CMakeFiles/pfar_singer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/pfar_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/pfar_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pfar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_logical_vs_physical.dir/ablation_logical_vs_physical.cpp.o"
+  "CMakeFiles/ablation_logical_vs_physical.dir/ablation_logical_vs_physical.cpp.o.d"
+  "ablation_logical_vs_physical"
+  "ablation_logical_vs_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_logical_vs_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

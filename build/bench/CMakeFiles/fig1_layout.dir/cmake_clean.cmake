@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_layout.dir/fig1_layout.cpp.o"
+  "CMakeFiles/fig1_layout.dir/fig1_layout.cpp.o.d"
+  "fig1_layout"
+  "fig1_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_singer_sets.dir/fig2_singer_sets.cpp.o"
+  "CMakeFiles/fig2_singer_sets.dir/fig2_singer_sets.cpp.o.d"
+  "fig2_singer_sets"
+  "fig2_singer_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_singer_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lowdepth_tree.dir/fig3_lowdepth_tree.cpp.o"
+  "CMakeFiles/fig3_lowdepth_tree.dir/fig3_lowdepth_tree.cpp.o.d"
+  "fig3_lowdepth_tree"
+  "fig3_lowdepth_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lowdepth_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_disjoint_hamiltonians.dir/fig4_disjoint_hamiltonians.cpp.o"
+  "CMakeFiles/fig4_disjoint_hamiltonians.dir/fig4_disjoint_hamiltonians.cpp.o.d"
+  "fig4_disjoint_hamiltonians"
+  "fig4_disjoint_hamiltonians.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_disjoint_hamiltonians.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

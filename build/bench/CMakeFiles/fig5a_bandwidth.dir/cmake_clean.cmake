@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_bandwidth.dir/fig5a_bandwidth.cpp.o"
+  "CMakeFiles/fig5a_bandwidth.dir/fig5a_bandwidth.cpp.o.d"
+  "fig5a_bandwidth"
+  "fig5a_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_depth.dir/fig5b_depth.cpp.o"
+  "CMakeFiles/fig5b_depth.dir/fig5b_depth.cpp.o.d"
+  "fig5b_depth"
+  "fig5b_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

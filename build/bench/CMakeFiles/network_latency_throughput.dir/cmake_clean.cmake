@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_latency_throughput.dir/network_latency_throughput.cpp.o"
+  "CMakeFiles/network_latency_throughput.dir/network_latency_throughput.cpp.o.d"
+  "network_latency_throughput"
+  "network_latency_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_latency_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

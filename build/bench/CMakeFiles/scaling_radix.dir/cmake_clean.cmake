@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_radix.dir/scaling_radix.cpp.o"
+  "CMakeFiles/scaling_radix.dir/scaling_radix.cpp.o.d"
+  "scaling_radix"
+  "scaling_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_allreduce_bandwidth.dir/sim_allreduce_bandwidth.cpp.o"
+  "CMakeFiles/sim_allreduce_bandwidth.dir/sim_allreduce_bandwidth.cpp.o.d"
+  "sim_allreduce_bandwidth"
+  "sim_allreduce_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_allreduce_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

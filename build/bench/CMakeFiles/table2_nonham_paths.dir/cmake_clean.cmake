@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nonham_paths.dir/table2_nonham_paths.cpp.o"
+  "CMakeFiles/table2_nonham_paths.dir/table2_nonham_paths.cpp.o.d"
+  "table2_nonham_paths"
+  "table2_nonham_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nonham_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_comparison.dir/topology_comparison.cpp.o"
+  "CMakeFiles/topology_comparison.dir/topology_comparison.cpp.o.d"
+  "topology_comparison"
+  "topology_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_latency.dir/hpc_latency.cpp.o"
+  "CMakeFiles/hpc_latency.dir/hpc_latency.cpp.o.d"
+  "hpc_latency"
+  "hpc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

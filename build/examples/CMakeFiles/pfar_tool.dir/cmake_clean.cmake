@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_tool.dir/pfar_tool.cpp.o"
+  "CMakeFiles/pfar_tool.dir/pfar_tool.cpp.o.d"
+  "pfar_tool"
+  "pfar_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_report.dir/topology_report.cpp.o"
+  "CMakeFiles/topology_report.dir/topology_report.cpp.o.d"
+  "topology_report"
+  "topology_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

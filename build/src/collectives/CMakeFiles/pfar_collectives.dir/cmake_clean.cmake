@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_collectives.dir/bucket_schedule.cpp.o"
+  "CMakeFiles/pfar_collectives.dir/bucket_schedule.cpp.o.d"
+  "CMakeFiles/pfar_collectives.dir/host_allreduce.cpp.o"
+  "CMakeFiles/pfar_collectives.dir/host_allreduce.cpp.o.d"
+  "CMakeFiles/pfar_collectives.dir/innetwork.cpp.o"
+  "CMakeFiles/pfar_collectives.dir/innetwork.cpp.o.d"
+  "CMakeFiles/pfar_collectives.dir/logical.cpp.o"
+  "CMakeFiles/pfar_collectives.dir/logical.cpp.o.d"
+  "CMakeFiles/pfar_collectives.dir/routed.cpp.o"
+  "CMakeFiles/pfar_collectives.dir/routed.cpp.o.d"
+  "libpfar_collectives.a"
+  "libpfar_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_core.dir/planner.cpp.o"
+  "CMakeFiles/pfar_core.dir/planner.cpp.o.d"
+  "CMakeFiles/pfar_core.dir/resilience.cpp.o"
+  "CMakeFiles/pfar_core.dir/resilience.cpp.o.d"
+  "CMakeFiles/pfar_core.dir/serialize.cpp.o"
+  "CMakeFiles/pfar_core.dir/serialize.cpp.o.d"
+  "libpfar_core.a"
+  "libpfar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

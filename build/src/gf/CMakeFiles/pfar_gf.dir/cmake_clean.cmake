@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_gf.dir/cubic_extension.cpp.o"
+  "CMakeFiles/pfar_gf.dir/cubic_extension.cpp.o.d"
+  "CMakeFiles/pfar_gf.dir/field.cpp.o"
+  "CMakeFiles/pfar_gf.dir/field.cpp.o.d"
+  "libpfar_gf.a"
+  "libpfar_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

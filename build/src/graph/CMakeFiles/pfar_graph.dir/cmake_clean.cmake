@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_graph.dir/graph.cpp.o"
+  "CMakeFiles/pfar_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/pfar_graph.dir/matching.cpp.o"
+  "CMakeFiles/pfar_graph.dir/matching.cpp.o.d"
+  "libpfar_graph.a"
+  "libpfar_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_model.dir/alpha_beta.cpp.o"
+  "CMakeFiles/pfar_model.dir/alpha_beta.cpp.o.d"
+  "CMakeFiles/pfar_model.dir/congestion_model.cpp.o"
+  "CMakeFiles/pfar_model.dir/congestion_model.cpp.o.d"
+  "libpfar_model.a"
+  "libpfar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

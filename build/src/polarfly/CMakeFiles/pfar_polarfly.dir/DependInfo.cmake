@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polarfly/erq.cpp" "src/polarfly/CMakeFiles/pfar_polarfly.dir/erq.cpp.o" "gcc" "src/polarfly/CMakeFiles/pfar_polarfly.dir/erq.cpp.o.d"
+  "/root/repo/src/polarfly/layout.cpp" "src/polarfly/CMakeFiles/pfar_polarfly.dir/layout.cpp.o" "gcc" "src/polarfly/CMakeFiles/pfar_polarfly.dir/layout.cpp.o.d"
+  "/root/repo/src/polarfly/projective_plane.cpp" "src/polarfly/CMakeFiles/pfar_polarfly.dir/projective_plane.cpp.o" "gcc" "src/polarfly/CMakeFiles/pfar_polarfly.dir/projective_plane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/pfar_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pfar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_polarfly.dir/erq.cpp.o"
+  "CMakeFiles/pfar_polarfly.dir/erq.cpp.o.d"
+  "CMakeFiles/pfar_polarfly.dir/layout.cpp.o"
+  "CMakeFiles/pfar_polarfly.dir/layout.cpp.o.d"
+  "CMakeFiles/pfar_polarfly.dir/projective_plane.cpp.o"
+  "CMakeFiles/pfar_polarfly.dir/projective_plane.cpp.o.d"
+  "libpfar_polarfly.a"
+  "libpfar_polarfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_polarfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/allreduce_sim.cpp" "src/simnet/CMakeFiles/pfar_simnet.dir/allreduce_sim.cpp.o" "gcc" "src/simnet/CMakeFiles/pfar_simnet.dir/allreduce_sim.cpp.o.d"
+  "/root/repo/src/simnet/deadlock_check.cpp" "src/simnet/CMakeFiles/pfar_simnet.dir/deadlock_check.cpp.o" "gcc" "src/simnet/CMakeFiles/pfar_simnet.dir/deadlock_check.cpp.o.d"
+  "/root/repo/src/simnet/traffic_sim.cpp" "src/simnet/CMakeFiles/pfar_simnet.dir/traffic_sim.cpp.o" "gcc" "src/simnet/CMakeFiles/pfar_simnet.dir/traffic_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pfar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_simnet.dir/allreduce_sim.cpp.o"
+  "CMakeFiles/pfar_simnet.dir/allreduce_sim.cpp.o.d"
+  "CMakeFiles/pfar_simnet.dir/deadlock_check.cpp.o"
+  "CMakeFiles/pfar_simnet.dir/deadlock_check.cpp.o.d"
+  "CMakeFiles/pfar_simnet.dir/traffic_sim.cpp.o"
+  "CMakeFiles/pfar_simnet.dir/traffic_sim.cpp.o.d"
+  "libpfar_simnet.a"
+  "libpfar_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/singer/difference_set.cpp" "src/singer/CMakeFiles/pfar_singer.dir/difference_set.cpp.o" "gcc" "src/singer/CMakeFiles/pfar_singer.dir/difference_set.cpp.o.d"
+  "/root/repo/src/singer/disjoint.cpp" "src/singer/CMakeFiles/pfar_singer.dir/disjoint.cpp.o" "gcc" "src/singer/CMakeFiles/pfar_singer.dir/disjoint.cpp.o.d"
+  "/root/repo/src/singer/paths.cpp" "src/singer/CMakeFiles/pfar_singer.dir/paths.cpp.o" "gcc" "src/singer/CMakeFiles/pfar_singer.dir/paths.cpp.o.d"
+  "/root/repo/src/singer/singer_graph.cpp" "src/singer/CMakeFiles/pfar_singer.dir/singer_graph.cpp.o" "gcc" "src/singer/CMakeFiles/pfar_singer.dir/singer_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/pfar_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pfar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

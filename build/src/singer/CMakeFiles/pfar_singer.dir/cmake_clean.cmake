@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_singer.dir/difference_set.cpp.o"
+  "CMakeFiles/pfar_singer.dir/difference_set.cpp.o.d"
+  "CMakeFiles/pfar_singer.dir/disjoint.cpp.o"
+  "CMakeFiles/pfar_singer.dir/disjoint.cpp.o.d"
+  "CMakeFiles/pfar_singer.dir/paths.cpp.o"
+  "CMakeFiles/pfar_singer.dir/paths.cpp.o.d"
+  "CMakeFiles/pfar_singer.dir/singer_graph.cpp.o"
+  "CMakeFiles/pfar_singer.dir/singer_graph.cpp.o.d"
+  "libpfar_singer.a"
+  "libpfar_singer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_singer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_topo.dir/topologies.cpp.o"
+  "CMakeFiles/pfar_topo.dir/topologies.cpp.o.d"
+  "libpfar_topo.a"
+  "libpfar_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/exact_packing.cpp" "src/trees/CMakeFiles/pfar_trees.dir/exact_packing.cpp.o" "gcc" "src/trees/CMakeFiles/pfar_trees.dir/exact_packing.cpp.o.d"
+  "/root/repo/src/trees/hamiltonian.cpp" "src/trees/CMakeFiles/pfar_trees.dir/hamiltonian.cpp.o" "gcc" "src/trees/CMakeFiles/pfar_trees.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/trees/low_depth.cpp" "src/trees/CMakeFiles/pfar_trees.dir/low_depth.cpp.o" "gcc" "src/trees/CMakeFiles/pfar_trees.dir/low_depth.cpp.o.d"
+  "/root/repo/src/trees/packing.cpp" "src/trees/CMakeFiles/pfar_trees.dir/packing.cpp.o" "gcc" "src/trees/CMakeFiles/pfar_trees.dir/packing.cpp.o.d"
+  "/root/repo/src/trees/spanning_tree.cpp" "src/trees/CMakeFiles/pfar_trees.dir/spanning_tree.cpp.o" "gcc" "src/trees/CMakeFiles/pfar_trees.dir/spanning_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/polarfly/CMakeFiles/pfar_polarfly.dir/DependInfo.cmake"
+  "/root/repo/build/src/singer/CMakeFiles/pfar_singer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pfar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/pfar_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

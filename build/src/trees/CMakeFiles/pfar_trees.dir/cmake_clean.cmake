@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_trees.dir/exact_packing.cpp.o"
+  "CMakeFiles/pfar_trees.dir/exact_packing.cpp.o.d"
+  "CMakeFiles/pfar_trees.dir/hamiltonian.cpp.o"
+  "CMakeFiles/pfar_trees.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/pfar_trees.dir/low_depth.cpp.o"
+  "CMakeFiles/pfar_trees.dir/low_depth.cpp.o.d"
+  "CMakeFiles/pfar_trees.dir/packing.cpp.o"
+  "CMakeFiles/pfar_trees.dir/packing.cpp.o.d"
+  "CMakeFiles/pfar_trees.dir/spanning_tree.cpp.o"
+  "CMakeFiles/pfar_trees.dir/spanning_tree.cpp.o.d"
+  "libpfar_trees.a"
+  "libpfar_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfar_trees.a"
+)

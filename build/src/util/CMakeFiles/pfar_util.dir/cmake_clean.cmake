@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfar_util.dir/args.cpp.o"
+  "CMakeFiles/pfar_util.dir/args.cpp.o.d"
+  "CMakeFiles/pfar_util.dir/numeric.cpp.o"
+  "CMakeFiles/pfar_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/pfar_util.dir/table.cpp.o"
+  "CMakeFiles/pfar_util.dir/table.cpp.o.d"
+  "libpfar_util.a"
+  "libpfar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_property_test.dir/algebra_property_test.cpp.o"
+  "CMakeFiles/algebra_property_test.dir/algebra_property_test.cpp.o.d"
+  "algebra_property_test"
+  "algebra_property_test.pdb"
+  "algebra_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

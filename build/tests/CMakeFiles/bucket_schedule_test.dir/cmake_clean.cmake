@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_schedule_test.dir/bucket_schedule_test.cpp.o"
+  "CMakeFiles/bucket_schedule_test.dir/bucket_schedule_test.cpp.o.d"
+  "bucket_schedule_test"
+  "bucket_schedule_test.pdb"
+  "bucket_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evenq_test.dir/evenq_test.cpp.o"
+  "CMakeFiles/evenq_test.dir/evenq_test.cpp.o.d"
+  "evenq_test"
+  "evenq_test.pdb"
+  "evenq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evenq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_packing_test.dir/exact_packing_test.cpp.o"
+  "CMakeFiles/exact_packing_test.dir/exact_packing_test.cpp.o.d"
+  "exact_packing_test"
+  "exact_packing_test.pdb"
+  "exact_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_test.dir/functional_test.cpp.o"
+  "CMakeFiles/functional_test.dir/functional_test.cpp.o.d"
+  "functional_test"
+  "functional_test.pdb"
+  "functional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_test.dir/logical_test.cpp.o"
+  "CMakeFiles/logical_test.dir/logical_test.cpp.o.d"
+  "logical_test"
+  "logical_test.pdb"
+  "logical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

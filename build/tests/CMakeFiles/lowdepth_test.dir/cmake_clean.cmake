@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdepth_test.dir/lowdepth_test.cpp.o"
+  "CMakeFiles/lowdepth_test.dir/lowdepth_test.cpp.o.d"
+  "lowdepth_test"
+  "lowdepth_test.pdb"
+  "lowdepth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdepth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarfly_test.dir/polarfly_test.cpp.o"
+  "CMakeFiles/polarfly_test.dir/polarfly_test.cpp.o.d"
+  "polarfly_test"
+  "polarfly_test.pdb"
+  "polarfly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

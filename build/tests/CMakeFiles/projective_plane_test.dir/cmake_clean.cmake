@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projective_plane_test.dir/projective_plane_test.cpp.o"
+  "CMakeFiles/projective_plane_test.dir/projective_plane_test.cpp.o.d"
+  "projective_plane_test"
+  "projective_plane_test.pdb"
+  "projective_plane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projective_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section73_test.dir/section73_test.cpp.o"
+  "CMakeFiles/section73_test.dir/section73_test.cpp.o.d"
+  "section73_test"
+  "section73_test.pdb"
+  "section73_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section73_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

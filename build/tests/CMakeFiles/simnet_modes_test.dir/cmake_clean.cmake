@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_modes_test.dir/simnet_modes_test.cpp.o"
+  "CMakeFiles/simnet_modes_test.dir/simnet_modes_test.cpp.o.d"
+  "simnet_modes_test"
+  "simnet_modes_test.pdb"
+  "simnet_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singer_test.dir/singer_test.cpp.o"
+  "CMakeFiles/singer_test.dir/singer_test.cpp.o.d"
+  "singer_test"
+  "singer_test.pdb"
+  "singer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
