@@ -3,36 +3,118 @@
 // Allreduce bandwidth of both solutions must converge to the Algorithm 1
 // prediction (q/2 for low-depth, floor((q+1)/2) for edge-disjoint) as the
 // vector grows.
+//
+// The grid fans out across a core::SweepRunner (--threads N /
+// PFAR_THREADS), and per-point results land in BENCH_sim_allreduce.json so
+// the perf trajectory of the simulator is tracked release over release.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "core/planner.hpp"
+#include "core/sweep_runner.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+struct Point {
+  int q;
+  pfar::core::Solution solution;
+  long long m;
+};
+
+struct PointResult {
+  double alg1_bw = 0.0;
+  double sim_bw = 0.0;
+  double efficiency = 0.0;
+  bool correct = false;
+  double wall_ms = 0.0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace pfar;
+  const util::Args args(argc, argv);
+  const int threads = args.threads();
+
   std::printf("Simulated vs analytic Allreduce bandwidth (elements/cycle, "
               "link B = 1)\n\n");
 
-  util::Table table({"q", "solution", "m", "Alg.1 BW", "sim BW",
-                     "efficiency", "correct"});
+  std::vector<Point> grid;
   for (int q : {3, 5, 7, 9, 11}) {
     for (const auto solution :
          {core::Solution::kLowDepth, core::Solution::kEdgeDisjoint}) {
-      const auto plan =
-          core::AllreducePlanner(q).solution(solution).build();
       for (long long m : {2000LL, 20000LL}) {
-        const auto res = plan.simulate(m);
-        table.add(q, core::to_string(solution), m,
-                  plan.aggregate_bandwidth(), res.sim.aggregate_bandwidth,
-                  res.efficiency_vs_model, res.sim.values_correct);
+        grid.push_back({q, solution, m});
       }
     }
+  }
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  core::SweepRunner runner(threads);
+  const auto results = runner.map<PointResult>(
+      static_cast<int>(grid.size()), [&](const core::SweepTask& task) {
+        const Point& p = grid[static_cast<std::size_t>(task.index)];
+        const auto point_start = std::chrono::steady_clock::now();
+        const auto plan =
+            core::AllreducePlanner(p.q).solution(p.solution).build();
+        const auto res = plan.simulate(p.m);
+        PointResult out;
+        out.alg1_bw = plan.aggregate_bandwidth();
+        out.sim_bw = res.sim.aggregate_bandwidth;
+        out.efficiency = res.efficiency_vs_model;
+        out.correct = res.sim.values_correct;
+        out.wall_ms = ms_since(point_start);
+        return out;
+      });
+  const double total_ms = ms_since(sweep_start);
+
+  util::Table table({"q", "solution", "m", "Alg.1 BW", "sim BW",
+                     "efficiency", "correct"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.add(grid[i].q, core::to_string(grid[i].solution), grid[i].m,
+              results[i].alg1_bw, results[i].sim_bw, results[i].efficiency,
+              results[i].correct);
   }
   table.print(std::cout);
   std::printf(
       "\nShape check: efficiency -> 1.0 as m grows; every run reduces\n"
       "exactly (integer-checked at all N nodes).\n");
+
+  const std::string json_path =
+      args.get_string("json", "BENCH_sim_allreduce.json");
+  if (FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json, "{\n  \"threads\": %d,\n  \"total_wall_ms\": %.1f,\n",
+                 threads, total_ms);
+    std::fprintf(json, "  \"points\": [\n");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      std::fprintf(
+          json,
+          "    {\"q\": %d, \"solution\": \"%s\", \"m\": %lld, "
+          "\"alg1_bw\": %.4f, \"sim_bw\": %.4f, \"efficiency\": %.4f, "
+          "\"correct\": %s, \"wall_ms\": %.1f}%s\n",
+          grid[i].q, core::to_string(grid[i].solution).c_str(), grid[i].m,
+          results[i].alg1_bw, results[i].sim_bw, results[i].efficiency,
+          results[i].correct ? "true" : "false", results[i].wall_ms,
+          i + 1 < grid.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::fprintf(stderr, "wrote %s (%zu points, %d threads, %.1f ms)\n",
+                 json_path.c_str(), grid.size(), threads, total_ms);
+  } else {
+    std::fprintf(stderr, "warning: could not open %s for writing\n",
+                 json_path.c_str());
+  }
   return 0;
 }

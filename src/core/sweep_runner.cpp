@@ -1,0 +1,52 @@
+#include "core/sweep_runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace pfar::core {
+
+SweepRunner::SweepRunner(int threads, std::uint64_t base_seed)
+    : threads_(threads <= 0 ? util::default_threads() : threads),
+      base_seed_(base_seed) {}
+
+std::uint64_t SweepRunner::task_seed(std::uint64_t base_seed, int index) {
+  // splitmix64 of the index'th point after the base seed.
+  std::uint64_t z =
+      base_seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void SweepRunner::for_each(int count,
+                           const std::function<void(const SweepTask&)>& fn) {
+  if (count <= 0) return;
+  if (threads_ == 1 || count == 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(SweepTask{i, task_seed(base_seed_, i)});
+    }
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  {
+    util::ThreadPool pool(std::min(threads_, count));
+    for (int i = 0; i < count; ++i) {
+      pool.submit([this, i, &fn, &error_mutex, &first_error] {
+        try {
+          fn(SweepTask{i, task_seed(base_seed_, i)});
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pfar::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace pfar::core {
+
+/// One design point of a sweep: its grid index plus a deterministic seed
+/// derived from (base_seed, index) only — never from thread identity or
+/// completion order — so any RNG a task creates from `seed` draws the same
+/// stream no matter how many workers execute the sweep.
+struct SweepTask {
+  int index = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Fans independent design points out across a util::ThreadPool and
+/// collects results in grid order. Determinism contract: tasks must not
+/// communicate, every task's randomness must come from task.seed, and
+/// results are stored by task.index — so 1 thread and N threads produce
+/// identical result vectors (asserted by determinism_test).
+class SweepRunner {
+ public:
+  /// `threads` <= 0 means util::default_threads() (PFAR_THREADS env or
+  /// hardware concurrency).
+  explicit SweepRunner(int threads = 0, std::uint64_t base_seed = 0);
+
+  int threads() const { return threads_; }
+  std::uint64_t base_seed() const { return base_seed_; }
+
+  /// splitmix64 over (base_seed, index): well-spread, collision-free per
+  /// index, and independent of thread count.
+  static std::uint64_t task_seed(std::uint64_t base_seed, int index);
+
+  /// Runs fn(task) for indices 0..count-1. With 1 thread runs inline in
+  /// index order; otherwise tasks run concurrently. The first exception
+  /// thrown by any task is rethrown after all tasks finish.
+  void for_each(int count, const std::function<void(const SweepTask&)>& fn);
+
+  /// for_each that collects fn's return values into results[task.index].
+  template <typename R, typename Fn>
+  std::vector<R> map(int count, Fn&& fn) {
+    std::vector<R> results(static_cast<std::size_t>(count > 0 ? count : 0));
+    for_each(count, [&results, &fn](const SweepTask& task) {
+      results[static_cast<std::size_t>(task.index)] = fn(task);
+    });
+    return results;
+  }
+
+ private:
+  int threads_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace pfar::core

@@ -1,9 +1,13 @@
 #include "simnet/allreduce_sim.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <climits>
+#include <cstdint>
 #include <deque>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace pfar::simnet {
 namespace {
@@ -64,6 +68,857 @@ struct NodeTreeState {
   long long delivered = 0;  // elements delivered locally
 };
 
+// The VC fabric and per-(node, tree) engine state both cycle-loop engines
+// run on, plus the tree roots.
+struct Fabric {
+  int n = 0;
+  int num_trees = 0;
+  int num_dlinks = 0;
+  std::vector<int> roots;
+  std::vector<VcState> vcs;
+  std::vector<std::vector<int>> link_vcs;
+  std::vector<NodeTreeState> state;
+
+  NodeTreeState& st(int node, int tree) {
+    return state[static_cast<std::size_t>(tree) * n + node];
+  }
+};
+
+Fabric build_fabric(const graph::Graph& topology,
+                    const std::vector<TreeEmbedding>& trees,
+                    const SimConfig& config, SimResult& result) {
+  Fabric f;
+  f.n = topology.num_vertices();
+  f.num_trees = static_cast<int>(trees.size());
+  f.num_dlinks = 2 * topology.num_edges();
+  f.roots.resize(f.num_trees);
+  f.link_vcs.resize(f.num_dlinks);
+  f.state.resize(static_cast<std::size_t>(f.n) * f.num_trees);
+
+  const Collective mode = config.collective;
+  const bool want_reduce = mode != Collective::kBroadcast;
+  const bool want_bcast = mode != Collective::kReduce;
+
+  const auto dlink_of = [&](int src, int dst) {
+    const int eid = topology.edge_id(src, dst);
+    return 2 * eid + (src > dst ? 1 : 0);
+  };
+  const auto new_vc = [&](int tree, Phase phase, int src, int dst) {
+    VcState vc;
+    vc.tree = tree;
+    vc.phase = phase;
+    vc.src = src;
+    vc.dst = dst;
+    vc.dlink = dlink_of(src, dst);
+    vc.credits = config.vc_credits;
+    f.vcs.push_back(std::move(vc));
+    const int id = static_cast<int>(f.vcs.size()) - 1;
+    f.link_vcs[f.vcs[id].dlink].push_back(id);
+    return id;
+  };
+
+  for (int t = 0; t < f.num_trees; ++t) {
+    const auto& tree = trees[t];
+    f.roots[t] = tree.root;
+    for (int v = 0; v < f.n; ++v) {
+      f.st(v, t).parent = tree.parent[v];
+      if (tree.parent[v] >= 0) f.st(tree.parent[v], t).children.push_back(v);
+    }
+    for (int v = 0; v < f.n; ++v) {
+      NodeTreeState& s = f.st(v, t);
+      if (s.parent >= 0) {
+        if (want_reduce) {
+          s.parent_reduce_vc = new_vc(t, Phase::kReduce, v, s.parent);
+        }
+        if (want_bcast) {
+          s.parent_bcast_vc = new_vc(t, Phase::kBcast, s.parent, v);
+        }
+      }
+      s.fork_stage.resize(s.children.size());
+      s.child_bcast_vc.assign(s.children.size(), -1);
+      s.child_reduce_vc.assign(s.children.size(), -1);
+    }
+    for (int v = 0; v < f.n; ++v) {
+      NodeTreeState& s = f.st(v, t);
+      for (std::size_t c = 0; c < s.children.size(); ++c) {
+        const int child = s.children[c];
+        s.child_reduce_vc[c] = f.st(child, t).parent_reduce_vc;
+        s.child_bcast_vc[c] = f.st(child, t).parent_bcast_vc;
+        if (s.child_bcast_vc[c] >= 0) {
+          f.vcs[s.child_bcast_vc[c]].fork_index = static_cast<int>(c);
+        }
+      }
+    }
+  }
+
+  result.num_vcs = static_cast<int>(f.vcs.size());
+  for (const auto& lv : f.link_vcs) {
+    result.max_vcs_per_link =
+        std::max(result.max_vcs_per_link, static_cast<int>(lv.size()));
+  }
+  // Lemma 7.8 accounting: distinct trees consuming each input port as a
+  // reduction input.
+  if (want_reduce) {
+    std::vector<int> reductions_per_port(f.num_dlinks, 0);
+    for (const auto& vc : f.vcs) {
+      if (vc.phase == Phase::kReduce) ++reductions_per_port[vc.dlink];
+    }
+    for (int c : reductions_per_port) {
+      result.max_reductions_per_input_port =
+          std::max(result.max_reductions_per_input_port, c);
+    }
+  }
+  result.link_flits.assign(f.num_dlinks, 0);
+  result.tree_finish_cycle.assign(f.num_trees, 0);
+  result.tree_first_delivery.assign(f.num_trees, -1);
+  result.values_correct = true;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine: the original cycle-by-cycle loop. Every VC is scanned
+// for arrivals, every (node, tree) broadcast engine is visited and every
+// link arbitrated on every cycle. Kept verbatim as the oracle the
+// fast-forward engine is tested against (determinism_test).
+// ---------------------------------------------------------------------------
+long long run_reference_loop(Fabric& f, const SimConfig& config,
+                             const std::vector<long long>& elements_per_tree,
+                             SimResult& result,
+                             std::vector<long long>& tree_remaining,
+                             long long total_target) {
+  const int n = f.n;
+  const int num_trees = f.num_trees;
+  const Collective mode = config.collective;
+  const bool want_bcast = mode != Collective::kReduce;
+  auto& vcs = f.vcs;
+
+  const auto expected_value = [&](int tree, long long k) {
+    return mode == Collective::kBroadcast
+               ? local_value(f.roots[tree], tree, k)
+               : sum_over_nodes(n, tree, k);
+  };
+
+  long long delivered_total = 0;
+  long long now = 0;
+  long long last_progress = 0;
+  std::vector<int> rr(f.num_dlinks, 0);
+  // Token-bucket link occupancy: `tokens` flit-slots accumulate at
+  // link_bandwidth per cycle (bounded burst); a packet consumes
+  // payload + header flits and may borrow, modeling multi-cycle packets.
+  std::vector<long long> tokens(f.num_dlinks, 0);
+  const int header = config.packet_header_flits;
+
+  const auto vc_ready = [&](const VcState& vc) -> bool {
+    const NodeTreeState& s = f.st(vc.src, vc.tree);
+    if (vc.phase == Phase::kReduce) {
+      if (s.injected >= elements_per_tree[vc.tree]) return false;
+      for (int cvc : s.child_reduce_vc) {
+        if (vcs[cvc].recv.empty()) return false;
+      }
+      return true;
+    }
+    return !s.fork_stage[vc.fork_index].empty();
+  };
+
+  // Assembles the next reduction packet at node `src` for tree `tree`:
+  // local chunk combined with one packet from each child. Chunk sizes are
+  // aligned across children because every stream chunks the same way.
+  const auto make_reduce_packet = [&](int src, int tree) -> Packet {
+    NodeTreeState& s = f.st(src, tree);
+    const long long remaining = elements_per_tree[tree] - s.injected;
+    long long size = std::min<long long>(config.packet_payload, remaining);
+    for (int cvc : s.child_reduce_vc) {
+      if (static_cast<long long>(vcs[cvc].recv.front().size()) != size) {
+        throw std::logic_error("reduce packet misalignment");
+      }
+    }
+    Packet packet(size);
+    for (long long i = 0; i < size; ++i) {
+      packet[i] = local_value(src, tree, s.injected + i);
+    }
+    s.injected += size;
+    for (int cvc : s.child_reduce_vc) {
+      const Packet& head = vcs[cvc].recv.front();
+      for (long long i = 0; i < size; ++i) packet[i] += head[i];
+      vcs[cvc].recv.pop_front();
+      vcs[cvc].credit_inflight.push_back(now + config.link_latency);
+    }
+    return packet;
+  };
+
+  const auto deliver = [&](int node, int tree, const Packet& packet) {
+    NodeTreeState& s = f.st(node, tree);
+    if (result.tree_first_delivery[tree] < 0) {
+      result.tree_first_delivery[tree] = now;
+    }
+    for (std::int64_t value : packet) {
+      if (value != expected_value(tree, s.delivered)) {
+        result.values_correct = false;
+      }
+      ++s.delivered;
+      ++delivered_total;
+      if (--tree_remaining[tree] == 0) result.tree_finish_cycle[tree] = now;
+    }
+    last_progress = now;
+  };
+
+  while (delivered_total < total_target) {
+    if (now > config.max_cycles) {
+      throw std::runtime_error("AllreduceSimulator: cycle limit exceeded");
+    }
+    if (now - last_progress > config.stall_limit) {
+      throw std::runtime_error(
+          "AllreduceSimulator: deadlock detected at cycle " +
+          std::to_string(now));
+    }
+
+    // 1. Arrivals: land in-flight packets and returned credits.
+    for (auto& vc : vcs) {
+      while (!vc.data_inflight.empty() &&
+             vc.data_inflight.front().first <= now) {
+        vc.recv.push_back(std::move(vc.data_inflight.front().second));
+        vc.data_inflight.pop_front();
+        result.max_vc_occupancy = std::max(
+            result.max_vc_occupancy, static_cast<int>(vc.recv.size()));
+        last_progress = now;
+      }
+      while (!vc.credit_inflight.empty() &&
+             vc.credit_inflight.front() <= now) {
+        vc.credit_inflight.pop_front();
+        ++vc.credits;
+      }
+    }
+
+    // 2. Root engines. Allreduce/Reduce: final sums materialize at the
+    // root (into the turnaround queue or straight to local delivery).
+    // Broadcast: the root sources its own stream into the queue.
+    for (int t = 0; t < num_trees; ++t) {
+      NodeTreeState& s = f.st(f.roots[t], t);
+      for (int fire = 0; fire < config.link_bandwidth; ++fire) {
+        if (s.injected >= elements_per_tree[t]) break;
+        if (mode != Collective::kReduce &&
+            static_cast<int>(s.root_queue.size()) >= config.vc_credits) {
+          break;
+        }
+        Packet packet;
+        if (mode == Collective::kBroadcast) {
+          const long long remaining = elements_per_tree[t] - s.injected;
+          const long long size =
+              std::min<long long>(config.packet_payload, remaining);
+          packet.resize(size);
+          for (long long i = 0; i < size; ++i) {
+            packet[i] = local_value(f.roots[t], t, s.injected + i);
+          }
+          s.injected += size;
+        } else {
+          bool inputs_ready = true;
+          for (int cvc : s.child_reduce_vc) {
+            if (vcs[cvc].recv.empty()) {
+              inputs_ready = false;
+              break;
+            }
+          }
+          if (!inputs_ready) break;
+          packet = make_reduce_packet(f.roots[t], t);
+        }
+        if (mode == Collective::kReduce) {
+          deliver(f.roots[t], t, packet);
+        } else {
+          s.root_queue.push_back(std::move(packet));
+        }
+        last_progress = now;
+      }
+    }
+
+    // 3. Broadcast replication: parent VC (or root queue) -> all fork
+    // stages + local delivery. Fork-stage room is required for all
+    // children, which bounds buffering and stays deadlock-free.
+    if (want_bcast) {
+      for (int t = 0; t < num_trees; ++t) {
+        for (int v = 0; v < n; ++v) {
+          NodeTreeState& s = f.st(v, t);
+          const bool is_root = (v == f.roots[t]);
+          if (!is_root && s.parent_bcast_vc < 0) continue;
+          for (int moves = 0; moves < config.link_bandwidth; ++moves) {
+            bool room = true;
+            for (const auto& stage : s.fork_stage) {
+              if (static_cast<int>(stage.size()) >= config.fork_buffer) {
+                room = false;
+                break;
+              }
+            }
+            if (!room) break;
+            Packet packet;
+            if (is_root) {
+              if (s.root_queue.empty()) break;
+              packet = std::move(s.root_queue.front());
+              s.root_queue.pop_front();
+            } else {
+              VcState& pvc = vcs[s.parent_bcast_vc];
+              if (pvc.recv.empty()) break;
+              packet = std::move(pvc.recv.front());
+              pvc.recv.pop_front();
+              pvc.credit_inflight.push_back(now + config.link_latency);
+            }
+            deliver(v, t, packet);
+            const std::size_t forks = s.fork_stage.size();
+            for (std::size_t c = 0; c + 1 < forks; ++c) {
+              s.fork_stage[c].push_back(packet);
+            }
+            if (forks > 0) {
+              s.fork_stage[forks - 1].push_back(std::move(packet));
+            }
+          }
+        }
+      }
+    }
+
+    // 4. Link arbitration: round-robin over each directed link's VCs,
+    // consuming token-bucket flit slots (payload + header per packet).
+    for (int dl = 0; dl < f.num_dlinks; ++dl) {
+      const auto& ids = f.link_vcs[dl];
+      if (ids.empty()) continue;
+      tokens[dl] = std::min<long long>(
+          tokens[dl] + config.link_bandwidth,
+          static_cast<long long>(config.link_bandwidth) *
+              (config.packet_payload + header));
+      const int count = static_cast<int>(ids.size());
+      const int probes = count * config.link_bandwidth;
+      const int base = rr[dl];
+      for (int probe = 0; probe < probes && tokens[dl] > 0; ++probe) {
+        const int slot = (base + probe) % count;
+        VcState& vc = vcs[ids[slot]];
+        if (vc.credits <= 0 || !vc_ready(vc)) continue;
+        // True round-robin: rotate past the granted VC so competing trees
+        // alternate even when packets occupy the link for several cycles.
+        rr[dl] = (slot + 1) % count;
+        Packet packet;
+        if (vc.phase == Phase::kReduce) {
+          packet = make_reduce_packet(vc.src, vc.tree);
+        } else {
+          NodeTreeState& s = f.st(vc.src, vc.tree);
+          packet = std::move(s.fork_stage[vc.fork_index].front());
+          s.fork_stage[vc.fork_index].pop_front();
+        }
+        const long long flits =
+            static_cast<long long>(packet.size()) + header;
+        tokens[dl] -= flits;
+        result.link_flits[dl] += flits;
+        --vc.credits;
+        vc.data_inflight.emplace_back(now + config.link_latency,
+                                      std::move(packet));
+        last_progress = now;
+      }
+    }
+
+    ++now;
+  }
+  return now;
+}
+
+// ---------------------------------------------------------------------------
+// Fast-forward engine. Bit-identical to the reference loop, with four
+// structural changes:
+//
+//  * arrivals and credit returns are scheduled on a time-indexed wheel (all
+//    landing times are `now + link_latency`, so the wheel has latency + 1
+//    buckets and each cycle drains exactly one) instead of scanning every
+//    VC every cycle, with at most one wake-up per (VC, cycle);
+//  * broadcast replication visits only (node, tree) engines that an event
+//    re-armed (packet arrival, root-queue push, fork-slot drain) instead of
+//    all n * num_trees engines, and reduce readiness is an incrementally
+//    maintained ready-children counter instead of a per-probe child scan;
+//  * packet payloads live in a slab arena (fixed stride = packet_payload,
+//    free-list recycling) and every queue — receive buffer + in-flight
+//    pipeline (one combined ring per VC), credit returns, fork stages, root
+//    turnaround — is a fixed-capacity power-of-two ring over flat arrays.
+//    All of them are bounded by the credit/fork-buffer limits, so nothing
+//    allocates after setup;
+//  * a cycle in which nothing moved and no event landed is provably
+//    followed by identical no-op cycles until the next in-flight landing or
+//    token-bucket recharge, so `now` jumps there in one step. Token buckets
+//    advance over the skipped range in closed form (min(t + k*B, cap) is
+//    the k-fold composition of the per-cycle update), and the jump is
+//    clamped to the stall and max_cycles deadlines so even the throwing
+//    paths report the same cycle numbers as the reference loop.
+// ---------------------------------------------------------------------------
+long long run_fast_loop(Fabric& f, const SimConfig& config,
+                        const std::vector<long long>& elements_per_tree,
+                        SimResult& result,
+                        std::vector<long long>& tree_remaining,
+                        long long total_target) {
+  const int n = f.n;
+  const int num_trees = f.num_trees;
+  const int num_vcs = static_cast<int>(f.vcs.size());
+  const Collective mode = config.collective;
+  const bool want_bcast = mode != Collective::kReduce;
+
+  const auto expected_value = [&](int tree, long long k) {
+    return mode == Collective::kBroadcast
+               ? local_value(f.roots[tree], tree, k)
+               : sum_over_nodes(n, tree, k);
+  };
+
+  long long delivered_total = 0;
+  long long now = 0;
+  long long last_progress = 0;
+  std::vector<int> rr(f.num_dlinks, 0);
+  std::vector<long long> tokens(f.num_dlinks, 0);
+  const int header = config.packet_header_flits;
+  const int bw = config.link_bandwidth;
+  const long long token_cap =
+      static_cast<long long>(bw) * (config.packet_payload + header);
+  const int latency = config.link_latency;
+
+  // --- Slab arena. Every packet's payload occupies one fixed-stride slab;
+  // a consumed packet's slab goes on the free list for immediate reuse.
+  const int stride = config.packet_payload;
+  struct Ref {
+    std::int32_t slab;
+    std::int32_t size;
+  };
+  std::vector<std::int64_t> arena;
+  std::vector<std::int32_t> free_slabs;
+  std::int32_t num_slabs = 0;
+  const auto alloc_slab = [&]() -> std::int32_t {
+    if (!free_slabs.empty()) {
+      const std::int32_t s = free_slabs.back();
+      free_slabs.pop_back();
+      return s;
+    }
+    arena.resize(arena.size() + static_cast<std::size_t>(stride));
+    return num_slabs++;
+  };
+
+  // --- Per-VC rings. The receive buffer and the in-flight pipeline share
+  // one FIFO ring: entries [0, ready) have landed (the reference loop's
+  // `recv`), entries [ready, total) are still on the wire with their
+  // landing times in ring_time. recv + in-flight together never exceed
+  // vc_credits (a send consumes a credit that only returns after the pop),
+  // so a bit_ceil(vc_credits) ring never overflows; same for the credit-
+  // return ring.
+  const std::uint32_t pcap =
+      std::bit_ceil(static_cast<std::uint32_t>(config.vc_credits));
+  const std::uint32_t pmask = pcap - 1;
+  std::vector<long long> ring_time(static_cast<std::size_t>(num_vcs) * pcap);
+  std::vector<Ref> ring_ref(static_cast<std::size_t>(num_vcs) * pcap);
+  std::vector<long long> credit_time(static_cast<std::size_t>(num_vcs) *
+                                     pcap);
+  std::vector<std::uint32_t> rhead(num_vcs, 0), rtotal(num_vcs, 0),
+      rready(num_vcs, 0);
+  std::vector<std::uint32_t> chead(num_vcs, 0), ccount(num_vcs, 0);
+  std::vector<std::int32_t> credits(num_vcs, config.vc_credits);
+
+  // --- Per-VC metadata flattened out of VcState for the hot paths.
+  std::vector<char> vc_is_reduce(num_vcs);
+  std::vector<std::int32_t> vc_src_state(num_vcs), vc_dst_state(num_vcs);
+
+  // --- Per-(node, tree) engine state: ready-children counter plus flat
+  // fork-stage rings (global stage id = stage_base[state] + child slot).
+  const std::size_t num_states = f.state.size();
+  std::vector<std::int32_t> eng_ready(num_states, 0);
+  std::vector<std::int32_t> eng_nchild(num_states);
+  std::vector<long long> eng_target(num_states);
+  std::vector<std::int32_t> stage_base(num_states + 1, 0);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    eng_nchild[i] = static_cast<std::int32_t>(f.state[i].children.size());
+    eng_target[i] = elements_per_tree[i / n];
+    stage_base[i + 1] = stage_base[i] + eng_nchild[i];
+  }
+  const int num_stages = stage_base[num_states];
+  const std::uint32_t fcap =
+      std::bit_ceil(static_cast<std::uint32_t>(config.fork_buffer));
+  const std::uint32_t fmask = fcap - 1;
+  std::vector<Ref> fork_ring(static_cast<std::size_t>(num_stages) * fcap);
+  std::vector<std::uint32_t> fhead(num_stages, 0), fcount(num_stages, 0);
+  std::vector<std::int32_t> vc_stage(num_vcs, -1);
+  for (int id = 0; id < num_vcs; ++id) {
+    const VcState& vc = f.vcs[id];
+    vc_is_reduce[id] = vc.phase == Phase::kReduce ? 1 : 0;
+    vc_src_state[id] = vc.tree * n + vc.src;
+    vc_dst_state[id] = vc.tree * n + vc.dst;
+    if (vc.phase == Phase::kBcast) {
+      vc_stage[id] = stage_base[vc_src_state[id]] + vc.fork_index;
+    }
+  }
+
+  // --- Root turnaround queues, one ring per tree.
+  std::vector<Ref> root_ring(static_cast<std::size_t>(num_trees) * pcap);
+  std::vector<std::uint32_t> rq_head(num_trees, 0), rq_count(num_trees, 0);
+
+  // Event wheel: every data landing and credit return is scheduled at
+  // now + latency, so pending wake-ups live in (now, now + latency] and a
+  // bit_ceil(latency + 1)-bucket wheel indexed by time & mask is
+  // collision-free. All events scheduled within one cycle land in the same
+  // bucket (`sched_bucket`, re-aimed at each cycle top); last_wake dedupes
+  // to one entry per (VC, cycle).
+  const std::uint32_t wheel_size =
+      std::bit_ceil(static_cast<std::uint32_t>(latency) + 1u);
+  const std::uint32_t wmask = wheel_size - 1;
+  std::vector<std::vector<std::int32_t>> wheel(wheel_size);
+  std::vector<long long> last_wake(num_vcs, -1);
+  long long pending_events = 0;
+  std::vector<std::int32_t>* sched_bucket = &wheel[latency & wmask];
+  const auto schedule_wakeup = [&](int vc_id) {
+    if (last_wake[vc_id] == now) return;
+    last_wake[vc_id] = now;
+    sched_bucket->push_back(vc_id);
+    ++pending_events;
+  };
+
+  // Incremental operand/expected-value generators: local_value and
+  // expected_value are linear in the element index, so each engine keeps
+  // the next value and bumps it by the constant stride per element —
+  // exactly the same integers as recomputing from scratch.
+  const std::int64_t exp_slope =
+      mode == Collective::kBroadcast
+          ? kElemStride
+          : static_cast<std::int64_t>(n) * kElemStride;
+  std::vector<std::int64_t> inj_next(num_states), exp_next(num_states);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    const int tree = static_cast<int>(i) / n;
+    inj_next[i] = local_value(static_cast<int>(i) % n, tree, 0);
+    exp_next[i] = expected_value(tree, 0);
+  }
+
+  // Active broadcast engines: (node, tree) pairs that an event may have
+  // unblocked since they last ran.
+  std::vector<char> bcast_active(num_states, 0);
+  std::vector<std::int32_t> bcast_list, bcast_current;
+  const auto activate_bcast = [&](std::int32_t state_idx) {
+    if (!bcast_active[state_idx]) {
+      bcast_active[state_idx] = 1;
+      bcast_list.push_back(state_idx);
+    }
+  };
+
+  // True whenever this cycle changed any state besides token accumulation
+  // (which the jump replays in closed form) — cleared at each cycle top.
+  bool progressed = false;
+
+  // Pops the ready head packet of a reduce child VC and schedules its
+  // credit return; keeps the consumer's ready-children counter in sync.
+  const auto pop_child = [&](int cvc, std::int32_t consumer_state) -> Ref {
+    const Ref head = ring_ref[cvc * pcap + (rhead[cvc] & pmask)];
+    rhead[cvc] = (rhead[cvc] + 1) & pmask;
+    --rtotal[cvc];
+    if (--rready[cvc] == 0) --eng_ready[consumer_state];
+    credit_time[cvc * pcap + ((chead[cvc] + ccount[cvc]) & pmask)] =
+        now + latency;
+    ++ccount[cvc];
+    schedule_wakeup(cvc);
+    return head;
+  };
+
+  const auto make_reduce_packet = [&](std::int32_t state_idx) -> Ref {
+    NodeTreeState& s = f.state[state_idx];
+    const long long remaining = eng_target[state_idx] - s.injected;
+    const long long size =
+        std::min<long long>(config.packet_payload, remaining);
+    const std::int32_t slab = alloc_slab();
+    std::int64_t* out = &arena[static_cast<std::size_t>(slab) * stride];
+    std::int64_t value = inj_next[state_idx];
+    for (long long i = 0; i < size; ++i) {
+      out[i] = value;
+      value += kElemStride;
+    }
+    inj_next[state_idx] = value;
+    s.injected += size;
+    for (int cvc : s.child_reduce_vc) {
+      const Ref head = pop_child(cvc, state_idx);
+      if (head.size != size) {
+        throw std::logic_error("reduce packet misalignment");
+      }
+      const std::int64_t* in =
+          &arena[static_cast<std::size_t>(head.slab) * stride];
+      for (long long i = 0; i < size; ++i) out[i] += in[i];
+      free_slabs.push_back(head.slab);
+    }
+    return Ref{slab, static_cast<std::int32_t>(size)};
+  };
+
+  const auto deliver = [&](int tree, std::int32_t state_idx, Ref packet) {
+    if (result.tree_first_delivery[tree] < 0) {
+      result.tree_first_delivery[tree] = now;
+    }
+    const std::int64_t* p =
+        &arena[static_cast<std::size_t>(packet.slab) * stride];
+    std::int64_t expected = exp_next[state_idx];
+    for (std::int32_t i = 0; i < packet.size; ++i) {
+      if (p[i] != expected) result.values_correct = false;
+      expected += exp_slope;
+      ++delivered_total;
+      if (--tree_remaining[tree] == 0) result.tree_finish_cycle[tree] = now;
+    }
+    exp_next[state_idx] = expected;
+    last_progress = now;
+    progressed = true;
+  };
+
+  while (delivered_total < total_target) {
+    if (now > config.max_cycles) {
+      throw std::runtime_error("AllreduceSimulator: cycle limit exceeded");
+    }
+    if (now - last_progress > config.stall_limit) {
+      throw std::runtime_error(
+          "AllreduceSimulator: deadlock detected at cycle " +
+          std::to_string(now));
+    }
+
+    progressed = false;
+    sched_bucket = &wheel[(now + latency) & wmask];
+
+    // 1. Arrivals: only VCs with a wake-up scheduled for this cycle. A
+    // landing advances the ready boundary of the combined ring; a matured
+    // credit return bumps the sender-side credit count.
+    {
+      auto& bucket = wheel[now & wmask];
+      if (!bucket.empty()) {
+        pending_events -= static_cast<long long>(bucket.size());
+        for (std::int32_t id : bucket) {
+          const std::size_t base = static_cast<std::size_t>(id) * pcap;
+          const std::uint32_t before = rready[id];
+          while (rready[id] < rtotal[id] &&
+                 ring_time[base + ((rhead[id] + rready[id]) & pmask)] <=
+                     now) {
+            ++rready[id];
+          }
+          if (rready[id] != before) {
+            result.max_vc_occupancy =
+                std::max(result.max_vc_occupancy,
+                         static_cast<int>(rready[id]));
+            last_progress = now;
+            progressed = true;
+            if (vc_is_reduce[id]) {
+              if (before == 0) ++eng_ready[vc_dst_state[id]];
+            } else {
+              activate_bcast(vc_dst_state[id]);
+            }
+          }
+          while (ccount[id] > 0 &&
+                 credit_time[base + (chead[id] & pmask)] <= now) {
+            chead[id] = (chead[id] + 1) & pmask;
+            --ccount[id];
+            ++credits[id];
+            progressed = true;
+          }
+        }
+        bucket.clear();
+      }
+    }
+
+    // 2. Root engines (O(num_trees), cheap enough to visit every cycle).
+    for (int t = 0; t < num_trees; ++t) {
+      const std::int32_t si = t * n + f.roots[t];
+      NodeTreeState& s = f.state[si];
+      for (int fire = 0; fire < bw; ++fire) {
+        if (s.injected >= eng_target[si]) break;
+        if (mode != Collective::kReduce &&
+            static_cast<int>(rq_count[t]) >= config.vc_credits) {
+          break;
+        }
+        Ref packet;
+        if (mode == Collective::kBroadcast) {
+          const long long remaining = eng_target[si] - s.injected;
+          const long long size =
+              std::min<long long>(config.packet_payload, remaining);
+          const std::int32_t slab = alloc_slab();
+          std::int64_t* out =
+              &arena[static_cast<std::size_t>(slab) * stride];
+          std::int64_t value = inj_next[si];
+          for (long long i = 0; i < size; ++i) {
+            out[i] = value;
+            value += kElemStride;
+          }
+          inj_next[si] = value;
+          s.injected += size;
+          packet = Ref{slab, static_cast<std::int32_t>(size)};
+        } else {
+          if (eng_ready[si] != eng_nchild[si]) break;
+          packet = make_reduce_packet(si);
+        }
+        if (mode == Collective::kReduce) {
+          deliver(t, si, packet);
+          free_slabs.push_back(packet.slab);
+        } else {
+          root_ring[t * pcap + ((rq_head[t] + rq_count[t]) & pmask)] =
+              packet;
+          ++rq_count[t];
+          activate_bcast(si);
+        }
+        last_progress = now;
+        progressed = true;
+      }
+    }
+
+    // 3. Broadcast replication, active engines only. Processing order
+    // within a cycle does not affect any state the engines share, so the
+    // activation order is as good as the reference loop's (t, v) order.
+    if (want_bcast && !bcast_list.empty()) {
+      bcast_current.clear();
+      bcast_current.swap(bcast_list);
+      for (std::int32_t idx : bcast_current) bcast_active[idx] = 0;
+      for (std::int32_t idx : bcast_current) {
+        const int t = idx / n;
+        const int v = idx % n;
+        NodeTreeState& s = f.state[idx];
+        const bool is_root = (v == f.roots[t]);
+        if (!is_root && s.parent_bcast_vc < 0) continue;
+        const std::int32_t sb = stage_base[idx];
+        const std::int32_t forks = eng_nchild[idx];
+        bool blocked = false;
+        int moves = 0;
+        for (; moves < bw; ++moves) {
+          bool room = true;
+          for (std::int32_t c = 0; c < forks; ++c) {
+            if (static_cast<int>(fcount[sb + c]) >= config.fork_buffer) {
+              room = false;
+              break;
+            }
+          }
+          if (!room) {
+            blocked = true;  // re-armed by a fork-slot drain in step 4
+            break;
+          }
+          Ref packet;
+          if (is_root) {
+            if (rq_count[t] == 0) {
+              blocked = true;  // re-armed by the next root-queue push
+              break;
+            }
+            packet = root_ring[t * pcap + (rq_head[t] & pmask)];
+            rq_head[t] = (rq_head[t] + 1) & pmask;
+            --rq_count[t];
+          } else {
+            const int pvc = s.parent_bcast_vc;
+            if (rready[pvc] == 0) {
+              blocked = true;  // re-armed by the next arrival
+              break;
+            }
+            packet = ring_ref[pvc * pcap + (rhead[pvc] & pmask)];
+            rhead[pvc] = (rhead[pvc] + 1) & pmask;
+            --rtotal[pvc];
+            --rready[pvc];
+            credit_time[pvc * pcap +
+                        ((chead[pvc] + ccount[pvc]) & pmask)] =
+                now + latency;
+            ++ccount[pvc];
+            schedule_wakeup(pvc);
+          }
+          deliver(t, idx, packet);
+          if (forks == 0) {
+            free_slabs.push_back(packet.slab);
+          } else {
+            for (std::int32_t c = 0; c + 1 < forks; ++c) {
+              const std::int32_t slab = alloc_slab();
+              std::copy_n(
+                  &arena[static_cast<std::size_t>(packet.slab) * stride],
+                  packet.size,
+                  &arena[static_cast<std::size_t>(slab) * stride]);
+              const std::int32_t sid = sb + c;
+              fork_ring[sid * fcap + ((fhead[sid] + fcount[sid]) & fmask)] =
+                  Ref{slab, packet.size};
+              ++fcount[sid];
+            }
+            const std::int32_t sid = sb + forks - 1;
+            fork_ring[sid * fcap + ((fhead[sid] + fcount[sid]) & fmask)] =
+                packet;
+            ++fcount[sid];
+          }
+        }
+        // Used its full per-cycle budget without blocking: it may have more
+        // work next cycle with no new event to re-arm it, so stay active.
+        if (!blocked && moves == bw) activate_bcast(idx);
+      }
+    }
+
+    // 4. Link arbitration, identical to the reference loop except that a
+    // token-starved link contributes its recharge time to the event
+    // horizon instead of being probed.
+    long long recharge_offset = LLONG_MAX;
+    for (int dl = 0; dl < f.num_dlinks; ++dl) {
+      const auto& ids = f.link_vcs[dl];
+      if (ids.empty()) continue;
+      tokens[dl] = std::min<long long>(tokens[dl] + bw, token_cap);
+      if (tokens[dl] <= 0) {
+        // Cycles until the bucket is positive again: smallest k >= 1 with
+        // tokens + k * bw >= 1.
+        recharge_offset =
+            std::min(recharge_offset, (1 - tokens[dl] + bw - 1) / bw);
+        continue;
+      }
+      const int count = static_cast<int>(ids.size());
+      const int probes = count * bw;
+      int slot = rr[dl];
+      for (int probe = 0; probe < probes && tokens[dl] > 0;
+           ++probe, slot = slot + 1 == count ? 0 : slot + 1) {
+        const int id = ids[slot];
+        if (credits[id] <= 0) continue;
+        Ref packet;
+        if (vc_is_reduce[id]) {
+          const std::int32_t si = vc_src_state[id];
+          if (f.state[si].injected >= eng_target[si] ||
+              eng_ready[si] != eng_nchild[si]) {
+            continue;
+          }
+          rr[dl] = slot + 1 == count ? 0 : slot + 1;
+          packet = make_reduce_packet(si);
+        } else {
+          const std::int32_t sid = vc_stage[id];
+          if (fcount[sid] == 0) continue;
+          rr[dl] = slot + 1 == count ? 0 : slot + 1;
+          packet = fork_ring[sid * fcap + (fhead[sid] & fmask)];
+          fhead[sid] = (fhead[sid] + 1) & fmask;
+          --fcount[sid];
+          activate_bcast(vc_src_state[id]);  // fork slot drained
+        }
+        const long long flits = packet.size + header;
+        tokens[dl] -= flits;
+        result.link_flits[dl] += flits;
+        --credits[id];
+        ring_time[id * pcap + ((rhead[id] + rtotal[id]) & pmask)] =
+            now + latency;
+        ring_ref[id * pcap + ((rhead[id] + rtotal[id]) & pmask)] = packet;
+        ++rtotal[id];
+        schedule_wakeup(id);
+        last_progress = now;
+        progressed = true;
+      }
+    }
+
+    if (progressed) {
+      ++now;
+      continue;
+    }
+
+    // Idle cycle: nothing can move until an in-flight landing, a token
+    // recharge, or one of the abort deadlines. Jump there directly.
+    long long target = LLONG_MAX;
+    if (pending_events > 0) {
+      for (int d = 1; d <= latency; ++d) {
+        if (!wheel[(now + d) & wmask].empty()) {
+          target = now + d;
+          break;
+        }
+      }
+    }
+    if (recharge_offset != LLONG_MAX) {
+      target = std::min(target, now + recharge_offset);
+    }
+    target = std::min(target, last_progress + config.stall_limit + 1);
+    target = std::min(target, config.max_cycles + 1);
+    const long long skip = target - now - 1;
+    if (skip > 0) {
+      for (int dl = 0; dl < f.num_dlinks; ++dl) {
+        if (f.link_vcs[dl].empty()) continue;
+        tokens[dl] = std::min<long long>(tokens[dl] + skip * bw, token_cap);
+      }
+    }
+    now = target;
+  }
+  return now;
+}
+
 }  // namespace
 
 AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
@@ -97,101 +952,17 @@ AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
 
 SimResult AllreduceSimulator::run(
     const std::vector<long long>& elements_per_tree) {
-  const int n = topology_.num_vertices();
   const int num_trees = static_cast<int>(trees_.size());
   if (static_cast<int>(elements_per_tree.size()) != num_trees) {
     throw std::invalid_argument("run: elements_per_tree size mismatch");
   }
-  const Collective mode = config_.collective;
-  const bool want_reduce = mode != Collective::kBroadcast;
-  const bool want_bcast = mode != Collective::kReduce;
-
-  const auto dlink_of = [&](int src, int dst) {
-    const int eid = topology_.edge_id(src, dst);
-    return 2 * eid + (src > dst ? 1 : 0);
-  };
-  const int num_dlinks = 2 * topology_.num_edges();
-
-  // ---- Build VCs and per-(node, tree) engine state. ----
-  std::vector<VcState> vcs;
-  std::vector<std::vector<int>> link_vcs(num_dlinks);
-  std::vector<NodeTreeState> state(static_cast<std::size_t>(n) * num_trees);
-  const auto st = [&](int node, int tree) -> NodeTreeState& {
-    return state[static_cast<std::size_t>(tree) * n + node];
-  };
-
-  const auto new_vc = [&](int tree, Phase phase, int src, int dst) {
-    VcState vc;
-    vc.tree = tree;
-    vc.phase = phase;
-    vc.src = src;
-    vc.dst = dst;
-    vc.dlink = dlink_of(src, dst);
-    vc.credits = config_.vc_credits;
-    vcs.push_back(std::move(vc));
-    const int id = static_cast<int>(vcs.size()) - 1;
-    link_vcs[vcs[id].dlink].push_back(id);
-    return id;
-  };
-
-  for (int t = 0; t < num_trees; ++t) {
-    const auto& tree = trees_[t];
-    for (int v = 0; v < n; ++v) {
-      st(v, t).parent = tree.parent[v];
-      if (tree.parent[v] >= 0) st(tree.parent[v], t).children.push_back(v);
-    }
-    for (int v = 0; v < n; ++v) {
-      NodeTreeState& s = st(v, t);
-      if (s.parent >= 0) {
-        if (want_reduce) {
-          s.parent_reduce_vc = new_vc(t, Phase::kReduce, v, s.parent);
-        }
-        if (want_bcast) {
-          s.parent_bcast_vc = new_vc(t, Phase::kBcast, s.parent, v);
-        }
-      }
-      s.fork_stage.resize(s.children.size());
-      s.child_bcast_vc.assign(s.children.size(), -1);
-      s.child_reduce_vc.assign(s.children.size(), -1);
-    }
-    for (int v = 0; v < n; ++v) {
-      NodeTreeState& s = st(v, t);
-      for (std::size_t c = 0; c < s.children.size(); ++c) {
-        const int child = s.children[c];
-        s.child_reduce_vc[c] = st(child, t).parent_reduce_vc;
-        s.child_bcast_vc[c] = st(child, t).parent_bcast_vc;
-        if (s.child_bcast_vc[c] >= 0) {
-          vcs[s.child_bcast_vc[c]].fork_index = static_cast<int>(c);
-        }
-      }
-    }
-  }
 
   SimResult result;
-  result.num_vcs = static_cast<int>(vcs.size());
-  for (const auto& lv : link_vcs) {
-    result.max_vcs_per_link =
-        std::max(result.max_vcs_per_link, static_cast<int>(lv.size()));
-  }
-  // Lemma 7.8 accounting: distinct trees consuming each input port as a
-  // reduction input.
-  if (want_reduce) {
-    std::vector<int> reductions_per_port(num_dlinks, 0);
-    for (const auto& vc : vcs) {
-      if (vc.phase == Phase::kReduce) ++reductions_per_port[vc.dlink];
-    }
-    for (int c : reductions_per_port) {
-      result.max_reductions_per_input_port =
-          std::max(result.max_reductions_per_input_port, c);
-    }
-  }
-  result.link_flits.assign(num_dlinks, 0);
-  result.tree_finish_cycle.assign(num_trees, 0);
-  result.tree_first_delivery.assign(num_trees, -1);
-  result.values_correct = true;
+  Fabric fabric = build_fabric(topology_, trees_, config_, result);
 
   // Deliveries expected per tree: at every node for Allreduce/Broadcast,
   // at the root only for Reduce.
+  const Collective mode = config_.collective;
   long long total_target = 0;
   std::vector<long long> tree_remaining(num_trees);
   for (int t = 0; t < num_trees; ++t) {
@@ -199,231 +970,23 @@ SimResult AllreduceSimulator::run(
       throw std::invalid_argument("run: negative element count");
     }
     result.total_elements += elements_per_tree[t];
-    const long long receivers = (mode == Collective::kReduce) ? 1 : n;
+    const long long receivers =
+        (mode == Collective::kReduce) ? 1 : fabric.n;
     tree_remaining[t] = elements_per_tree[t] * receivers;
     total_target += tree_remaining[t];
   }
   if (total_target == 0) return result;
 
-  const auto expected_value = [&](int tree, long long k) {
-    return mode == Collective::kBroadcast
-               ? local_value(trees_[tree].root, tree, k)
-               : sum_over_nodes(n, tree, k);
-  };
+  const long long cycles =
+      config_.engine == SimEngine::kReference
+          ? run_reference_loop(fabric, config_, elements_per_tree, result,
+                               tree_remaining, total_target)
+          : run_fast_loop(fabric, config_, elements_per_tree, result,
+                          tree_remaining, total_target);
 
-  long long delivered_total = 0;
-  long long now = 0;
-  long long last_progress = 0;
-  std::vector<int> rr(num_dlinks, 0);
-  // Token-bucket link occupancy: `tokens` flit-slots accumulate at
-  // link_bandwidth per cycle (bounded burst); a packet consumes
-  // payload + header flits and may borrow, modeling multi-cycle packets.
-  std::vector<long long> tokens(num_dlinks, 0);
-  const int header = config_.packet_header_flits;
-
-  const auto vc_ready = [&](const VcState& vc) -> bool {
-    const NodeTreeState& s = st(vc.src, vc.tree);
-    if (vc.phase == Phase::kReduce) {
-      if (s.injected >= elements_per_tree[vc.tree]) return false;
-      for (int cvc : s.child_reduce_vc) {
-        if (vcs[cvc].recv.empty()) return false;
-      }
-      return true;
-    }
-    return !s.fork_stage[vc.fork_index].empty();
-  };
-
-  // Assembles the next reduction packet at node `src` for tree `tree`:
-  // local chunk combined with one packet from each child. Chunk sizes are
-  // aligned across children because every stream chunks the same way.
-  const auto make_reduce_packet = [&](int src, int tree) -> Packet {
-    NodeTreeState& s = st(src, tree);
-    const long long remaining = elements_per_tree[tree] - s.injected;
-    long long size = std::min<long long>(config_.packet_payload, remaining);
-    for (int cvc : s.child_reduce_vc) {
-      if (static_cast<long long>(vcs[cvc].recv.front().size()) != size) {
-        throw std::logic_error("reduce packet misalignment");
-      }
-    }
-    Packet packet(size);
-    for (long long i = 0; i < size; ++i) {
-      packet[i] = local_value(src, tree, s.injected + i);
-    }
-    s.injected += size;
-    for (int cvc : s.child_reduce_vc) {
-      const Packet& head = vcs[cvc].recv.front();
-      for (long long i = 0; i < size; ++i) packet[i] += head[i];
-      vcs[cvc].recv.pop_front();
-      vcs[cvc].credit_inflight.push_back(now + config_.link_latency);
-    }
-    return packet;
-  };
-
-  const auto deliver = [&](int node, int tree, const Packet& packet) {
-    NodeTreeState& s = st(node, tree);
-    if (result.tree_first_delivery[tree] < 0) {
-      result.tree_first_delivery[tree] = now;
-    }
-    for (std::int64_t value : packet) {
-      if (value != expected_value(tree, s.delivered)) {
-        result.values_correct = false;
-      }
-      ++s.delivered;
-      ++delivered_total;
-      if (--tree_remaining[tree] == 0) result.tree_finish_cycle[tree] = now;
-    }
-    last_progress = now;
-  };
-
-  while (delivered_total < total_target) {
-    if (now > config_.max_cycles) {
-      throw std::runtime_error("AllreduceSimulator: cycle limit exceeded");
-    }
-    if (now - last_progress > config_.stall_limit) {
-      throw std::runtime_error(
-          "AllreduceSimulator: deadlock detected at cycle " +
-          std::to_string(now));
-    }
-
-    // 1. Arrivals: land in-flight packets and returned credits.
-    for (auto& vc : vcs) {
-      while (!vc.data_inflight.empty() &&
-             vc.data_inflight.front().first <= now) {
-        vc.recv.push_back(std::move(vc.data_inflight.front().second));
-        vc.data_inflight.pop_front();
-        result.max_vc_occupancy = std::max(
-            result.max_vc_occupancy, static_cast<int>(vc.recv.size()));
-        last_progress = now;
-      }
-      while (!vc.credit_inflight.empty() &&
-             vc.credit_inflight.front() <= now) {
-        vc.credit_inflight.pop_front();
-        ++vc.credits;
-      }
-    }
-
-    // 2. Root engines. Allreduce/Reduce: final sums materialize at the
-    // root (into the turnaround queue or straight to local delivery).
-    // Broadcast: the root sources its own stream into the queue.
-    for (int t = 0; t < num_trees; ++t) {
-      NodeTreeState& s = st(trees_[t].root, t);
-      for (int fire = 0; fire < config_.link_bandwidth; ++fire) {
-        if (s.injected >= elements_per_tree[t]) break;
-        if (mode != Collective::kReduce &&
-            static_cast<int>(s.root_queue.size()) >= config_.vc_credits) {
-          break;
-        }
-        Packet packet;
-        if (mode == Collective::kBroadcast) {
-          const long long remaining = elements_per_tree[t] - s.injected;
-          const long long size =
-              std::min<long long>(config_.packet_payload, remaining);
-          packet.resize(size);
-          for (long long i = 0; i < size; ++i) {
-            packet[i] = local_value(trees_[t].root, t, s.injected + i);
-          }
-          s.injected += size;
-        } else {
-          bool inputs_ready = true;
-          for (int cvc : s.child_reduce_vc) {
-            if (vcs[cvc].recv.empty()) {
-              inputs_ready = false;
-              break;
-            }
-          }
-          if (!inputs_ready) break;
-          packet = make_reduce_packet(trees_[t].root, t);
-        }
-        if (mode == Collective::kReduce) {
-          deliver(trees_[t].root, t, packet);
-        } else {
-          s.root_queue.push_back(std::move(packet));
-        }
-        last_progress = now;
-      }
-    }
-
-    // 3. Broadcast replication: parent VC (or root queue) -> all fork
-    // stages + local delivery. Fork-stage room is required for all
-    // children, which bounds buffering and stays deadlock-free.
-    if (want_bcast) {
-      for (int t = 0; t < num_trees; ++t) {
-        for (int v = 0; v < n; ++v) {
-          NodeTreeState& s = st(v, t);
-          const bool is_root = (v == trees_[t].root);
-          if (!is_root && s.parent_bcast_vc < 0) continue;
-          for (int moves = 0; moves < config_.link_bandwidth; ++moves) {
-            bool room = true;
-            for (const auto& stage : s.fork_stage) {
-              if (static_cast<int>(stage.size()) >= config_.fork_buffer) {
-                room = false;
-                break;
-              }
-            }
-            if (!room) break;
-            Packet packet;
-            if (is_root) {
-              if (s.root_queue.empty()) break;
-              packet = std::move(s.root_queue.front());
-              s.root_queue.pop_front();
-            } else {
-              VcState& pvc = vcs[s.parent_bcast_vc];
-              if (pvc.recv.empty()) break;
-              packet = std::move(pvc.recv.front());
-              pvc.recv.pop_front();
-              pvc.credit_inflight.push_back(now + config_.link_latency);
-            }
-            deliver(v, t, packet);
-            for (auto& stage : s.fork_stage) stage.push_back(packet);
-          }
-        }
-      }
-    }
-
-    // 4. Link arbitration: round-robin over each directed link's VCs,
-    // consuming token-bucket flit slots (payload + header per packet).
-    for (int dl = 0; dl < num_dlinks; ++dl) {
-      const auto& ids = link_vcs[dl];
-      if (ids.empty()) continue;
-      tokens[dl] = std::min<long long>(
-          tokens[dl] + config_.link_bandwidth,
-          static_cast<long long>(config_.link_bandwidth) *
-              (config_.packet_payload + header));
-      const int count = static_cast<int>(ids.size());
-      const int probes = count * config_.link_bandwidth;
-      const int base = rr[dl];
-      for (int probe = 0; probe < probes && tokens[dl] > 0; ++probe) {
-        const int slot = (base + probe) % count;
-        VcState& vc = vcs[ids[slot]];
-        if (vc.credits <= 0 || !vc_ready(vc)) continue;
-        // True round-robin: rotate past the granted VC so competing trees
-        // alternate even when packets occupy the link for several cycles.
-        rr[dl] = (slot + 1) % count;
-        Packet packet;
-        if (vc.phase == Phase::kReduce) {
-          packet = make_reduce_packet(vc.src, vc.tree);
-        } else {
-          NodeTreeState& s = st(vc.src, vc.tree);
-          packet = std::move(s.fork_stage[vc.fork_index].front());
-          s.fork_stage[vc.fork_index].pop_front();
-        }
-        const long long flits =
-            static_cast<long long>(packet.size()) + header;
-        tokens[dl] -= flits;
-        result.link_flits[dl] += flits;
-        --vc.credits;
-        vc.data_inflight.emplace_back(now + config_.link_latency,
-                                      std::move(packet));
-        last_progress = now;
-      }
-    }
-
-    ++now;
-  }
-
-  result.cycles = now;
-  result.aggregate_bandwidth =
-      static_cast<double>(result.total_elements) / static_cast<double>(now);
+  result.cycles = cycles;
+  result.aggregate_bandwidth = static_cast<double>(result.total_elements) /
+                               static_cast<double>(cycles);
   return result;
 }
 

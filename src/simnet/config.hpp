@@ -11,6 +11,20 @@ enum class Collective {
   kBroadcast,  // root streams its vector down the tree (no reduction)
 };
 
+/// Which execution engine drives the cycle loop. Both produce bit-identical
+/// results (cycles, link_flits, occupancy maxima, correctness); the
+/// fast-forward engine is the default and the reference engine exists as the
+/// oracle the determinism test compares against.
+enum class SimEngine {
+  /// Event-horizon engine: arrivals/credits land via a time-indexed wheel,
+  /// broadcast engines run off active lists, and provably idle cycle ranges
+  /// are skipped in one jump (token buckets are advanced in closed form).
+  kFastForward,
+  /// The original cycle-by-cycle loop: every VC, engine and link is scanned
+  /// on every cycle. Kept as the behavioural oracle.
+  kReference,
+};
+
 /// Parameters of the cycle-level router/link model (Section 4.4). The
 /// defaults model a PIUMA/SHARP-like device: pipelined reduction engines
 /// able to sustain link rate, credit-based flow control, and one virtual
@@ -36,6 +50,8 @@ struct SimConfig {
   int packet_header_flits = 0;
   /// Which collective to execute.
   Collective collective = Collective::kAllreduce;
+  /// Which cycle-loop engine to use (results are identical either way).
+  SimEngine engine = SimEngine::kFastForward;
   /// Safety valve: abort if the collective has not completed by this cycle.
   long long max_cycles = 500'000'000;
   /// Cycles without any flit movement before declaring deadlock.

@@ -92,13 +92,20 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
   // one injection port (index = degree). Port lookup by (node, from).
   std::vector<std::vector<Port>> ports(n);
   std::vector<std::vector<int>> from_index(n);  // neighbor rank lookup
+  // Flat port ids (port_base[v] + p) for the event wheel.
+  std::vector<int> port_base(n + 1, 0);
   for (int v = 0; v < n; ++v) {
     ports[v].resize(topology_.degree(v) + 1);
+    port_base[v + 1] = port_base[v] + static_cast<int>(ports[v].size());
     from_index[v].assign(n, -1);
     const auto& nbrs = topology_.neighbors(v);
     for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
       from_index[v][nbrs[i]] = i;
     }
+  }
+  std::vector<int> port_owner(port_base[n]);
+  for (int v = 0; v < n; ++v) {
+    for (int p = port_base[v]; p < port_base[v + 1]; ++p) port_owner[p] = v;
   }
   // Unbounded source queues (latency includes source queueing, the
   // standard open-loop measurement methodology).
@@ -110,20 +117,39 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
     credits[v].assign(ports[v].size(), config.buffer_packets);
     credit_return[v].resize(ports[v].size());
   }
-  // Output-link occupancy token buckets and round-robin pointers.
+  // Output-link occupancy token buckets and round-robin pointers. Token
+  // accumulation for a router that sat idle (no parked packets) is caught
+  // up lazily from last_tick when the router next does work — the closed
+  // form min(t + delta, cap) equals delta per-cycle updates.
   std::vector<std::vector<long long>> tokens(n);
   std::vector<std::vector<int>> rr(n);
+  std::vector<long long> last_tick(n, -1);
   for (int v = 0; v < n; ++v) {
     tokens[v].assign(topology_.degree(v), 0);
     rr[v].assign(topology_.degree(v), 0);
   }
+  // Packets parked in any of node v's FIFOs: a router with zero parked
+  // packets can neither eject nor forward, so step 3 skips it entirely.
+  std::vector<long long> parked(n, 0);
+
+  // Event wheel over flat port ids. Arrivals land at now + link_latency +
+  // packet_flits, credit returns at now + link_latency; both deltas are
+  // constant so pending wake-ups live within the next wheel_size cycles.
+  const int wheel_size = config.link_latency + config.packet_flits + 1;
+  std::vector<std::vector<int>> wheel(wheel_size);
+  long long now = 0;
+  // Clamp to now + 1: an event stamped `now` (zero link latency) is only
+  // ever observed on the next cycle, and the current cycle's bucket has
+  // already been drained.
+  const auto schedule_wakeup = [&](int flat_port, long long t) {
+    wheel[std::max(t, now + 1) % wheel_size].push_back(flat_port);
+  };
 
   TrafficResult result;
   std::vector<long long> latencies;
   latencies.reserve(config.measure_packets);
   long long total_hops = 0;
   long long measured_start = -1;
-  long long now = 0;
 
   while (static_cast<long long>(latencies.size()) < config.measure_packets) {
     if (now >= config.max_cycles) {
@@ -131,14 +157,18 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
       break;
     }
 
-    // 1. Arrivals and credit returns.
-    for (int v = 0; v < n; ++v) {
-      for (std::size_t p = 0; p < ports[v].size(); ++p) {
+    // 1. Arrivals and credit returns: only ports with due wake-ups.
+    {
+      auto& bucket = wheel[now % wheel_size];
+      for (int flat : bucket) {
+        const int v = port_owner[flat];
+        const std::size_t p = static_cast<std::size_t>(flat - port_base[v]);
         Port& port = ports[v][p];
         while (!port.inflight.empty() &&
                port.inflight.front().first <= now) {
           port.fifo.push_back(port.inflight.front().second);
           port.inflight.pop_front();
+          ++parked[v];
         }
         auto& returns = credit_return[v][p];
         while (!returns.empty() && returns.front() <= now) {
@@ -146,10 +176,14 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
           ++credits[v][p];
         }
       }
+      bucket.clear();
     }
 
     // 2. Injection: generated packets enter the source queue; the source
-    // queue feeds the injection port when it has buffer room.
+    // queue feeds the injection port when it has buffer room. (Bernoulli
+    // injection draws from the RNG for every node on every cycle, which is
+    // why this loop — unlike the allreduce simulator's — cannot skip idle
+    // cycle ranges without changing the random stream.)
     for (int v = 0; v < n; ++v) {
       if (rng.next_double() < config.injection_rate) {
         Packet pkt;
@@ -168,14 +202,23 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
                  config.buffer_packets) {
         ports[v][inj].fifo.push_back(source[v].front());
         source[v].pop_front();
+        ++parked[v];
       }
     }
 
     // 3. Switch allocation + traversal: each output link grants one input
     // port per free slot (round-robin), consuming link occupancy tokens.
     for (int v = 0; v < n; ++v) {
+      if (parked[v] == 0) continue;
       const auto& nbrs = topology_.neighbors(v);
       const int num_ports = static_cast<int>(ports[v].size());
+      // Catch up token accumulation for the cycles this router sat idle.
+      const long long delta = now - last_tick[v];
+      last_tick[v] = now;
+      for (int out = 0; out < static_cast<int>(nbrs.size()); ++out) {
+        tokens[v][out] = std::min<long long>(tokens[v][out] + delta,
+                                             config.packet_flits);
+      }
       // Ejection first: heads destined here leave immediately. A head that
       // reached its Valiant intermediate sheds it and keeps routing.
       for (int p = 0; p < num_ports; ++p) {
@@ -190,14 +233,14 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
             total_hops += head.hops;
           }
           port.fifo.pop_front();
+          --parked[v];
           if (p < num_ports - 1) {  // network port: return a credit upstream
             credit_return[v][p].push_back(now + config.link_latency);
+            schedule_wakeup(port_base[v] + p, now + config.link_latency);
           }
         }
       }
       for (int out = 0; out < static_cast<int>(nbrs.size()); ++out) {
-        tokens[v][out] = std::min<long long>(
-            tokens[v][out] + 1, config.packet_flits);
         if (tokens[v][out] <= 0) continue;
         const int next = nbrs[out];
         const int in_port_at_next = from_index[next][v];
@@ -222,14 +265,18 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
         Port& port = ports[v][granted];
         Packet pkt = port.fifo.front();
         port.fifo.pop_front();
+        --parked[v];
         if (granted < num_ports - 1) {
           credit_return[v][granted].push_back(now + config.link_latency);
+          schedule_wakeup(port_base[v] + granted, now + config.link_latency);
         }
         ++pkt.hops;
         tokens[v][out] -= config.packet_flits;
         --credits[next][in_port_at_next];
-        ports[next][in_port_at_next].inflight.emplace_back(
-            now + config.link_latency + config.packet_flits, pkt);
+        const long long arrival =
+            now + config.link_latency + config.packet_flits;
+        ports[next][in_port_at_next].inflight.emplace_back(arrival, pkt);
+        schedule_wakeup(port_base[next] + in_port_at_next, arrival);
       }
     }
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/thread_pool.hpp"
+
 namespace pfar::util {
 
 Args::Args(int argc, char** argv) {
@@ -37,5 +39,11 @@ std::string Args::get_string(const std::string& key,
 }
 
 bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+int Args::threads() const {
+  const long long requested = get_int("threads", 0);
+  if (requested > 0) return static_cast<int>(requested);
+  return default_threads();  // PFAR_THREADS env, then hardware concurrency
+}
 
 }  // namespace pfar::util

@@ -18,6 +18,10 @@ class Args {
                          const std::string& fallback) const;
   bool has(const std::string& key) const;
 
+  /// Worker thread count for sweep binaries: --threads N if given, else
+  /// the PFAR_THREADS environment variable, else hardware concurrency.
+  int threads() const;
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pfar::util {
+
+/// Number of worker threads to use by default: the PFAR_THREADS environment
+/// variable if set to a positive integer, otherwise the hardware
+/// concurrency (at least 1).
+int default_threads();
+
+/// A fixed-size pool of worker threads draining one shared task queue.
+/// Tasks are opaque void() callables; ordering across workers is
+/// unspecified, so deterministic users (see core::SweepRunner) must make
+/// each task independent and collect results by index, not by completion
+/// order.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default_threads() when <= 0).
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including from inside
+  /// a running task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every submitted task has
+  /// finished executing.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace pfar::util

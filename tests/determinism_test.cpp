@@ -1,0 +1,230 @@
+// Determinism guarantees of the performance machinery added for the sweep
+// engine:
+//
+//  * core::SweepRunner produces identical result vectors no matter how
+//    many worker threads execute the sweep (per-task seeding, order-stable
+//    collection);
+//  * the fast-forward simulator engine reproduces the reference engine's
+//    SimResult exactly — cycles, per-link flit counts, tree finish/first-
+//    delivery cycles, occupancy maxima, correctness — across all three
+//    collective modes and the stressful corners of the config space;
+//  * both engines still match golden values captured from the original
+//    cycle-by-cycle implementation, pinning the whole lineage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "collectives/innetwork.hpp"
+#include "core/planner.hpp"
+#include "core/sweep_runner.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pfar;
+
+// --- SweepRunner ----------------------------------------------------------
+
+std::vector<std::uint64_t> run_sweep(int threads) {
+  core::SweepRunner runner(threads, /*base_seed=*/42);
+  return runner.map<std::uint64_t>(24, [](const core::SweepTask& task) {
+    // Mix the task seed through a private RNG: any dependence on thread
+    // identity or completion order would desynchronize the streams.
+    util::Rng rng(task.seed);
+    std::uint64_t acc = static_cast<std::uint64_t>(task.index);
+    for (int i = 0; i < 1000; ++i) acc = acc * 31 + rng.next();
+    return acc;
+  });
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults) {
+  const auto serial = run_sweep(1);
+  ASSERT_EQ(serial.size(), 24u);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(run_sweep(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(SweepRunner, TaskSeedsAreDistinctAndIndexDerived) {
+  const std::uint64_t a0 = core::SweepRunner::task_seed(7, 0);
+  const std::uint64_t a1 = core::SweepRunner::task_seed(7, 1);
+  const std::uint64_t b0 = core::SweepRunner::task_seed(8, 0);
+  EXPECT_NE(a0, a1);
+  EXPECT_NE(a0, b0);
+  // Pure function of (base_seed, index).
+  EXPECT_EQ(a0, core::SweepRunner::task_seed(7, 0));
+}
+
+TEST(SweepRunner, PropagatesFirstTaskException) {
+  core::SweepRunner runner(4);
+  EXPECT_THROW(
+      runner.for_each(16,
+                      [](const core::SweepTask& task) {
+                        if (task.index == 11) {
+                          throw std::runtime_error("task 11 failed");
+                        }
+                      }),
+      std::runtime_error);
+}
+
+// --- Fast-forward engine vs reference engine ------------------------------
+
+simnet::SimResult run_engine(int q, core::Solution sol,
+                             simnet::SimConfig cfg, long long m,
+                             simnet::SimEngine engine) {
+  cfg.engine = engine;
+  const auto plan = core::AllreducePlanner(q).solution(sol).build();
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  return sim.run(plan.split(m));
+}
+
+void expect_identical(int q, core::Solution sol, const simnet::SimConfig& cfg,
+                      long long m) {
+  const auto fast =
+      run_engine(q, sol, cfg, m, simnet::SimEngine::kFastForward);
+  const auto ref = run_engine(q, sol, cfg, m, simnet::SimEngine::kReference);
+  EXPECT_EQ(fast.cycles, ref.cycles);
+  EXPECT_EQ(fast.total_elements, ref.total_elements);
+  EXPECT_EQ(fast.values_correct, ref.values_correct);
+  EXPECT_EQ(fast.num_vcs, ref.num_vcs);
+  EXPECT_EQ(fast.max_vcs_per_link, ref.max_vcs_per_link);
+  EXPECT_EQ(fast.max_reductions_per_input_port,
+            ref.max_reductions_per_input_port);
+  EXPECT_EQ(fast.max_vc_occupancy, ref.max_vc_occupancy);
+  EXPECT_EQ(fast.link_flits, ref.link_flits);
+  EXPECT_EQ(fast.tree_finish_cycle, ref.tree_finish_cycle);
+  EXPECT_EQ(fast.tree_first_delivery, ref.tree_first_delivery);
+  EXPECT_DOUBLE_EQ(fast.aggregate_bandwidth, ref.aggregate_bandwidth);
+}
+
+TEST(FastForwardEngine, MatchesReferenceAcrossCollectiveModes) {
+  for (const auto mode :
+       {simnet::Collective::kAllreduce, simnet::Collective::kReduce,
+        simnet::Collective::kBroadcast}) {
+    for (const int payload : {1, 4}) {
+      simnet::SimConfig cfg;
+      cfg.collective = mode;
+      cfg.packet_payload = payload;
+      cfg.packet_header_flits = payload == 1 ? 0 : 1;
+      expect_identical(3, core::Solution::kLowDepth, cfg, 600);
+      expect_identical(3, core::Solution::kEdgeDisjoint, cfg, 600);
+      expect_identical(5, core::Solution::kSingleTree, cfg, 600);
+    }
+  }
+}
+
+TEST(FastForwardEngine, MatchesReferenceInStressCorners) {
+  {
+    simnet::SimConfig cfg;  // tight credits, long latency: stall-heavy
+    cfg.vc_credits = 2;
+    cfg.link_latency = 8;
+    expect_identical(5, core::Solution::kLowDepth, cfg, 400);
+  }
+  {
+    simnet::SimConfig cfg;  // wide links, zero latency
+    cfg.link_bandwidth = 2;
+    cfg.vc_credits = 32;
+    cfg.link_latency = 0;
+    expect_identical(5, core::Solution::kEdgeDisjoint, cfg, 400);
+  }
+  {
+    simnet::SimConfig cfg;  // fork-buffer pressure + framing
+    cfg.fork_buffer = 1;
+    cfg.packet_payload = 8;
+    cfg.packet_header_flits = 2;
+    expect_identical(7, core::Solution::kLowDepth, cfg, 800);
+  }
+}
+
+// --- Golden values from the original implementation -----------------------
+
+std::uint64_t fnv(const std::vector<long long>& v) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (long long x : v) {
+    h ^= static_cast<std::uint64_t>(x);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Golden {
+  const char* name;
+  int q;
+  core::Solution sol;
+  simnet::Collective mode;
+  int payload;
+  int header;
+  long long m;
+  // Expected values captured from the pre-fast-forward implementation.
+  long long cycles;
+  int occupancy;
+  std::uint64_t link_flits_hash;
+  std::uint64_t finish_hash;
+  std::uint64_t first_hash;
+};
+
+TEST(FastForwardEngine, MatchesGoldenValuesFromSeedImplementation) {
+  const Golden goldens[] = {
+      {"q3_ld_allreduce", 3, core::Solution::kLowDepth,
+       simnet::Collective::kAllreduce, 1, 0, 600, 416, 9,
+       16968771372679624195ULL, 9110279880017709470ULL,
+       1228718878961412657ULL},
+      {"q3_ed_allreduce", 3, core::Solution::kEdgeDisjoint,
+       simnet::Collective::kAllreduce, 1, 0, 600, 348, 1,
+       2242625126560894851ULL, 10962671891925027081ULL,
+       11149429439497907611ULL},
+      {"q5_st_allreduce_p4", 5, core::Solution::kSingleTree,
+       simnet::Collective::kAllreduce, 4, 1, 600, 762, 1,
+       13528660941121534451ULL, 4952590511094989390ULL,
+       4953172152746313009ULL},
+      {"q3_ld_reduce", 3, core::Solution::kLowDepth,
+       simnet::Collective::kReduce, 1, 0, 600, 212, 9,
+       12359465448692625459ULL, 17061978783806592578ULL,
+       1228718878961412657ULL},
+      {"q3_ld_broadcast", 3, core::Solution::kLowDepth,
+       simnet::Collective::kBroadcast, 1, 0, 600, 212, 1,
+       6138104403299626419ULL, 17061978783806592578ULL,
+       12196949897413546625ULL},
+  };
+  for (const auto& g : goldens) {
+    simnet::SimConfig cfg;
+    cfg.collective = g.mode;
+    cfg.packet_payload = g.payload;
+    cfg.packet_header_flits = g.header;
+    for (const auto engine :
+         {simnet::SimEngine::kFastForward, simnet::SimEngine::kReference}) {
+      const auto r = run_engine(g.q, g.sol, cfg, g.m, engine);
+      EXPECT_EQ(r.cycles, g.cycles) << g.name;
+      EXPECT_TRUE(r.values_correct) << g.name;
+      EXPECT_EQ(r.max_vc_occupancy, g.occupancy) << g.name;
+      EXPECT_EQ(fnv(r.link_flits), g.link_flits_hash) << g.name;
+      EXPECT_EQ(fnv(r.tree_finish_cycle), g.finish_hash) << g.name;
+      EXPECT_EQ(fnv(r.tree_first_delivery), g.first_hash) << g.name;
+    }
+  }
+}
+
+// --- Simulator sweeps under the runner (thread-safety of simulate()) ------
+
+TEST(SweepRunner, ParallelSimulationsMatchSerial) {
+  const auto plan = core::AllreducePlanner(3).build();
+  const auto run_with = [&](int threads) {
+    core::SweepRunner runner(threads);
+    return runner.map<long long>(6, [&](const core::SweepTask& task) {
+      simnet::SimConfig cfg;
+      cfg.packet_payload = 1 + task.index % 3;
+      cfg.vc_credits = 4 + 4 * (task.index / 3);
+      const auto res = plan.simulate(400, cfg);
+      EXPECT_TRUE(res.sim.values_correct);
+      return res.sim.cycles;
+    });
+  };
+  EXPECT_EQ(run_with(4), run_with(1));
+}
+
+}  // namespace
