@@ -1,0 +1,145 @@
+#include "core/plan_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/serialize.hpp"
+
+namespace pfar::core {
+
+namespace fs = std::filesystem;
+
+PlanCache::PlanCache(std::string disk_dir) : disk_dir_(std::move(disk_dir)) {}
+
+std::string PlanCache::file_name(const PlanKey& key) {
+  std::ostringstream os;
+  os << "plan_q" << key.q << "_s" << static_cast<int>(key.solution) << "_st"
+     << key.starter << "_" << kBuilderVersion << ".pfar";
+  return os.str();
+}
+
+std::shared_ptr<const AllreducePlan> PlanCache::load_from_disk(
+    const PlanKey& key) {
+  if (disk_dir_.empty()) return nullptr;
+  const fs::path path = fs::path(disk_dir_) / file_name(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return nullptr;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    ParsedPlan parsed = parse_plan(buf.str());
+    // The filename encodes the key, but never trust it: a renamed or
+    // hand-edited file must not alias a different design point.
+    if (parsed.plan.q() != key.q || parsed.plan.solution() != key.solution ||
+        parsed.starter != key.starter) {
+      return nullptr;
+    }
+    return std::make_shared<const AllreducePlan>(std::move(parsed.plan));
+  } catch (const std::invalid_argument&) {
+    return nullptr;  // corrupted or stale: rebuild instead
+  }
+}
+
+void PlanCache::store_to_disk(const PlanKey& key, const AllreducePlan& plan) {
+  if (disk_dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(disk_dir_, ec);
+  if (ec) return;
+  const fs::path path = fs::path(disk_dir_) / file_name(key);
+  // Write-then-rename so a crashed writer never leaves a torn file under
+  // the final name (readers would reject it via checksum anyway).
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << serialize_plan(plan, key.starter);
+    if (!out) return;
+  }
+  fs::rename(tmp, path, ec);
+  if (!ec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+  }
+}
+
+std::shared_ptr<const AllreducePlan> PlanCache::lookup(const PlanKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+  auto plan = load_from_disk(key);
+  if (!plan) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.disk_hits;
+  auto [it, inserted] = memory_.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const AllreducePlan> PlanCache::get_or_build(
+    const PlanKey& key, int threads) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+  if (auto plan = load_from_disk(key)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = memory_.emplace(key, std::move(plan));
+    if (inserted) ++stats_.disk_hits;
+    else ++stats_.memory_hits;  // lost a race to an identical entry
+    return it->second;
+  }
+
+  // Build outside the lock: construction is deterministic, so a racing
+  // duplicate build yields an identical plan and the first insert wins.
+  auto built = std::make_shared<const AllreducePlan>(
+      AllreducePlanner(key.q)
+          .solution(key.solution)
+          .starter_quadric(key.starter)
+          .threads(threads)
+          .build());
+  bool fresh = false;
+  std::shared_ptr<const AllreducePlan> result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = memory_.emplace(key, std::move(built));
+    fresh = inserted;
+    if (inserted) ++stats_.misses;
+    else ++stats_.memory_hits;
+    result = it->second;
+  }
+  if (fresh) store_to_disk(key, *result);
+  return result;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+PlanCache& PlanCache::process_cache() {
+  static PlanCache cache = [] {
+    const char* dir = std::getenv("PFAR_PLAN_CACHE");
+    return PlanCache(dir ? dir : "");
+  }();
+  return cache;
+}
+
+}  // namespace pfar::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/planner.hpp"
+
+namespace pfar::core {
+
+/// Identity of a fully built plan: everything AllreducePlanner consumes.
+/// Together with serialize.hpp's kBuilderVersion (baked into every
+/// serialized payload and into the on-disk filename) this is the full
+/// cache key — a builder-version bump invalidates old entries.
+struct PlanKey {
+  int q = 0;
+  Solution solution = Solution::kLowDepth;
+  int starter = 0;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+  friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
+};
+
+/// Memoizes fully built AllreducePlans (topology + trees + Algorithm 1
+/// bandwidths) in memory and, optionally, on disk via the checksummed
+/// serialize_plan format. Design sweeps construct each (q, solution,
+/// starter) point exactly once per process — and, with a disk directory,
+/// once per machine until the builder version is bumped.
+///
+/// Thread-safe: concurrent get_or_build calls for the same key build at
+/// most once each (first insert wins; construction is deterministic, so a
+/// lost race returns an identical plan).
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t memory_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t misses = 0;   // full builds
+    std::uint64_t stores = 0;   // files written to disk
+  };
+
+  /// Memory-only cache.
+  PlanCache() = default;
+  /// Cache backed by `disk_dir` (created on first store). Empty string
+  /// means memory-only.
+  explicit PlanCache(std::string disk_dir);
+
+  /// Returns the cached plan for `key`, loading it from disk or building
+  /// it (with `threads` construction workers) on a miss. Never returns
+  /// null. Corrupted, truncated, or stale (wrong builder version) disk
+  /// entries are ignored and rebuilt, never trusted.
+  std::shared_ptr<const AllreducePlan> get_or_build(const PlanKey& key,
+                                                    int threads = 0);
+
+  /// Memory/disk lookup without building; nullptr on miss.
+  std::shared_ptr<const AllreducePlan> lookup(const PlanKey& key);
+
+  /// Drops every in-memory entry (disk files are kept).
+  void clear();
+
+  Stats stats() const;
+  const std::string& disk_dir() const { return disk_dir_; }
+
+  /// On-disk filename for a key (relative to disk_dir); embeds the
+  /// builder version so stale entries are never even opened.
+  static std::string file_name(const PlanKey& key);
+
+  /// Process-wide cache. Honors the PFAR_PLAN_CACHE environment variable
+  /// (read once, at first use) as its disk directory.
+  static PlanCache& process_cache();
+
+ private:
+  std::shared_ptr<const AllreducePlan> load_from_disk(const PlanKey& key);
+  void store_to_disk(const PlanKey& key, const AllreducePlan& plan);
+
+  mutable std::mutex mu_;
+  std::map<PlanKey, std::shared_ptr<const AllreducePlan>> memory_;
+  Stats stats_;
+  std::string disk_dir_;
+};
+
+}  // namespace pfar::core

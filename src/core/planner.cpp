@@ -48,11 +48,11 @@ AllreducePlan AllreducePlanner::build() const {
       auto pf = std::make_shared<polarfly::PolarFly>(q_);
       if (q_ % 2 == 1) {
         const auto layout = polarfly::build_layout(*pf, starter_);
-        plan.trees_ = trees::build_low_depth_trees(*pf, layout);
+        plan.trees_ = trees::build_low_depth_trees(*pf, layout, threads_);
       } else {
         // Even q: the paper's unpublished analogue, reconstructed in
         // build_low_depth_trees_even (q-1 trees, depth <= 3, congestion 2).
-        plan.trees_ = trees::build_low_depth_trees_even(*pf, starter_);
+        plan.trees_ = trees::build_low_depth_trees_even(*pf, starter_, threads_);
       }
       plan.topology_ =
           std::shared_ptr<const graph::Graph>(pf, &pf->graph());
@@ -69,8 +69,9 @@ AllreducePlan AllreducePlanner::build() const {
     }
     case Solution::kEdgeDisjoint: {
       auto sg = std::make_shared<singer::SingerGraph>(q_);
-      const auto set = singer::find_disjoint_hamiltonians(sg->difference_set());
-      plan.trees_ = trees::hamiltonian_trees(set);
+      const auto set =
+          singer::find_disjoint_hamiltonians(sg->difference_set(), threads_);
+      plan.trees_ = trees::hamiltonian_trees(set, threads_);
       plan.topology_ =
           std::shared_ptr<const graph::Graph>(sg, &sg->graph());
       plan.owner_ = sg;

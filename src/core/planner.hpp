@@ -34,6 +34,7 @@ class AllreducePlan {
   const model::TreeBandwidths& bandwidths() const { return bandwidths_; }
 
   int q() const { return q_; }
+  Solution solution() const { return solution_; }
   int num_nodes() const { return topology_->num_vertices(); }
   int num_trees() const { return static_cast<int>(trees_.size()); }
   int max_depth() const;
@@ -54,6 +55,7 @@ class AllreducePlan {
 
  private:
   friend class AllreducePlanner;
+  friend struct PlanIO;  // serialize_plan / parse_plan (core/serialize)
   int q_ = 0;
   Solution solution_ = Solution::kLowDepth;
   std::shared_ptr<const graph::Graph> topology_;  // owns via aliasing
@@ -80,6 +82,13 @@ class AllreducePlanner {
     starter_ = index;
     return *this;
   }
+  /// Worker threads for the parallel construction phases (per-tree
+  /// Algorithm 3 levels, Hamiltonian path materialization). <= 0 means
+  /// util::default_threads(); the result is identical for every value.
+  AllreducePlanner& threads(int t) {
+    threads_ = t;
+    return *this;
+  }
 
   AllreducePlan build() const;
 
@@ -87,6 +96,7 @@ class AllreducePlanner {
   int q_;
   Solution solution_ = Solution::kLowDepth;
   int starter_ = 0;
+  int threads_ = 0;
 };
 
 /// Human-readable name of a solution.

@@ -1,9 +1,26 @@
 #include "core/serialize.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "graph/graph.hpp"
 
 namespace pfar::core {
+
+const char kBuilderVersion[] = "pfar-builder-2";
+
+std::uint64_t fnv1a64(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 std::string serialize_trees(int q,
                             const std::vector<trees::SpanningTree>& ts) {
@@ -72,5 +89,192 @@ ParsedTrees parse_trees(const std::string& text) {
   if (is >> token) fail("trailing content");
   return out;
 }
+
+/// Private-member accessor for AllreducePlan (befriended in planner.hpp)
+/// so plans can be reconstructed without re-running any builder.
+struct PlanIO {
+  static std::string write(const AllreducePlan& plan, int starter);
+  static ParsedPlan read(const std::string& text);
+};
+
+namespace {
+
+[[noreturn]] void pfail(const std::string& what) {
+  throw std::invalid_argument("parse_plan: " + what);
+}
+
+// C99 hex-float formatting: exact binary round-trip, locale-independent,
+// single whitespace-free token.
+void append_hex_double(std::ostringstream& os, double x) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", x);
+  os << buf;
+}
+
+double read_hex_double(std::istringstream& is, const char* what) {
+  std::string token;
+  if (!(is >> token)) pfail(std::string("missing double in ") + what);
+  char* end = nullptr;
+  const double x = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    pfail(std::string("bad double in ") + what);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string PlanIO::write(const AllreducePlan& plan, int starter) {
+  const graph::Graph& g = *plan.topology_;
+  const int n = g.num_vertices();
+  std::ostringstream os;
+  os << "pfar-plan 1\n";
+  os << "builder " << kBuilderVersion << "\n";
+  os << "q " << plan.q_ << "\n";
+  os << "solution " << static_cast<int>(plan.solution_) << "\n";
+  os << "starter " << starter << "\n";
+  os << "n " << n << "\n";
+  os << "edges " << g.num_edges() << "\n";
+  for (const auto& e : g.edges()) os << "e " << e.u << ' ' << e.v << "\n";
+  os << "trees " << plan.trees_.size() << "\n";
+  for (const auto& t : plan.trees_) {
+    os << "tree " << t.root();
+    for (int v = 0; v < n; ++v) os << ' ' << t.parent(v);
+    os << "\n";
+  }
+  os << "bw ";
+  append_hex_double(os, plan.bandwidths_.aggregate);
+  for (double b : plan.bandwidths_.per_tree) {
+    os << ' ';
+    append_hex_double(os, b);
+  }
+  os << "\n";
+  std::string body = os.str();
+  std::ostringstream cs;
+  cs << "checksum " << std::hex << fnv1a64(body) << "\n";
+  return body + cs.str();
+}
+
+ParsedPlan PlanIO::read(const std::string& text) {
+  // Split off and verify the trailing checksum line first: any corruption
+  // of the body (including truncation) is caught before field parsing.
+  const auto pos = text.rfind("checksum ");
+  if (pos == std::string::npos || (pos != 0 && text[pos - 1] != '\n')) {
+    pfail("missing checksum line");
+  }
+  const std::string body = text.substr(0, pos);
+  {
+    std::istringstream cs(text.substr(pos));
+    std::string token, hex;
+    if (!(cs >> token >> hex)) pfail("bad checksum line");
+    std::uint64_t stored = 0;
+    try {
+      std::size_t used = 0;
+      stored = std::stoull(hex, &used, 16);
+      if (used != hex.size()) pfail("bad checksum value");
+    } catch (const std::invalid_argument&) {
+      pfail("bad checksum value");
+    } catch (const std::out_of_range&) {
+      pfail("bad checksum value");
+    }
+    if (cs >> token) pfail("trailing content after checksum");
+    if (stored != fnv1a64(body)) pfail("checksum mismatch");
+  }
+
+  std::istringstream is(body);
+  std::string token;
+  if (!(is >> token) || token != "pfar-plan") pfail("missing magic");
+  int version = 0;
+  if (!(is >> version) || version != 1) pfail("unsupported version");
+  if (!(is >> token) || token != "builder" || !(is >> token)) {
+    pfail("bad builder line");
+  }
+  if (token != kBuilderVersion) {
+    pfail("builder version mismatch (plan built by '" + token +
+          "', this binary is '" + kBuilderVersion + "')");
+  }
+
+  ParsedPlan out;
+  AllreducePlan& plan = out.plan;
+  int solution = -1;
+  int n = 0;
+  int num_edges = 0;
+  std::size_t num_trees = 0;
+  if (!(is >> token) || token != "q" || !(is >> plan.q_) || plan.q_ < 2) {
+    pfail("bad q line");
+  }
+  if (!(is >> token) || token != "solution" || !(is >> solution) ||
+      solution < 0 || solution > 2) {
+    pfail("bad solution line");
+  }
+  plan.solution_ = static_cast<Solution>(solution);
+  if (!(is >> token) || token != "starter" || !(is >> out.starter) ||
+      out.starter < 0) {
+    pfail("bad starter line");
+  }
+  if (!(is >> token) || token != "n" || !(is >> n) || n < 2) {
+    pfail("bad n line");
+  }
+  if (!(is >> token) || token != "edges" || !(is >> num_edges) ||
+      num_edges < 1) {
+    pfail("bad edges line");
+  }
+  auto g = std::make_shared<graph::Graph>(n);
+  for (int i = 0; i < num_edges; ++i) {
+    int u = 0, v = 0;
+    if (!(is >> token) || token != "e" || !(is >> u >> v)) {
+      pfail("bad edge at index " + std::to_string(i));
+    }
+    if (u < 0 || u >= n || v < 0 || v >= n || u == v) {
+      pfail("edge endpoint out of range");
+    }
+    g->add_edge(u, v);
+  }
+  try {
+    g->finalize();
+  } catch (const std::exception& e) {
+    pfail(std::string("invalid topology: ") + e.what());
+  }
+  if (!(is >> token) || token != "trees" || !(is >> num_trees) ||
+      num_trees == 0) {
+    pfail("bad trees line");
+  }
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    int root = 0;
+    if (!(is >> token) || token != "tree" || !(is >> root)) {
+      pfail("bad tree header at tree " + std::to_string(t));
+    }
+    std::vector<int> parent(n);
+    for (int v = 0; v < n; ++v) {
+      if (!(is >> parent[v])) pfail("short parent list");
+      if (parent[v] < -1 || parent[v] >= n) pfail("parent out of range");
+      if (parent[v] >= 0 && !g->has_edge(v, parent[v])) {
+        pfail("tree edge not in topology");
+      }
+    }
+    try {
+      plan.trees_.emplace_back(root, std::move(parent));
+    } catch (const std::exception& e) {
+      pfail(std::string("invalid tree: ") + e.what());
+    }
+  }
+  if (!(is >> token) || token != "bw") pfail("bad bw line");
+  plan.bandwidths_.aggregate = read_hex_double(is, "bw aggregate");
+  plan.bandwidths_.per_tree.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    plan.bandwidths_.per_tree.push_back(read_hex_double(is, "bw entry"));
+  }
+  if (is >> token) pfail("trailing content");
+
+  plan.topology_ = g;
+  plan.owner_ = g;
+  return out;
+}
+
+std::string serialize_plan(const AllreducePlan& plan, int starter) {
+  return PlanIO::write(plan, starter);
+}
+
+ParsedPlan parse_plan(const std::string& text) { return PlanIO::read(text); }
 
 }  // namespace pfar::core

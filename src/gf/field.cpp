@@ -1,5 +1,7 @@
 #include "gf/field.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/numeric.hpp"
@@ -212,6 +214,27 @@ Elem Field::exp(long long e) const {
 int Field::digit(Elem x, int i) const {
   for (int k = 0; k < i; ++k) x /= p_;
   return x % p_;
+}
+
+std::shared_ptr<const Field> shared_field(int q) {
+  // Strong entries pin small fields (tables are O(q^2): ~8 MiB at the
+  // q = 1024 cutoff); weak entries let the largest tables be reclaimed.
+  static std::mutex mutex;
+  static std::map<int, std::shared_ptr<const Field>> strong;
+  static std::map<int, std::weak_ptr<const Field>> weak;
+  constexpr int kStrongCacheMaxQ = 1024;
+
+  std::lock_guard<std::mutex> lock(mutex);
+  if (q <= kStrongCacheMaxQ) {
+    auto& slot = strong[q];
+    if (!slot) slot = std::make_shared<const Field>(q);
+    return slot;
+  }
+  auto& slot = weak[q];
+  if (auto alive = slot.lock()) return alive;
+  auto fresh = std::make_shared<const Field>(q);
+  slot = fresh;
+  return fresh;
 }
 
 }  // namespace pfar::gf

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pfar::gf {
@@ -72,5 +73,13 @@ class Field {
   std::vector<int> log_;    // q entries: log_[0] unused
   std::vector<int> modulus_;
 };
+
+/// Process-wide memoized field table, keyed by q: repeated constructions in
+/// benches and sweeps reuse one immutable Field instead of re-running the
+/// primitive-root / primitive-polynomial searches and table builds per
+/// instance. Thread-safe. Fields with small tables (q <= 1024) are cached
+/// for the process lifetime; larger ones are held weakly and rebuilt only
+/// after every user has released them.
+std::shared_ptr<const Field> shared_field(int q);
 
 }  // namespace pfar::gf

@@ -1,13 +1,39 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <queue>
 #include <stdexcept>
 
 namespace pfar::graph {
+namespace {
 
-Graph::Graph(int n) : n_(n), adj_(n), edge_index_(n) {
+// Default 64 MiB: enough for the packed rows of every PolarFly radix the
+// benches sweep (q = 128 -> n = 16513 -> ~34 MiB) without surprising
+// callers that build many graphs at once.
+std::atomic<std::size_t> g_max_bitset_bytes{64u << 20};
+
+}  // namespace
+
+std::size_t Graph::set_max_bitset_bytes(std::size_t bytes) {
+  return g_max_bitset_bytes.exchange(bytes);
+}
+
+Graph::Graph(int n) : n_(n), build_adj_(n) {
   if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+}
+
+void Graph::reserve(int edge_count, int degree_hint) {
+  if (finalized_) return;
+  if (edge_count > 0) {
+    edges_.reserve(edges_.size() + static_cast<std::size_t>(edge_count));
+  }
+  if (degree_hint > 0) {
+    for (auto& row : build_adj_) {
+      row.reserve(static_cast<std::size_t>(degree_hint));
+    }
+  }
 }
 
 void Graph::add_edge(int u, int v) {
@@ -16,41 +42,112 @@ void Graph::add_edge(int u, int v) {
   }
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   if (finalized_) throw std::logic_error("Graph::add_edge after finalize");
-  const Edge e(u, v);
-  adj_[u].push_back(v);
-  adj_[v].push_back(u);
-  edges_.push_back(e);
+  build_adj_[u].push_back(v);
+  build_adj_[v].push_back(u);
+  edges_.emplace_back(u, v);
 }
 
 void Graph::finalize() {
-  for (auto& list : adj_) {
-    std::sort(list.begin(), list.end());
-    if (std::adjacent_find(list.begin(), list.end()) != list.end()) {
-      throw std::logic_error("Graph::finalize: duplicate edge");
+  // Edge ids are the lexicographic rank of the normalized edge, exactly as
+  // in the seed implementation; duplicate edges collide here. Generators
+  // that emit edges grouped by ascending first endpoint (PolarFly polar
+  // lines, Singer difference sets, ...) only need their short per-vertex
+  // runs sorted, which beats a full O(E log E) sort on the hot path.
+  const bool grouped = std::is_sorted(
+      edges_.begin(), edges_.end(),
+      [](const Edge& a, const Edge& b) { return a.u < b.u; });
+  if (grouped) {
+    auto run = edges_.begin();
+    while (run != edges_.end()) {
+      auto end = run + 1;
+      while (end != edges_.end() && end->u == run->u) ++end;
+      std::sort(run, end);
+      run = end;
+    }
+  } else {
+    std::sort(edges_.begin(), edges_.end());
+  }
+  if (std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::logic_error("Graph::finalize: duplicate edge");
+  }
+
+  // Counting-sort CSR build. Appending both endpoints of the id-sorted edge
+  // list leaves every row sorted ascending: all edges {w, u} with w < u
+  // precede all edges {u, v} with v > u in lexicographic order, and each
+  // group arrives in increasing order of the other endpoint.
+  offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (int v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  csr_adj_.resize(offsets_[n_]);
+  csr_eid_.resize(offsets_[n_]);
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
+    const Edge& e = edges_[id];
+    csr_adj_[cursor[e.u]] = e.v;
+    csr_eid_[cursor[e.u]++] = id;
+    csr_adj_[cursor[e.v]] = e.u;
+    csr_eid_[cursor[e.v]++] = id;
+  }
+
+  // Packed adjacency matrix, budget permitting.
+  words_per_row_ = static_cast<std::size_t>((n_ + 63) / 64);
+  const std::size_t words = words_per_row_ * static_cast<std::size_t>(n_);
+  if (n_ > 0 && words * sizeof(std::uint64_t) <= g_max_bitset_bytes.load()) {
+    bits_.assign(words, 0);
+    for (const Edge& e : edges_) {
+      bits_[static_cast<std::size_t>(e.u) * words_per_row_ + (e.v >> 6)] |=
+          1ull << (e.v & 63);
+      bits_[static_cast<std::size_t>(e.v) * words_per_row_ + (e.u >> 6)] |=
+          1ull << (e.u & 63);
     }
   }
-  std::sort(edges_.begin(), edges_.end());
-  for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
-    edge_index_[edges_[id].u].emplace_back(edges_[id].v, id);
-  }
-  for (auto& list : edge_index_) std::sort(list.begin(), list.end());
+
+  build_adj_.clear();
+  build_adj_.shrink_to_fit();
   finalized_ = true;
+}
+
+IntSpan Graph::neighbors(int v) const {
+  if (!finalized_) {
+    const auto& list = build_adj_[v];
+    return IntSpan(list.data(), list.data() + list.size());
+  }
+  return IntSpan(csr_adj_.data() + offsets_[v], csr_adj_.data() + offsets_[v + 1]);
+}
+
+IntSpan Graph::neighbor_edge_ids(int v) const {
+  if (!finalized_) {
+    throw std::logic_error("Graph::neighbor_edge_ids before finalize");
+  }
+  return IntSpan(csr_eid_.data() + offsets_[v], csr_eid_.data() + offsets_[v + 1]);
+}
+
+int Graph::degree(int v) const {
+  if (!finalized_) return static_cast<int>(build_adj_[v].size());
+  return offsets_[v + 1] - offsets_[v];
 }
 
 bool Graph::has_edge(int u, int v) const {
   if (u == v) return false;
-  const auto& list = adj_[u];
-  return std::binary_search(list.begin(), list.end(), v);
+  if (!finalized_) {
+    const auto& list = build_adj_[u];
+    return std::find(list.begin(), list.end(), v) != list.end();
+  }
+  if (!bits_.empty()) return bit(u, v);
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
 }
 
 int Graph::edge_id(int u, int v) const {
   if (!finalized_) throw std::logic_error("Graph::edge_id before finalize");
-  const Edge e(u, v);
-  const auto& list = edge_index_[e.u];
-  const auto it = std::lower_bound(
-      list.begin(), list.end(), std::make_pair(e.v, -1));
-  if (it != list.end() && it->first == e.v) return it->second;
-  return -1;
+  if (u == v || u < 0 || v < 0 || u >= n_ || v >= n_) return -1;
+  const auto row = neighbors(u);
+  const auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) return -1;
+  return csr_eid_[offsets_[u] + static_cast<int>(it - row.begin())];
 }
 
 int Graph::min_degree() const {
@@ -67,16 +164,16 @@ int Graph::max_degree() const {
 
 std::vector<int> Graph::bfs_distances(int src) const {
   std::vector<int> dist(n_, -1);
-  std::queue<int> frontier;
+  std::vector<int> frontier;
+  frontier.reserve(n_);
   dist[src] = 0;
-  frontier.push(src);
-  while (!frontier.empty()) {
-    const int u = frontier.front();
-    frontier.pop();
-    for (int w : adj_[u]) {
+  frontier.push_back(src);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const int u = frontier[head];
+    for (int w : neighbors(u)) {
       if (dist[w] < 0) {
         dist[w] = dist[u] + 1;
-        frontier.push(w);
+        frontier.push_back(w);
       }
     }
   }
@@ -102,8 +199,17 @@ int Graph::diameter() const {
 }
 
 int Graph::common_neighbor_count(int u, int v) const {
-  const auto& a = adj_[u];
-  const auto& b = adj_[v];
+  if (finalized_ && !bits_.empty()) {
+    const std::uint64_t* a = bits_.data() + static_cast<std::size_t>(u) * words_per_row_;
+    const std::uint64_t* b = bits_.data() + static_cast<std::size_t>(v) * words_per_row_;
+    int count = 0;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      count += std::popcount(a[w] & b[w]);
+    }
+    return count;
+  }
+  const auto a = neighbors(u);
+  const auto b = neighbors(v);
   int count = 0;
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {

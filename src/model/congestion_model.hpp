@@ -22,9 +22,22 @@ struct TreeBandwidths {
 /// through it; the algorithm then iterates on the residual network. The
 /// result is independent of tie-breaking among bottleneck edges (asserted
 /// by tests).
+///
+/// Fast path: edge -> tree incidence is prebuilt in CSR form and the
+/// bottleneck scan walks only still-congested edges, so each round costs
+/// O(live edges) instead of O(edges + trees * n). Bit-identical to
+/// compute_tree_bandwidths_reference (same float-op order and bottleneck
+/// tie-breaking), pinned by tests.
 TreeBandwidths compute_tree_bandwidths(const graph::Graph& g,
                                        const std::vector<trees::SpanningTree>& trees,
                                        double link_bandwidth);
+
+/// The seed implementation of Algorithm 1, kept verbatim as the reference
+/// the fast path is verified against (per-edge linear scans, per-tree
+/// membership via std::find).
+TreeBandwidths compute_tree_bandwidths_reference(
+    const graph::Graph& g, const std::vector<trees::SpanningTree>& trees,
+    double link_bandwidth);
 
 /// Theorem 5.1 optimal sub-vector distribution: m_i = m * B_i / sum(B),
 /// rounded to integers summing to m by largest remainder.

@@ -5,7 +5,7 @@
 namespace pfar::polarfly {
 
 PolarFly::PolarFly(int q)
-    : q_(q), n_(q * q + q + 1), field_(q), graph_(n_) {
+    : q_(q), n_(q * q + q + 1), field_(gf::shared_field(q)), graph_(n_) {
   points_.resize(n_);
   // Vertex ids: [1,y,z] -> y*q + z; [0,1,z] -> q^2 + z; [0,0,1] -> q^2 + q.
   for (gf::Elem y = 0; y < q_; ++y) {
@@ -19,34 +19,36 @@ PolarFly::PolarFly(int q)
   points_[q_ * q_ + q_] = Point{0, 0, 1};
 
   // For each vertex, its neighbors are the projective points of the 2-dim
-  // orthogonal complement of its vector: a line with q+1 points.
-  const gf::Field& f = field_;
+  // orthogonal complement of its vector: a line with q+1 points. Solving
+  // the incidence equation per normalized shape ([1,a,b], [0,1,c],
+  // [0,0,1]) yields every neighbor already in canonical coordinates, so
+  // the hot loop needs no inversions or renormalization — just one
+  // multiply-add per point and the vertex-id arithmetic.
+  const gf::Field& f = *field_;
+  graph_.reserve(n_ * (q_ + 1) / 2, q_ + 1);
   for (int v = 0; v < n_; ++v) {
     const Point& pt = points_[v];
-    Point b1, b2;  // basis of { u : u . pt == 0 }
-    if (pt.x != 0) {
-      // x = -(y*pt.y + z*pt.z)/pt.x with free (y, z).
-      const gf::Elem ix = f.inv(pt.x);
-      b1 = Point{f.neg(f.mul(pt.y, ix)), 1, 0};
-      b2 = Point{f.neg(f.mul(pt.z, ix)), 0, 1};
-    } else if (pt.y != 0) {
-      const gf::Elem iy = f.inv(pt.y);
-      b1 = Point{1, 0, 0};
-      b2 = Point{0, f.neg(f.mul(pt.z, iy)), 1};
-    } else {
-      b1 = Point{1, 0, 0};
-      b2 = Point{0, 1, 0};
-    }
-    // Projective points of span{b1, b2}: b2 and b1 + t*b2 for t in F_q.
-    auto visit = [&](gf::Elem ux, gf::Elem uy, gf::Elem uz) {
-      const Point u = normalize(ux, uy, uz);
-      const int w = vertex_of(u);
+    auto link = [&](int w) {
       if (w > v) graph_.add_edge(v, w);  // each undirected edge added once
     };
-    visit(b2.x, b2.y, b2.z);
-    for (gf::Elem t = 0; t < q_; ++t) {
-      visit(f.add(b1.x, f.mul(t, b2.x)), f.add(b1.y, f.mul(t, b2.y)),
-            f.add(b1.z, f.mul(t, b2.z)));
+    if (pt.z != 0) {
+      const gf::Elem niz = f.neg(f.inv(pt.z));
+      // [1,a,b]: x + a*y + b*z = 0  ->  b = -(x + a*y)/z, one per a.
+      for (gf::Elem a = 0; a < q_; ++a) {
+        const gf::Elem b = f.mul(f.add(pt.x, f.mul(a, pt.y)), niz);
+        link(a * q_ + b);
+      }
+      // [0,1,c]: y + c*z = 0  ->  c = -y/z.
+      link(q_ * q_ + f.mul(pt.y, niz));
+    } else if (pt.y != 0) {
+      // [1,a,b]: x + a*y = 0 fixes a; b is free. [0,0,1] always works.
+      const gf::Elem a = f.mul(pt.x, f.neg(f.inv(pt.y)));
+      for (gf::Elem b = 0; b < q_; ++b) link(a * q_ + b);
+      link(q_ * q_ + q_);
+    } else {
+      // pt = [1,0,0]: the polar line is x = 0, i.e. [0,1,c] and [0,0,1].
+      for (gf::Elem c = 0; c < q_; ++c) link(q_ * q_ + c);
+      link(q_ * q_ + q_);
     }
   }
   graph_.finalize();
@@ -74,7 +76,7 @@ int PolarFly::vertex_of(const Point& pt) const {
 }
 
 Point PolarFly::normalize(gf::Elem x, gf::Elem y, gf::Elem z) const {
-  const gf::Field& f = field_;
+  const gf::Field& f = *field_;
   if (x != 0) {
     const gf::Elem ix = f.inv(x);
     return Point{1, f.mul(y, ix), f.mul(z, ix)};
@@ -88,7 +90,7 @@ Point PolarFly::normalize(gf::Elem x, gf::Elem y, gf::Elem z) const {
 }
 
 gf::Elem PolarFly::dot(const Point& a, const Point& b) const {
-  const gf::Field& f = field_;
+  const gf::Field& f = *field_;
   gf::Elem s = f.mul(a.x, b.x);
   s = f.add(s, f.mul(a.y, b.y));
   s = f.add(s, f.mul(a.z, b.z));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "gf/field.hpp"
@@ -45,7 +46,7 @@ class PolarFly {
   /// Network radix (max degree) = q + 1.
   int radix() const { return q_ + 1; }
 
-  const gf::Field& field() const { return field_; }
+  const gf::Field& field() const { return *field_; }
   const graph::Graph& graph() const { return graph_; }
 
   const Point& point(int v) const { return points_[v]; }
@@ -66,7 +67,9 @@ class PolarFly {
  private:
   int q_;
   int n_;
-  gf::Field field_;
+  // Shared process-wide table (gf::shared_field): constructing many
+  // PolarFly instances for the same q runs the field search once.
+  std::shared_ptr<const gf::Field> field_;
   graph::Graph graph_;
   std::vector<Point> points_;
   std::vector<VertexType> type_;

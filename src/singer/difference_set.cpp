@@ -36,8 +36,8 @@ DifferenceSet build_difference_set(const gf::Field& field) {
 }
 
 DifferenceSet build_difference_set(int q) {
-  const gf::Field field(q);
-  return build_difference_set(field);
+  const auto field = gf::shared_field(q);
+  return build_difference_set(*field);
 }
 
 bool is_valid_difference_set(const std::vector<long long>& d, long long n) {

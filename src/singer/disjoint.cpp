@@ -5,20 +5,23 @@
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 #include "util/numeric.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pfar::singer {
 namespace {
 
 DisjointHamiltonianSet materialize(
     const DifferenceSet& d,
-    std::vector<std::pair<long long, long long>> pairs) {
+    std::vector<std::pair<long long, long long>> pairs, int threads = 1) {
   std::sort(pairs.begin(), pairs.end());
   DisjointHamiltonianSet out;
   out.pairs = std::move(pairs);
-  out.paths.reserve(out.pairs.size());
-  for (const auto& [d0, d1] : out.pairs) {
-    out.paths.push_back(build_alternating_path(d, d0, d1));
-  }
+  // Each O(N) path build depends only on its pair; results land by index.
+  out.paths.resize(out.pairs.size());
+  util::parallel_for(threads, static_cast<int>(out.pairs.size()), [&](int i) {
+    out.paths[i] =
+        build_alternating_path(d, out.pairs[i].first, out.pairs[i].second);
+  });
   return out;
 }
 
@@ -26,7 +29,8 @@ DisjointHamiltonianSet materialize(
 
 int disjoint_hamiltonian_upper_bound(int q) { return (q + 1) / 2; }
 
-DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d) {
+DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d,
+                                                  int threads) {
   const int k = static_cast<int>(d.elements.size());
   graph::Graph element_graph(k);
   for (int i = 0; i < k; ++i) {
@@ -45,7 +49,7 @@ DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d) {
       pairs.emplace_back(d.elements[i], d.elements[mate[i]]);
     }
   }
-  return materialize(d, std::move(pairs));
+  return materialize(d, std::move(pairs), threads);
 }
 
 DisjointHamiltonianSet find_disjoint_hamiltonians_random(

@@ -28,7 +28,13 @@ int disjoint_hamiltonian_upper_bound(int q);
 /// An element-disjoint pair selection of maximum size is exactly a maximum
 /// matching, so this is provably optimal — it attains floor((q+1)/2) for
 /// every prime power q < 128, the paper's Section 7.3 empirical claim.
-DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d);
+///
+/// The O(N) construction of each selected path is independent per pair and
+/// fans out over a util::ThreadPool (`threads` <= 0 means
+/// util::default_threads()); results land by pair index, so the set is
+/// identical for every thread count (pinned by tests).
+DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d,
+                                                  int threads = 0);
 
 /// The paper's Section 7.3 method: random maximal independent sets on the
 /// pair-conflict graph G_S (vertices = Hamiltonian pairs, edges = pairs

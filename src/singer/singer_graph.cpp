@@ -17,6 +17,8 @@ void SingerGraph::build() {
   is_reflection_.assign(n, 0);
   for (long long r : reflection_) is_reflection_[r] = 1;
 
+  const int k = static_cast<int>(d_.elements.size());
+  graph_.reserve(static_cast<int>(n) * k / 2, k);
   for (long long i = 0; i < n; ++i) {
     for (long long d : d_.elements) {
       long long j = (d - i) % n;

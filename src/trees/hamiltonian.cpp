@@ -1,6 +1,10 @@
 #include "trees/hamiltonian.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace pfar::trees {
 
@@ -26,12 +30,14 @@ SpanningTree hamiltonian_path_tree(const singer::AlternatingPath& path) {
 }
 
 std::vector<SpanningTree> hamiltonian_trees(
-    const singer::DisjointHamiltonianSet& set) {
+    const singer::DisjointHamiltonianSet& set, int threads) {
+  std::vector<std::optional<SpanningTree>> slots(set.paths.size());
+  util::parallel_for(threads, static_cast<int>(set.paths.size()), [&](int i) {
+    slots[i].emplace(hamiltonian_path_tree(set.paths[i]));
+  });
   std::vector<SpanningTree> out;
-  out.reserve(set.paths.size());
-  for (const auto& path : set.paths) {
-    out.push_back(hamiltonian_path_tree(path));
-  }
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
   return out;
 }
 

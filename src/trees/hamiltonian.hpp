@@ -14,7 +14,12 @@ SpanningTree hamiltonian_path_tree(const singer::AlternatingPath& path);
 /// Converts every path of an edge-disjoint Hamiltonian set (Section 7.2)
 /// into midpoint-rooted spanning trees. The resulting set has congestion 1
 /// (edge-disjoint), i.e. zero congestion in the paper's sense.
+///
+/// Conversions are independent per path and fan out over a
+/// util::ThreadPool (`threads` <= 0 means util::default_threads());
+/// results land by path index, so the output is identical for every
+/// thread count.
 std::vector<SpanningTree> hamiltonian_trees(
-    const singer::DisjointHamiltonianSet& set);
+    const singer::DisjointHamiltonianSet& set, int threads = 0);
 
 }  // namespace pfar::trees

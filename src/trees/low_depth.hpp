@@ -24,8 +24,22 @@ namespace pfar::trees {
 ///            clusters);
 ///   level 3: the other cluster centers v_j, each attached by an edge
 ///            popped from the shared available-edge pool E_a.
+///
+/// Fast path: the per-tree level-1/2 expansion and the final SpanningTree
+/// construction are independent across trees and fan out over a
+/// util::ThreadPool (`threads` <= 0 means util::default_threads()); only
+/// the cheap level-3 attachments, which consume the shared pool E_a, run
+/// sequentially in tree order. Deterministic: the result is bit-identical
+/// to build_low_depth_trees_reference for every thread count (pinned by
+/// tests).
 std::vector<SpanningTree> build_low_depth_trees(const polarfly::PolarFly& pf,
-                                                const polarfly::Layout& layout);
+                                                const polarfly::Layout& layout,
+                                                int threads = 0);
+
+/// The seed single-threaded implementation of Algorithm 3, kept verbatim
+/// as the reference the fast path is verified against.
+std::vector<SpanningTree> build_low_depth_trees_reference(
+    const polarfly::PolarFly& pf, const polarfly::Layout& layout);
 
 /// Even-q analogue of Algorithm 3 (the paper states a "conceptually
 /// similar layout and Allreduce solution for even q" exists but does not
@@ -46,7 +60,15 @@ std::vector<SpanningTree> build_low_depth_trees(const polarfly::PolarFly& pf,
 /// q-1 spanning trees with depth <= 3, congestion <= 2 and the Lemma 7.8
 /// opposite-flow property, for aggregate bandwidth >= (q-1)B/2 (optimal
 /// is (q+1)B/2).
+///
+/// Same parallel decomposition and determinism contract as
+/// build_low_depth_trees.
 std::vector<SpanningTree> build_low_depth_trees_even(
+    const polarfly::PolarFly& pf, int starter_index = 0, int threads = 0);
+
+/// The seed single-threaded even-q builder, kept verbatim as the
+/// reference the fast path is verified against.
+std::vector<SpanningTree> build_low_depth_trees_even_reference(
     const polarfly::PolarFly& pf, int starter_index = 0);
 
 }  // namespace pfar::trees

@@ -1,6 +1,5 @@
 #include "trees/spanning_tree.hpp"
 
-#include <queue>
 #include <stdexcept>
 
 namespace pfar::trees {
@@ -11,32 +10,38 @@ SpanningTree::SpanningTree(int root, std::vector<int> parent)
   if (root_ < 0 || root_ >= n || parent_[root_] != -1) {
     throw std::invalid_argument("SpanningTree: bad root");
   }
-  children_.assign(n, {});
+  // Counting-sort CSR build of the child lists (each row ascending, as
+  // children are appended in vertex order).
+  child_offsets_.assign(n + 1, 0);
   for (int v = 0; v < n; ++v) {
     if (v == root_) continue;
     if (parent_[v] < 0 || parent_[v] >= n) {
       throw std::invalid_argument("SpanningTree: vertex without parent");
     }
-    children_[parent_[v]].push_back(v);
+    ++child_offsets_[parent_[v] + 1];
+  }
+  for (int v = 0; v < n; ++v) child_offsets_[v + 1] += child_offsets_[v];
+  children_.resize(n > 0 ? n - 1 : 0);
+  std::vector<int> cursor(child_offsets_.begin(), child_offsets_.end() - 1);
+  for (int v = 0; v < n; ++v) {
+    if (v != root_) children_[cursor[parent_[v]]++] = v;
   }
   // Levels via BFS from the root; also detects cycles/disconnection
   // (a cycle never gets a level assigned).
   level_.assign(n, -1);
-  std::queue<int> frontier;
+  std::vector<int> frontier;
+  frontier.reserve(n);
   level_[root_] = 0;
-  frontier.push(root_);
-  int visited = 0;
-  while (!frontier.empty()) {
-    const int u = frontier.front();
-    frontier.pop();
-    ++visited;
+  frontier.push_back(root_);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const int u = frontier[head];
     depth_ = std::max(depth_, level_[u]);
-    for (int c : children_[u]) {
+    for (int c : children(u)) {
       level_[c] = level_[u] + 1;
-      frontier.push(c);
+      frontier.push_back(c);
     }
   }
-  if (visited != n) {
+  if (static_cast<int>(frontier.size()) != n) {
     throw std::invalid_argument("SpanningTree: parent vector has a cycle");
   }
 }

@@ -10,6 +10,10 @@ namespace pfar::trees {
 /// vector. This is the unit the paper's whole optimization problem is
 /// phrased in (Section 3): an Allreduce instance reduces up the tree and
 /// broadcasts back down it.
+///
+/// Child lists live in one flat CSR array (offsets + children), so
+/// construction does O(1) allocations instead of one vector per vertex —
+/// plan construction builds thousands of trees for large radices.
 class SpanningTree {
  public:
   /// parent[v] = parent vertex, -1 exactly at the root.
@@ -19,7 +23,10 @@ class SpanningTree {
   int num_vertices() const { return static_cast<int>(parent_.size()); }
   int parent(int v) const { return parent_[v]; }
   const std::vector<int>& parents() const { return parent_; }
-  const std::vector<int>& children(int v) const { return children_[v]; }
+  graph::IntSpan children(int v) const {
+    return graph::IntSpan(children_.data() + child_offsets_[v],
+                          children_.data() + child_offsets_[v + 1]);
+  }
 
   /// Distance of v from the root (levels computed once at construction).
   int level(int v) const { return level_[v]; }
@@ -37,7 +44,8 @@ class SpanningTree {
   int root_;
   int depth_ = 0;
   std::vector<int> parent_;
-  std::vector<std::vector<int>> children_;
+  std::vector<int> child_offsets_;  // n+1 row offsets into children_
+  std::vector<int> children_;       // n-1 entries, grouped by parent
   std::vector<int> level_;
 };
 

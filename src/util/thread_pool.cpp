@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <utility>
 
 namespace pfar::util {
@@ -12,6 +14,32 @@ int default_threads() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(int threads, int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (threads <= 0) threads = default_threads();
+  if (threads == 1 || count == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  {
+    ThreadPool pool(std::min(threads, count));
+    for (int i = 0; i < count; ++i) {
+      pool.submit([i, &fn, &error_mutex, &first_error] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool::ThreadPool(int threads) {

@@ -15,6 +15,15 @@ namespace pfar::util {
 /// concurrency (at least 1).
 int default_threads();
 
+/// Runs fn(i) for every i in [0, count) across up to `threads` workers
+/// (<= 0 means default_threads()). Runs inline in index order when one
+/// worker suffices; otherwise fans out over a ThreadPool. The first
+/// exception thrown by any task is rethrown after all tasks finish.
+/// Callers needing determinism must make tasks independent and write
+/// results by index (the parallel-construction contract of
+/// docs/plan_pipeline.md).
+void parallel_for(int threads, int count, const std::function<void(int)>& fn);
+
 /// A fixed-size pool of worker threads draining one shared task queue.
 /// Tasks are opaque void() callables; ordering across workers is
 /// unspecified, so deterministic users (see core::SweepRunner) must make

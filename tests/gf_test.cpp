@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "gf/cubic_extension.hpp"
 #include "gf/field.hpp"
 #include "util/numeric.hpp"
@@ -201,6 +204,61 @@ TEST(CubicExtensionTest, KnownModulusForQ3) {
   EXPECT_EQ(g2, 0);
   EXPECT_EQ(g1, 2);
   EXPECT_EQ(g0, 1);
+}
+
+TEST(SharedFieldTest, SameQReturnsSameInstance) {
+  const auto a = shared_field(13);
+  const auto b = shared_field(13);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), shared_field(11).get());
+}
+
+TEST(SharedFieldTest, TablesMatchFreshField) {
+  for (int q : {2, 3, 4, 7, 9, 16, 27}) {
+    const auto shared = shared_field(q);
+    const Field fresh(q);
+    ASSERT_EQ(shared->q(), fresh.q());
+    EXPECT_EQ(shared->generator(), fresh.generator());
+    for (Elem a = 0; a < q; ++a) {
+      for (Elem b = 0; b < q; ++b) {
+        EXPECT_EQ(shared->add(a, b), fresh.add(a, b));
+        EXPECT_EQ(shared->mul(a, b), fresh.mul(a, b));
+      }
+      if (a != 0) {
+        EXPECT_EQ(shared->inv(a), fresh.inv(a));
+      }
+      EXPECT_EQ(shared->neg(a), fresh.neg(a));
+    }
+  }
+}
+
+TEST(SharedFieldTest, StrongCacheKeepsSmallFieldsAlive) {
+  const Field* first = shared_field(17).get();  // temporary dropped
+  EXPECT_EQ(shared_field(17).get(), first);     // still cached
+}
+
+TEST(SharedFieldTest, InvalidOrderStillThrows) {
+  EXPECT_THROW(shared_field(6), std::invalid_argument);
+  EXPECT_THROW(shared_field(1), std::invalid_argument);
+}
+
+TEST(SharedFieldTest, ConcurrentLookupsAgree) {
+  // Hammer the cache from several threads; every thread must observe the
+  // same instance per q and no data race (vetted under TSan in CI).
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<const Field*> seen(kThreads * 2, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &seen] {
+      seen[2 * t] = shared_field(19).get();
+      seen[2 * t + 1] = shared_field(23).get();
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[2 * t], seen[0]);
+    EXPECT_EQ(seen[2 * t + 1], seen[1]);
+  }
 }
 
 }  // namespace
