@@ -77,7 +77,8 @@ int main() {
     const auto uni = collectives::run_innetwork_allreduce(
         g, ts, m, simnet::SimConfig{}, collectives::SplitPolicy::kUniform);
     split.add(m, opt.sim.cycles, uni.sim.cycles,
-              static_cast<double>(uni.sim.cycles) / opt.sim.cycles);
+              static_cast<double>(uni.sim.cycles) /
+                  static_cast<double>(opt.sim.cycles));
   }
   split.print(std::cout);
   return 0;

@@ -23,7 +23,7 @@ int main() {
       core::AllreducePlanner(q).solution(core::Solution::kSingleTree).build();
 
   const collectives::RoutedNetwork routed(low_depth.topology());
-  std::vector<int> placement(low_depth.num_nodes());
+  std::vector<int> placement(static_cast<std::size_t>(low_depth.num_nodes()));
   std::iota(placement.begin(), placement.end(), 0);
   const double alpha = simnet::SimConfig{}.link_latency;
 
@@ -54,7 +54,7 @@ int main() {
     const long long best_multi = std::min(ld.sim.cycles, ed.sim.cycles);
     table.add(m, ld.sim.cycles, ed.sim.cycles, st.sim.cycles,
               ring.cost.total_time, rdbl.cost.total_time, hd.cost.total_time,
-              static_cast<double>(st.sim.cycles) / best_multi,
+              static_cast<double>(st.sim.cycles) / static_cast<double>(best_multi),
               ring.cost.total_time / static_cast<double>(best_multi));
   }
   table.print(std::cout);

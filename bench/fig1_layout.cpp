@@ -51,8 +51,8 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     for (int j = i + 1; j < 4; ++j) {
       prop3.add(i, j,
-                polarfly::edges_between(g, layout.clusters[i],
-                                        layout.clusters[j]));
+                polarfly::edges_between(g, layout.clusters[static_cast<std::size_t>(i)],
+                                        layout.clusters[static_cast<std::size_t>(j)]));
     }
   }
   prop3.print(std::cout);

@@ -36,8 +36,14 @@ void report(int q) {
     std::vector<std::string> row{std::to_string(di)};
     for (long long dj : d.elements) {
       const long long diff = ((di - dj) % d.n + d.n) % d.n;
-      row.push_back(di == dj ? "[" + std::to_string(di) + "]"
-                             : std::to_string(diff));
+      if (di == dj) {
+        std::string cell = "[";
+        cell += std::to_string(di);
+        cell += ']';
+        row.push_back(std::move(cell));
+      } else {
+        row.push_back(std::to_string(diff));
+      }
     }
     table.add_row(row);
   }

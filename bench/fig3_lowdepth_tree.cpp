@@ -36,7 +36,7 @@ int main() {
         ++quadrics;
       } else if (is_center && v != t.root()) {
         ++centers;
-      } else if (layout.cluster_of[v] == 0) {
+      } else if (layout.cluster_of[static_cast<std::size_t>(v)] == 0) {
         ++own;
       } else {
         ++other;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       core::AllreducePlanner(q).solution(core::Solution::kSingleTree).build();
 
   const collectives::RoutedNetwork routed(low_depth.topology());
-  std::vector<int> placement(low_depth.num_nodes());
+  std::vector<int> placement(static_cast<std::size_t>(low_depth.num_nodes()));
   std::iota(placement.begin(), placement.end(), 0);
 
   // Host baselines costed with alpha = link latency, beta = 1 element/cycle
@@ -110,8 +110,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   util::Table step({"scheme", "step allreduce cycles", "vs single-tree"});
-  step.add("low-depth", c_ld, static_cast<double>(c_st) / c_ld);
-  step.add("edge-disjoint", c_ed, static_cast<double>(c_st) / c_ed);
+  step.add("low-depth", c_ld,
+           static_cast<double>(c_st) / static_cast<double>(c_ld));
+  step.add("edge-disjoint", c_ed,
+           static_cast<double>(c_st) / static_cast<double>(c_ed));
   step.add("single-tree", c_st, 1.0);
   step.print(std::cout);
   return 0;

@@ -62,18 +62,18 @@ class FunctionalAllreduce {
 
     std::vector<T> out(inputs[0]);  // sized m; overwritten below
     long long offset = 0;
-    std::vector<T> acc(n, inputs[0][0]);
+    std::vector<T> acc(static_cast<std::size_t>(n), inputs[0][0]);
     for (std::size_t t = 0; t < forest_.size(); ++t) {
       const auto order = bottom_up_order(forest_[t]);
       for (long long k = offset; k < offset + split[t]; ++k) {
         // Reduction exactly as the router dataflow associates it: node
         // value first, then children in port order, each child's subtree
         // already reduced. Iterative (Hamiltonian trees are ~N/2 deep).
-        for (int v = 0; v < n; ++v) acc[v] = inputs[v][k];
+        for (int v = 0; v < n; ++v) acc[static_cast<std::size_t>(v)] = inputs[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)];
         for (int v : order) {
-          for (int c : forest_[t].children(v)) acc[v] = op_(acc[v], acc[c]);
+          for (int c : forest_[t].children(v)) acc[static_cast<std::size_t>(v)] = op_(acc[static_cast<std::size_t>(v)], acc[static_cast<std::size_t>(c)]);
         }
-        out[k] = acc[forest_[t].root()];
+        out[static_cast<std::size_t>(k)] = acc[static_cast<std::size_t>(forest_[t].root())];
       }
       offset += split[t];
     }
@@ -86,7 +86,7 @@ class FunctionalAllreduce {
   // Vertices ordered so every child precedes its parent (reversed BFS).
   static std::vector<int> bottom_up_order(const trees::SpanningTree& tree) {
     std::vector<int> order;
-    order.reserve(tree.num_vertices());
+    order.reserve(static_cast<std::size_t>(tree.num_vertices()));
     order.push_back(tree.root());
     for (std::size_t i = 0; i < order.size(); ++i) {
       for (int c : tree.children(order[i])) order.push_back(c);

@@ -92,36 +92,36 @@ void halving_doubling(int p, long long m, Transport& tr) {
   fold_in(m, rem, tr);
 
   // Per-participant range trajectory through the recursive halving.
-  std::vector<long long> lo(p2, 0), hi(p2, m);
+  std::vector<long long> lo(static_cast<std::size_t>(p2), 0), hi(static_cast<std::size_t>(p2), m);
   // ranges[step][idx] = (lo, hi) at entry of halving step `step`.
   std::vector<std::vector<std::pair<long long, long long>>> entry(
-      lg, std::vector<std::pair<long long, long long>>(p2));
+      static_cast<std::size_t>(lg), std::vector<std::pair<long long, long long>>(static_cast<std::size_t>(p2)));
 
   for (int step = 0; step < lg; ++step) {
     const int half = p2 >> (step + 1);
     for (int idx = 0; idx < p2; ++idx) {
-      entry[step][idx] = {lo[idx], hi[idx]};
+      entry[static_cast<std::size_t>(step)][static_cast<std::size_t>(idx)] = {lo[static_cast<std::size_t>(idx)], hi[static_cast<std::size_t>(idx)]};
     }
     for (int idx = 0; idx < p2; ++idx) {
       const int partner = idx ^ half;
-      const long long mid = lo[idx] + (hi[idx] - lo[idx]) / 2;
+      const long long mid = lo[static_cast<std::size_t>(idx)] + (hi[static_cast<std::size_t>(idx)] - lo[static_cast<std::size_t>(idx)]) / 2;
       if ((idx & half) == 0) {
         // Keep the low half; ship the high half to the partner.
         tr.transfer(participant_rank(idx, rem),
-                    participant_rank(partner, rem), mid, hi[idx],
+                    participant_rank(partner, rem), mid, hi[static_cast<std::size_t>(idx)],
                     /*reduce=*/true);
       } else {
         tr.transfer(participant_rank(idx, rem),
-                    participant_rank(partner, rem), lo[idx], mid,
+                    participant_rank(partner, rem), lo[static_cast<std::size_t>(idx)], mid,
                     /*reduce=*/true);
       }
     }
     for (int idx = 0; idx < p2; ++idx) {
-      const long long mid = lo[idx] + (hi[idx] - lo[idx]) / 2;
+      const long long mid = lo[static_cast<std::size_t>(idx)] + (hi[static_cast<std::size_t>(idx)] - lo[static_cast<std::size_t>(idx)]) / 2;
       if ((idx & half) == 0) {
-        hi[idx] = mid;
+        hi[static_cast<std::size_t>(idx)] = mid;
       } else {
-        lo[idx] = mid;
+        lo[static_cast<std::size_t>(idx)] = mid;
       }
     }
     tr.next_round();
@@ -133,12 +133,12 @@ void halving_doubling(int p, long long m, Transport& tr) {
     for (int idx = 0; idx < p2; ++idx) {
       const int partner = idx ^ half;
       tr.transfer(participant_rank(idx, rem),
-                  participant_rank(partner, rem), lo[idx], hi[idx],
+                  participant_rank(partner, rem), lo[static_cast<std::size_t>(idx)], hi[static_cast<std::size_t>(idx)],
                   /*reduce=*/false);
     }
     for (int idx = 0; idx < p2; ++idx) {
-      lo[idx] = entry[step][idx].first;
-      hi[idx] = entry[step][idx].second;
+      lo[static_cast<std::size_t>(idx)] = entry[static_cast<std::size_t>(step)][static_cast<std::size_t>(idx)].first;
+      hi[static_cast<std::size_t>(idx)] = entry[static_cast<std::size_t>(step)][static_cast<std::size_t>(idx)].second;
     }
     tr.next_round();
   }
@@ -176,7 +176,7 @@ void ScheduleRecorder::transfer(int src_rank, int dst_rank, long long lo,
   (void)reduce;
   if (hi <= lo) return;
   rounds_.back().push_back(
-      Message{placement_[src_rank], placement_[dst_rank], hi - lo});
+      Message{placement_[static_cast<std::size_t>(src_rank)], placement_[static_cast<std::size_t>(dst_rank)], hi - lo});
 }
 
 void ScheduleRecorder::next_round() { rounds_.emplace_back(); }
@@ -187,10 +187,10 @@ std::vector<Round> ScheduleRecorder::take_schedule() {
 }
 
 DataExecutor::DataExecutor(int p, long long m) : p_(p), m_(m) {
-  data_.resize(p);
+  data_.resize(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
-    data_[r].resize(m);
-    for (long long k = 0; k < m; ++k) data_[r][k] = rank_value(r, k);
+    data_[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(m));
+    for (long long k = 0; k < m; ++k) data_[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] = rank_value(r, k);
   }
   pending_.clear();
 }
@@ -204,18 +204,18 @@ void DataExecutor::transfer(int src_rank, int dst_rank, long long lo,
   p.dst = dst_rank;
   p.lo = lo;
   p.reduce = reduce;
-  p.payload.assign(data_[src_rank].begin() + lo, data_[src_rank].begin() + hi);
+  p.payload.assign(data_[static_cast<std::size_t>(src_rank)].begin() + lo, data_[static_cast<std::size_t>(src_rank)].begin() + hi);
   pending_.push_back(std::move(p));
 }
 
 void DataExecutor::next_round() {
   for (auto& p : pending_) {
-    auto& vec = data_[p.dst];
+    auto& vec = data_[static_cast<std::size_t>(p.dst)];
     for (std::size_t i = 0; i < p.payload.size(); ++i) {
       if (p.reduce) {
-        vec[p.lo + i] += p.payload[i];
+        vec[static_cast<std::size_t>(p.lo) + i] += p.payload[i];
       } else {
-        vec[p.lo + i] = p.payload[i];
+        vec[static_cast<std::size_t>(p.lo) + i] = p.payload[i];
       }
     }
   }
@@ -228,7 +228,7 @@ bool DataExecutor::verify() const {
     std::int64_t expected = 0;
     for (int r = 0; r < p_; ++r) expected += rank_value(r, k);
     for (int r = 0; r < p_; ++r) {
-      if (data_[r][k] != expected) return false;
+      if (data_[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] != expected) return false;
     }
   }
   return true;

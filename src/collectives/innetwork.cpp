@@ -18,18 +18,18 @@ std::vector<simnet::TreeEmbedding> to_embeddings(
 }
 
 trees::SpanningTree bfs_tree(const graph::Graph& g, int root) {
-  std::vector<int> parent(g.num_vertices(), -1);
-  std::vector<char> seen(g.num_vertices(), 0);
+  std::vector<int> parent(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
   std::queue<int> frontier;
-  seen[root] = 1;
+  seen[static_cast<std::size_t>(root)] = 1;
   frontier.push(root);
   while (!frontier.empty()) {
     const int u = frontier.front();
     frontier.pop();
     for (int w : g.neighbors(u)) {
-      if (!seen[w]) {
-        seen[w] = 1;
-        parent[w] = u;
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        parent[static_cast<std::size_t>(w)] = u;
         frontier.push(w);
       }
     }

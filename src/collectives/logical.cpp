@@ -17,14 +17,14 @@ LogicalBandwidths logical_tree_bandwidths(
   const int num_trees = static_cast<int>(trees.size());
 
   // Directed link key (u -> v) => dense index, built lazily over used links.
-  std::vector<int> link_index(static_cast<std::size_t>(n) * n, -1);
+  std::vector<int> link_index(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
   std::vector<double> remaining;     // L(l)
   std::vector<double> congestion;    // C(l) = sum of flow multiplicities
   // flows[t]: (link, multiplicity) pairs for tree t's reduction direction.
-  std::vector<std::vector<std::pair<int, double>>> flows(num_trees);
+  std::vector<std::vector<std::pair<int, double>>> flows(static_cast<std::size_t>(num_trees));
 
   auto link_id = [&](int u, int v) {
-    const std::size_t key = static_cast<std::size_t>(u) * n + v;
+    const std::size_t key = static_cast<std::size_t>(u) * static_cast<std::size_t>(n) + static_cast<std::size_t>(v);
     if (link_index[key] < 0) {
       link_index[key] = static_cast<int>(remaining.size());
       remaining.push_back(link_bandwidth);
@@ -34,7 +34,7 @@ LogicalBandwidths logical_tree_bandwidths(
   };
 
   for (int t = 0; t < num_trees; ++t) {
-    const auto& tree = trees[t];
+    const auto& tree = trees[static_cast<std::size_t>(t)];
     if (static_cast<int>(tree.parent.size()) != n) {
       throw std::invalid_argument("logical_tree_bandwidths: tree size");
     }
@@ -44,39 +44,39 @@ LogicalBandwidths logical_tree_bandwidths(
       for (std::size_t i = 1; i < path.size(); ++i) {
         const int l = link_id(path[i - 1], path[i]);
         if (l >= static_cast<int>(multiplicity.size())) {
-          multiplicity.resize(l + 1, 0.0);
+          multiplicity.resize(static_cast<std::size_t>(l + 1), 0.0);
         }
-        multiplicity[l] += 1.0;
+        multiplicity[static_cast<std::size_t>(l)] += 1.0;
       }
     };
     for (int v = 0; v < n; ++v) {
       if (v == tree.root) continue;
-      add_path(v, tree.parent[v]);  // reduction: child -> parent
-      add_path(tree.parent[v], v);  // broadcast: parent -> child
+      add_path(v, tree.parent[static_cast<std::size_t>(v)]);  // reduction: child -> parent
+      add_path(tree.parent[static_cast<std::size_t>(v)], v);  // broadcast: parent -> child
     }
     for (int l = 0; l < static_cast<int>(multiplicity.size()); ++l) {
-      if (multiplicity[l] > 0.0) {
-        flows[t].emplace_back(l, multiplicity[l]);
-        congestion[l] += multiplicity[l];
+      if (multiplicity[static_cast<std::size_t>(l)] > 0.0) {
+        flows[static_cast<std::size_t>(t)].emplace_back(l, multiplicity[static_cast<std::size_t>(l)]);
+        congestion[static_cast<std::size_t>(l)] += multiplicity[static_cast<std::size_t>(l)];
       }
     }
   }
 
   LogicalBandwidths out;
-  out.per_tree.assign(num_trees, 0.0);
+  out.per_tree.assign(static_cast<std::size_t>(num_trees), 0.0);
   for (double c : congestion) {
     out.max_link_flows = std::max(out.max_link_flows,
                                   static_cast<int>(c + 0.5));
   }
 
-  std::vector<char> done(num_trees, 0);
+  std::vector<char> done(static_cast<std::size_t>(num_trees), 0);
   int active = num_trees;
   while (active > 0) {
     int l_min = -1;
     double best = std::numeric_limits<double>::infinity();
     for (int l = 0; l < static_cast<int>(remaining.size()); ++l) {
-      if (congestion[l] <= 1e-12) continue;
-      const double ratio = remaining[l] / congestion[l];
+      if (congestion[static_cast<std::size_t>(l)] <= 1e-12) continue;
+      const double ratio = remaining[static_cast<std::size_t>(l)] / congestion[static_cast<std::size_t>(l)];
       if (ratio < best) {
         best = ratio;
         l_min = l;
@@ -85,22 +85,22 @@ LogicalBandwidths logical_tree_bandwidths(
     if (l_min < 0) {
       throw std::logic_error("logical_tree_bandwidths: no bottleneck link");
     }
-    const double rate = remaining[l_min] / congestion[l_min];
+    const double rate = remaining[static_cast<std::size_t>(l_min)] / congestion[static_cast<std::size_t>(l_min)];
     for (int t = 0; t < num_trees; ++t) {
-      if (done[t]) continue;
+      if (done[static_cast<std::size_t>(t)]) continue;
       const bool uses = std::any_of(
-          flows[t].begin(), flows[t].end(),
+          flows[static_cast<std::size_t>(t)].begin(), flows[static_cast<std::size_t>(t)].end(),
           [&](const auto& f) { return f.first == l_min; });
       if (!uses) continue;
-      out.per_tree[t] = rate;
-      for (const auto& [l, mult] : flows[t]) {
-        remaining[l] = std::max(0.0, remaining[l] - rate * mult);
-        congestion[l] -= mult;
+      out.per_tree[static_cast<std::size_t>(t)] = rate;
+      for (const auto& [l, mult] : flows[static_cast<std::size_t>(t)]) {
+        remaining[static_cast<std::size_t>(l)] = std::max(0.0, remaining[static_cast<std::size_t>(l)] - rate * mult);
+        congestion[static_cast<std::size_t>(l)] -= mult;
       }
-      done[t] = 1;
+      done[static_cast<std::size_t>(t)] = 1;
       --active;
     }
-    congestion[l_min] = 0.0;  // remove the bottleneck link
+    congestion[static_cast<std::size_t>(l_min)] = 0.0;  // remove the bottleneck link
   }
 
   out.aggregate = std::accumulate(out.per_tree.begin(), out.per_tree.end(),
@@ -114,19 +114,20 @@ std::vector<LogicalTree> random_logical_trees(int num_nodes, int count,
     throw std::invalid_argument("random_logical_trees: bad args");
   }
   std::vector<LogicalTree> out;
-  out.reserve(count);
+  out.reserve(static_cast<std::size_t>(count));
   for (int t = 0; t < count; ++t) {
-    std::vector<int> perm(num_nodes);
+    std::vector<int> perm(static_cast<std::size_t>(num_nodes));
     std::iota(perm.begin(), perm.end(), 0);
     for (int i = num_nodes - 1; i > 0; --i) {
-      const int j = static_cast<int>(rng.next_below(i + 1));
-      std::swap(perm[i], perm[j]);
+      const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
     }
     LogicalTree tree;
     tree.root = perm[0];
-    tree.parent.assign(num_nodes, -1);
+    tree.parent.assign(static_cast<std::size_t>(num_nodes), -1);
     for (int i = 1; i < num_nodes; ++i) {
-      tree.parent[perm[i]] = perm[(i - 1) / arity];
+      tree.parent[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+          perm[static_cast<std::size_t>((i - 1) / arity)];
     }
     out.push_back(std::move(tree));
   }
@@ -135,17 +136,22 @@ std::vector<LogicalTree> random_logical_trees(int num_nodes, int count,
 
 int logical_depth(const RoutedNetwork& net, const LogicalTree& tree) {
   const int n = static_cast<int>(tree.parent.size());
-  std::vector<int> depth(n, -1);
-  depth[tree.root] = 0;
+  std::vector<int> depth(static_cast<std::size_t>(n), -1);
+  depth[static_cast<std::size_t>(tree.root)] = 0;
   int best = 0;
   // Parents always precede children in hop distance; resolve iteratively.
   for (int pass = 0, resolved = 1; pass < n && resolved < n; ++pass) {
     for (int v = 0; v < n; ++v) {
-      if (v == tree.root || depth[v] >= 0 || depth[tree.parent[v]] < 0) {
+      if (v == tree.root || depth[static_cast<std::size_t>(v)] >= 0 ||
+          depth[static_cast<std::size_t>(
+              tree.parent[static_cast<std::size_t>(v)])] < 0) {
         continue;
       }
-      depth[v] = depth[tree.parent[v]] + net.hops(v, tree.parent[v]);
-      best = std::max(best, depth[v]);
+      depth[static_cast<std::size_t>(v)] =
+          depth[static_cast<std::size_t>(
+              tree.parent[static_cast<std::size_t>(v)])] +
+          net.hops(v, tree.parent[static_cast<std::size_t>(v)]);
+      best = std::max(best, depth[static_cast<std::size_t>(v)]);
       ++resolved;
     }
   }

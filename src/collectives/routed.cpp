@@ -8,13 +8,13 @@ namespace pfar::collectives {
 
 RoutedNetwork::RoutedNetwork(const graph::Graph& g)
     : g_(&g), n_(g.num_vertices()) {
-  next_hop_.assign(static_cast<std::size_t>(n_) * n_, -1);
-  dist_.assign(static_cast<std::size_t>(n_) * n_, -1);
+  next_hop_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
+  dist_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
   // BFS from each destination; neighbors are scanned in ascending id so the
   // chosen next hop is deterministic.
   for (int dst = 0; dst < n_; ++dst) {
-    auto* dist = &dist_[static_cast<std::size_t>(dst) * n_];
-    auto* hop = &next_hop_[static_cast<std::size_t>(dst) * n_];
+    auto* dist = &dist_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_)];
+    auto* hop = &next_hop_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_)];
     std::queue<int> frontier;
     dist[dst] = 0;
     frontier.push(dst);
@@ -33,7 +33,7 @@ RoutedNetwork::RoutedNetwork(const graph::Graph& g)
 }
 
 int RoutedNetwork::hops(int src, int dst) const {
-  const int d = dist_[static_cast<std::size_t>(dst) * n_ + src];
+  const int d = dist_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) + static_cast<std::size_t>(src)];
   if (d < 0) throw std::invalid_argument("RoutedNetwork: unreachable");
   return d;
 }
@@ -42,7 +42,7 @@ std::vector<int> RoutedNetwork::path(int src, int dst) const {
   std::vector<int> out{src};
   int cur = src;
   while (cur != dst) {
-    cur = next_hop_[static_cast<std::size_t>(dst) * n_ + cur];
+    cur = next_hop_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) + static_cast<std::size_t>(cur)];
     if (cur < 0) throw std::invalid_argument("RoutedNetwork: unreachable");
     out.push_back(cur);
   }
@@ -54,7 +54,7 @@ ScheduleCost schedule_cost(const RoutedNetwork& net,
                            double beta) {
   ScheduleCost cost;
   const int n = net.graph().num_vertices();
-  std::vector<long long> load(static_cast<std::size_t>(n) * n, 0);
+  std::vector<long long> load(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
   for (const auto& round : schedule) {
     if (round.empty()) continue;
     ++cost.rounds;
@@ -67,14 +67,14 @@ ScheduleCost schedule_cost(const RoutedNetwork& net,
       cost.total_elements_moved += msg.elements;
       for (std::size_t i = 1; i < path.size(); ++i) {
         const std::size_t key =
-            static_cast<std::size_t>(path[i - 1]) * n + path[i];
+            static_cast<std::size_t>(path[i - 1]) * static_cast<std::size_t>(n) + static_cast<std::size_t>(path[i]);
         if (load[key] == 0) touched.emplace_back(path[i - 1], path[i]);
         load[key] += msg.elements;
       }
     }
     long long max_load = 0;
     for (const auto& [a, b] : touched) {
-      const std::size_t key = static_cast<std::size_t>(a) * n + b;
+      const std::size_t key = static_cast<std::size_t>(a) * static_cast<std::size_t>(n) + static_cast<std::size_t>(b);
       max_load = std::max(max_load, load[key]);
       load[key] = 0;  // reset for the next round
     }

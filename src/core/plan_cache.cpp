@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/serialize.hpp"
+#include "util/contracts.hpp"
 
 namespace pfar::core {
 
@@ -39,6 +40,12 @@ std::shared_ptr<const AllreducePlan> PlanCache::load_from_disk(
         parsed.starter != key.starter) {
       return nullptr;
     }
+    // Staleness contract: a disk hit that reaches this point must describe
+    // exactly the requested design point (the guard above) and carry a
+    // non-empty tree set -- parse_plan rejects empty plans, so a violation
+    // here means the parser and cache disagree about the format.
+    PFAR_ENSURE(parsed.plan.num_trees() > 0, key.q,
+                static_cast<int>(key.solution), key.starter);
     return std::make_shared<const AllreducePlan>(std::move(parsed.plan));
   } catch (const std::invalid_argument&) {
     return nullptr;  // corrupted or stale: rebuild instead

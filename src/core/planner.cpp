@@ -5,6 +5,7 @@
 #include "singer/disjoint.hpp"
 #include "trees/hamiltonian.hpp"
 #include "trees/low_depth.hpp"
+#include "util/contracts.hpp"
 #include "util/numeric.hpp"
 
 namespace pfar::core {
@@ -80,6 +81,26 @@ AllreducePlan AllreducePlanner::build() const {
   }
   plan.bandwidths_ =
       model::compute_tree_bandwidths(*plan.topology_, plan.trees_, 1.0);
+
+  // Every built plan ships the same shape regardless of solution: a
+  // topology on q^2+q+1 vertices, >= 1 tree and one bandwidth per tree.
+  PFAR_ENSURE(plan.topology_->num_vertices() == q_ * q_ + q_ + 1, q_,
+              plan.topology_->num_vertices());
+  PFAR_ENSURE(!plan.trees_.empty(), q_, static_cast<int>(solution_));
+  PFAR_ENSURE(plan.bandwidths_.per_tree.size() == plan.trees_.size(), q_,
+              plan.bandwidths_.per_tree.size(), plan.trees_.size());
+#if PFAR_AUDIT_ENABLED
+  // Solution-specific guarantees the rest of the stack leans on:
+  // edge-disjoint plans must actually be edge-disjoint (Cor. 7.15/7.16),
+  // and every tree must span the topology.
+  for (const auto& t : plan.trees_) {
+    PFAR_INVARIANT(t.is_spanning_tree_of(*plan.topology_), q_, t.root());
+  }
+  if (solution_ == Solution::kEdgeDisjoint) {
+    PFAR_INVARIANT(trees::edge_disjoint(*plan.topology_, plan.trees_), q_,
+                   plan.trees_.size());
+  }
+#endif
   return plan;
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "graph/graph.hpp"
+#include "util/contracts.hpp"
 
 namespace pfar::core {
 
@@ -15,8 +16,8 @@ const char kBuilderVersion[] = "pfar-builder-2";
 
 std::uint64_t fnv1a64(const std::string& data) {
   std::uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : data) {
-    h ^= c;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ull;
   }
   return h;
@@ -75,10 +76,10 @@ ParsedTrees parse_trees(const std::string& text) {
     if (!(is >> token) || token != "tree" || !(is >> root)) {
       fail("bad tree header at tree " + std::to_string(t));
     }
-    std::vector<int> parent(n);
+    std::vector<int> parent(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
-      if (!(is >> parent[v])) fail("short parent list");
-      if (parent[v] < -1 || parent[v] >= n) fail("parent out of range");
+      if (!(is >> parent[static_cast<std::size_t>(v)])) fail("short parent list");
+      if (parent[static_cast<std::size_t>(v)] < -1 || parent[static_cast<std::size_t>(v)] >= n) fail("parent out of range");
     }
     try {
       out.trees.emplace_back(root, std::move(parent));
@@ -125,6 +126,13 @@ double read_hex_double(std::istringstream& is, const char* what) {
 }  // namespace
 
 std::string PlanIO::write(const AllreducePlan& plan, int starter) {
+  // A plan must be fully built before it can be written: topology present,
+  // at least one tree, and one bandwidth entry per tree.
+  PFAR_REQUIRE(plan.topology_ != nullptr, plan.q_);
+  PFAR_REQUIRE(!plan.trees_.empty(), plan.q_);
+  PFAR_REQUIRE(plan.bandwidths_.per_tree.size() == plan.trees_.size(),
+               plan.q_, plan.bandwidths_.per_tree.size(), plan.trees_.size());
+  PFAR_REQUIRE(starter >= 0, starter);
   const graph::Graph& g = *plan.topology_;
   const int n = g.num_vertices();
   std::ostringstream os;
@@ -164,7 +172,8 @@ ParsedPlan PlanIO::read(const std::string& text) {
   }
   const std::string body = text.substr(0, pos);
   {
-    std::istringstream cs(text.substr(pos));
+    const std::string tail = text.substr(pos);
+    std::istringstream cs(tail);
     std::string token, hex;
     if (!(cs >> token >> hex)) pfail("bad checksum line");
     std::uint64_t stored = 0;
@@ -177,7 +186,13 @@ ParsedPlan PlanIO::read(const std::string& text) {
     } catch (const std::out_of_range&) {
       pfail("bad checksum value");
     }
-    if (cs >> token) pfail("trailing content after checksum");
+    // Strict framing: the checksum line is the byte-exact final line of
+    // the artifact. Anything after its newline -- including bytes that are
+    // only whitespace -- means the file was appended to or damaged, and a
+    // reader that shrugs it off would silently accept a tampered plan.
+    if (tail != "checksum " + hex + "\n") {
+      pfail("trailing content after checksum");
+    }
     if (stored != fnv1a64(body)) pfail("checksum mismatch");
   }
 
@@ -244,11 +259,11 @@ ParsedPlan PlanIO::read(const std::string& text) {
     if (!(is >> token) || token != "tree" || !(is >> root)) {
       pfail("bad tree header at tree " + std::to_string(t));
     }
-    std::vector<int> parent(n);
+    std::vector<int> parent(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
-      if (!(is >> parent[v])) pfail("short parent list");
-      if (parent[v] < -1 || parent[v] >= n) pfail("parent out of range");
-      if (parent[v] >= 0 && !g->has_edge(v, parent[v])) {
+      if (!(is >> parent[static_cast<std::size_t>(v)])) pfail("short parent list");
+      if (parent[static_cast<std::size_t>(v)] < -1 || parent[static_cast<std::size_t>(v)] >= n) pfail("parent out of range");
+      if (parent[static_cast<std::size_t>(v)] >= 0 && !g->has_edge(v, parent[static_cast<std::size_t>(v)])) {
         pfail("tree edge not in topology");
       }
     }

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/numeric.hpp"
 
 namespace pfar::gf {
@@ -13,9 +14,9 @@ namespace {
 using Digits = std::vector<int>;
 
 Digits to_digits(int value, int p, int len) {
-  Digits d(len, 0);
+  Digits d(static_cast<std::size_t>(len), 0);
   for (int i = 0; i < len; ++i) {
-    d[i] = value % p;
+    d[static_cast<std::size_t>(i)] = value % p;
     value /= p;
   }
   return d;
@@ -24,7 +25,7 @@ Digits to_digits(int value, int p, int len) {
 int from_digits(const Digits& d, int p) {
   int value = 0;
   for (int i = static_cast<int>(d.size()) - 1; i >= 0; --i) {
-    value = value * p + d[i];
+    value = value * p + d[static_cast<std::size_t>(i)];
   }
   return value;
 }
@@ -34,15 +35,15 @@ int from_digits(const Digits& d, int p) {
 // the leading coefficient c_a == 1 is implicit).
 Digits mul_by_x_mod(const Digits& d, const Digits& mod, int p) {
   const int a = static_cast<int>(d.size());
-  Digits out(a, 0);
-  const int carry = d[a - 1];  // coefficient that overflows into x^a
-  for (int i = a - 1; i >= 1; --i) out[i] = d[i - 1];
+  Digits out(static_cast<std::size_t>(a), 0);
+  const int carry = d[static_cast<std::size_t>(a - 1)];  // coefficient that overflows into x^a
+  for (int i = a - 1; i >= 1; --i) out[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i - 1)];
   out[0] = 0;
   if (carry != 0) {
     // x^a == -mod (mod f), so subtract carry * mod.
     for (int i = 0; i < a; ++i) {
-      out[i] = (out[i] - carry * mod[i]) % p;
-      if (out[i] < 0) out[i] += p;
+      out[static_cast<std::size_t>(i)] = (out[static_cast<std::size_t>(i)] - carry * mod[static_cast<std::size_t>(i)]) % p;
+      if (out[static_cast<std::size_t>(i)] < 0) out[static_cast<std::size_t>(i)] += p;
     }
   }
   return out;
@@ -52,13 +53,13 @@ Digits mul_by_x_mod(const Digits& d, const Digits& mod, int p) {
 // returns to 1 within `bound` steps (i.e. x is not a unit or order > bound).
 long long order_of_x(const Digits& mod, int p, long long bound) {
   const int a = static_cast<int>(mod.size());
-  Digits cur(a, 0);
+  Digits cur(static_cast<std::size_t>(a), 0);
   if (a == 1) {
     // Degenerate: handled by the prime-field path; not used.
     return 0;
   }
   cur[1] = 1;  // the element x (== x^1)
-  Digits one(a, 0);
+  Digits one(static_cast<std::size_t>(a), 0);
   one[0] = 1;
   long long k = 1;  // invariant: cur == x^k
   while (cur != one) {
@@ -80,12 +81,12 @@ Field::Field(int q) {
   p_ = p;
   a_ = a;
 
-  neg_.resize(q_);
-  inv_.assign(q_, 0);
-  add_.resize(static_cast<std::size_t>(q_) * q_);
-  mul_.resize(static_cast<std::size_t>(q_) * q_);
-  exp_.resize(q_ - 1);
-  log_.assign(q_, -1);
+  neg_.resize(static_cast<std::size_t>(q_));
+  inv_.assign(static_cast<std::size_t>(q_), 0);
+  add_.resize(static_cast<std::size_t>(q_) * static_cast<std::size_t>(q_));
+  mul_.resize(static_cast<std::size_t>(q_) * static_cast<std::size_t>(q_));
+  exp_.resize(static_cast<std::size_t>(q_ - 1));
+  log_.assign(static_cast<std::size_t>(q_), -1);
 
   // Addition is digit-wise mod p regardless of the modulus polynomial.
   for (Elem x = 0; x < q_; ++x) {
@@ -98,7 +99,7 @@ Field::Field(int q) {
         yv /= p_;
         scale *= p_;
       }
-      add_[idx(x, y)] = value;
+      add_[static_cast<std::size_t>(idx(x, y))] = value;
     }
   }
   for (Elem x = 0; x < q_; ++x) {
@@ -109,7 +110,7 @@ Field::Field(int q) {
       xv /= p_;
       scale *= p_;
     }
-    neg_[x] = value;
+    neg_[static_cast<std::size_t>(x)] = value;
   }
 
   if (a_ == 1) {
@@ -129,13 +130,13 @@ Field::Field(int q) {
     if (g == 0) throw std::logic_error("Field: no primitive root found");
     long long cur = 1;
     for (int i = 0; i < q_ - 1; ++i) {
-      exp_[i] = static_cast<Elem>(cur);
-      log_[cur] = i;
+      exp_[static_cast<std::size_t>(i)] = static_cast<Elem>(cur);
+      log_[static_cast<std::size_t>(cur)] = i;
       cur = (cur * g) % p_;
     }
     for (Elem x = 0; x < q_; ++x) {
       for (Elem y = 0; y < q_; ++y) {
-        mul_[idx(x, y)] = static_cast<Elem>((1LL * x * y) % p_);
+        mul_[static_cast<std::size_t>(idx(x, y))] = static_cast<Elem>((1LL * x * y) % p_);
       }
     }
   } else {
@@ -157,34 +158,64 @@ Field::Field(int q) {
     modulus_.push_back(1);  // record the monic leading coefficient
 
     // exp table: successive powers of the root x.
-    Digits cur(a_, 0);
+    Digits cur(static_cast<std::size_t>(a_), 0);
     cur[0] = 1;  // x^0
     for (int i = 0; i < q_ - 1; ++i) {
       const Elem e = static_cast<Elem>(from_digits(cur, p_));
-      exp_[i] = e;
-      log_[e] = i;
+      exp_[static_cast<std::size_t>(i)] = e;
+      log_[static_cast<std::size_t>(e)] = i;
       cur = mul_by_x_mod(cur, mod, p_);
     }
     // Multiplication via logs.
     for (Elem x = 0; x < q_; ++x) {
       for (Elem y = 0; y < q_; ++y) {
         if (x == 0 || y == 0) {
-          mul_[idx(x, y)] = 0;
+          mul_[static_cast<std::size_t>(idx(x, y))] = 0;
         } else {
-          mul_[idx(x, y)] = exp_[(log_[x] + log_[y]) % (q_ - 1)];
+          mul_[static_cast<std::size_t>(idx(x, y))] = exp_[static_cast<std::size_t>(
+              (log_[static_cast<std::size_t>(x)] +
+               log_[static_cast<std::size_t>(y)]) %
+              (q_ - 1))];
         }
       }
     }
   }
 
   for (Elem x = 1; x < q_; ++x) {
-    inv_[x] = exp_[(q_ - 1 - log_[x]) % (q_ - 1)];
+    inv_[static_cast<std::size_t>(x)] = exp_[static_cast<std::size_t>(
+        (q_ - 1 - log_[static_cast<std::size_t>(x)]) % (q_ - 1))];
   }
+
+  // Every non-zero element must have landed in the exp/log bijection, and 1
+  // must be the multiplicative identity we claim it is.
+  PFAR_ENSURE(log_[1] == 0, q_, p_, a_);
+  for (Elem x = 1; x < q_; ++x) {
+    PFAR_ENSURE(log_[static_cast<std::size_t>(x)] >= 0, x, q_);
+  }
+
+#if PFAR_AUDIT_ENABLED
+  // Field-axiom sweep (audit builds only; O(q^2) table reads): identities,
+  // inverses, commutativity and sampled distributivity.
+  for (Elem x = 0; x < q_; ++x) {
+    PFAR_INVARIANT(add(x, zero()) == x, x, q_);
+    PFAR_INVARIANT(mul(x, one()) == x, x, q_);
+    PFAR_INVARIANT(add(x, neg(x)) == zero(), x, q_);
+    if (x != 0) PFAR_INVARIANT(mul(x, inv_[static_cast<std::size_t>(x)]) == one(), x, q_);
+    for (Elem y = 0; y < q_; ++y) {
+      PFAR_INVARIANT(add(x, y) == add(y, x), x, y, q_);
+      PFAR_INVARIANT(mul(x, y) == mul(y, x), x, y, q_);
+    }
+    // Distributivity sampled along one row per x to keep the sweep O(q^2).
+    const Elem y = static_cast<Elem>((x * 7 + 3) % q_);
+    const Elem z = static_cast<Elem>((x * 5 + 1) % q_);
+    PFAR_INVARIANT(mul(x, add(y, z)) == add(mul(x, y), mul(x, z)), x, y, z);
+  }
+#endif
 }
 
 Elem Field::inv(Elem x) const {
   if (x == 0) throw std::domain_error("Field::inv: zero has no inverse");
-  return inv_[x];
+  return inv_[static_cast<std::size_t>(x)];
 }
 
 Elem Field::pow(Elem x, long long e) const {
@@ -194,21 +225,21 @@ Elem Field::pow(Elem x, long long e) const {
     return 0;
   }
   const long long m = q_ - 1;
-  long long r = (static_cast<long long>(log_[x]) * (e % m)) % m;
+  long long r = (static_cast<long long>(log_[static_cast<std::size_t>(x)]) * (e % m)) % m;
   if (r < 0) r += m;
-  return exp_[r];
+  return exp_[static_cast<std::size_t>(r)];
 }
 
 int Field::log(Elem x) const {
   if (x == 0) throw std::domain_error("Field::log: log of zero");
-  return log_[x];
+  return log_[static_cast<std::size_t>(x)];
 }
 
 Elem Field::exp(long long e) const {
   const long long m = q_ - 1;
   long long r = e % m;
   if (r < 0) r += m;
-  return exp_[r];
+  return exp_[static_cast<std::size_t>(r)];
 }
 
 int Field::digit(Elem x, int i) const {

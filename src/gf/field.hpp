@@ -36,10 +36,10 @@ class Field {
   Elem zero() const { return 0; }
   Elem one() const { return 1; }
 
-  Elem add(Elem x, Elem y) const { return add_[idx(x, y)]; }
-  Elem sub(Elem x, Elem y) const { return add_[idx(x, neg_[y])]; }
-  Elem neg(Elem x) const { return neg_[x]; }
-  Elem mul(Elem x, Elem y) const { return mul_[idx(x, y)]; }
+  Elem add(Elem x, Elem y) const { return add_[static_cast<std::size_t>(idx(x, y))]; }
+  Elem sub(Elem x, Elem y) const { return add_[static_cast<std::size_t>(idx(x, neg_[static_cast<std::size_t>(y)]))]; }
+  Elem neg(Elem x) const { return neg_[static_cast<std::size_t>(x)]; }
+  Elem mul(Elem x, Elem y) const { return mul_[static_cast<std::size_t>(idx(x, y))]; }
   /// Multiplicative inverse; x must be non-zero.
   Elem inv(Elem x) const;
   Elem div(Elem x, Elem y) const { return mul(x, inv(y)); }

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::graph {
 namespace {
 
@@ -20,7 +22,7 @@ std::size_t Graph::set_max_bitset_bytes(std::size_t bytes) {
   return g_max_bitset_bytes.exchange(bytes);
 }
 
-Graph::Graph(int n) : n_(n), build_adj_(n) {
+Graph::Graph(int n) : n_(n), build_adj_(static_cast<std::size_t>(n)) {
   if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
 }
 
@@ -42,8 +44,8 @@ void Graph::add_edge(int u, int v) {
   }
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   if (finalized_) throw std::logic_error("Graph::add_edge after finalize");
-  build_adj_[u].push_back(v);
-  build_adj_[v].push_back(u);
+  build_adj_[static_cast<std::size_t>(u)].push_back(v);
+  build_adj_[static_cast<std::size_t>(v)].push_back(u);
   edges_.emplace_back(u, v);
 }
 
@@ -75,21 +77,21 @@ void Graph::finalize() {
   // list leaves every row sorted ascending: all edges {w, u} with w < u
   // precede all edges {u, v} with v > u in lexicographic order, and each
   // group arrives in increasing order of the other endpoint.
-  offsets_.assign(n_ + 1, 0);
+  offsets_.assign(static_cast<std::size_t>(n_ + 1), 0);
   for (const Edge& e : edges_) {
-    ++offsets_[e.u + 1];
-    ++offsets_[e.v + 1];
+    ++offsets_[static_cast<std::size_t>(e.u + 1)];
+    ++offsets_[static_cast<std::size_t>(e.v + 1)];
   }
-  for (int v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
-  csr_adj_.resize(offsets_[n_]);
-  csr_eid_.resize(offsets_[n_]);
+  for (int v = 0; v < n_; ++v) offsets_[static_cast<std::size_t>(v + 1)] += offsets_[static_cast<std::size_t>(v)];
+  csr_adj_.resize(static_cast<std::size_t>(offsets_[static_cast<std::size_t>(n_)]));
+  csr_eid_.resize(static_cast<std::size_t>(offsets_[static_cast<std::size_t>(n_)]));
   std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
   for (int id = 0; id < static_cast<int>(edges_.size()); ++id) {
-    const Edge& e = edges_[id];
-    csr_adj_[cursor[e.u]] = e.v;
-    csr_eid_[cursor[e.u]++] = id;
-    csr_adj_[cursor[e.v]] = e.u;
-    csr_eid_[cursor[e.v]++] = id;
+    const Edge& e = edges_[static_cast<std::size_t>(id)];
+    csr_adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)])] = e.v;
+    csr_eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = id;
+    csr_adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)])] = e.u;
+    csr_eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = id;
   }
 
   // Packed adjacency matrix, budget permitting.
@@ -98,9 +100,9 @@ void Graph::finalize() {
   if (n_ > 0 && words * sizeof(std::uint64_t) <= g_max_bitset_bytes.load()) {
     bits_.assign(words, 0);
     for (const Edge& e : edges_) {
-      bits_[static_cast<std::size_t>(e.u) * words_per_row_ + (e.v >> 6)] |=
+      bits_[static_cast<std::size_t>(e.u) * words_per_row_ + static_cast<std::size_t>((e.v >> 6))] |=
           1ull << (e.v & 63);
-      bits_[static_cast<std::size_t>(e.v) * words_per_row_ + (e.u >> 6)] |=
+      bits_[static_cast<std::size_t>(e.v) * words_per_row_ + static_cast<std::size_t>((e.u >> 6))] |=
           1ull << (e.u & 63);
     }
   }
@@ -108,32 +110,70 @@ void Graph::finalize() {
   build_adj_.clear();
   build_adj_.shrink_to_fit();
   finalized_ = true;
+
+  // CSR shape contract: offsets are monotone, cover 2|E| endpoint slots,
+  // and every cursor ran exactly to the start of the next row.
+  PFAR_ENSURE(offsets_[0] == 0, n_);
+  for (int v = 0; v < n_; ++v) {
+    PFAR_ENSURE(offsets_[static_cast<std::size_t>(v)] <=
+                    offsets_[static_cast<std::size_t>(v + 1)],
+                v, n_);
+    PFAR_ENSURE(cursor[static_cast<std::size_t>(v)] ==
+                    offsets_[static_cast<std::size_t>(v + 1)],
+                v, n_);
+  }
+  PFAR_ENSURE(offsets_[static_cast<std::size_t>(n_)] ==
+                  2 * static_cast<int>(edges_.size()),
+              n_, edges_.size());
+
+#if PFAR_AUDIT_ENABLED
+  for (int v = 0; v < n_; ++v) {
+    const auto row = neighbors(v);
+    const auto eids = neighbor_edge_ids(v);
+    PFAR_INVARIANT(std::is_sorted(row.begin(), row.end()), v);
+    PFAR_INVARIANT(
+        std::adjacent_find(row.begin(), row.end()) == row.end(), v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      // Edge-id rank contract: eid is the lexicographic rank of the
+      // normalized edge, so edges_[eid] must be exactly {min, max}.
+      const int w = row[i];
+      const int eid = eids[i];
+      PFAR_INVARIANT(eid >= 0 && eid < static_cast<int>(edges_.size()), v, w,
+                     eid);
+      const Edge& e = edges_[static_cast<std::size_t>(eid)];
+      PFAR_INVARIANT(e.u == std::min(v, w) && e.v == std::max(v, w), v, w,
+                     eid, e.u, e.v);
+      // Bitset fast path must agree with the sorted-row fallback.
+      if (!bits_.empty()) PFAR_INVARIANT(bit(v, w), v, w);
+    }
+  }
+#endif
 }
 
 IntSpan Graph::neighbors(int v) const {
   if (!finalized_) {
-    const auto& list = build_adj_[v];
+    const auto& list = build_adj_[static_cast<std::size_t>(v)];
     return IntSpan(list.data(), list.data() + list.size());
   }
-  return IntSpan(csr_adj_.data() + offsets_[v], csr_adj_.data() + offsets_[v + 1]);
+  return IntSpan(csr_adj_.data() + offsets_[static_cast<std::size_t>(v)], csr_adj_.data() + offsets_[static_cast<std::size_t>(v + 1)]);
 }
 
 IntSpan Graph::neighbor_edge_ids(int v) const {
   if (!finalized_) {
     throw std::logic_error("Graph::neighbor_edge_ids before finalize");
   }
-  return IntSpan(csr_eid_.data() + offsets_[v], csr_eid_.data() + offsets_[v + 1]);
+  return IntSpan(csr_eid_.data() + offsets_[static_cast<std::size_t>(v)], csr_eid_.data() + offsets_[static_cast<std::size_t>(v + 1)]);
 }
 
 int Graph::degree(int v) const {
-  if (!finalized_) return static_cast<int>(build_adj_[v].size());
-  return offsets_[v + 1] - offsets_[v];
+  if (!finalized_) return static_cast<int>(build_adj_[static_cast<std::size_t>(v)].size());
+  return offsets_[static_cast<std::size_t>(v + 1)] - offsets_[static_cast<std::size_t>(v)];
 }
 
 bool Graph::has_edge(int u, int v) const {
   if (u == v) return false;
   if (!finalized_) {
-    const auto& list = build_adj_[u];
+    const auto& list = build_adj_[static_cast<std::size_t>(u)];
     return std::find(list.begin(), list.end(), v) != list.end();
   }
   if (!bits_.empty()) return bit(u, v);
@@ -147,7 +187,7 @@ int Graph::edge_id(int u, int v) const {
   const auto row = neighbors(u);
   const auto it = std::lower_bound(row.begin(), row.end(), v);
   if (it == row.end() || *it != v) return -1;
-  return csr_eid_[offsets_[u] + static_cast<int>(it - row.begin())];
+  return csr_eid_[static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]) + static_cast<std::size_t>(it - row.begin())];
 }
 
 int Graph::min_degree() const {
@@ -163,16 +203,16 @@ int Graph::max_degree() const {
 }
 
 std::vector<int> Graph::bfs_distances(int src) const {
-  std::vector<int> dist(n_, -1);
+  std::vector<int> dist(static_cast<std::size_t>(n_), -1);
   std::vector<int> frontier;
-  frontier.reserve(n_);
-  dist[src] = 0;
+  frontier.reserve(static_cast<std::size_t>(n_));
+  dist[static_cast<std::size_t>(src)] = 0;
   frontier.push_back(src);
   for (std::size_t head = 0; head < frontier.size(); ++head) {
     const int u = frontier[head];
     for (int w : neighbors(u)) {
-      if (dist[w] < 0) {
-        dist[w] = dist[u] + 1;
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
         frontier.push_back(w);
       }
     }
@@ -226,14 +266,14 @@ int Graph::common_neighbor_count(int u, int v) const {
   return count;
 }
 
-UnionFind::UnionFind(int n) : parent_(n), rank_(n, 0), components_(n) {
-  for (int i = 0; i < n; ++i) parent_[i] = i;
+UnionFind::UnionFind(int n) : parent_(static_cast<std::size_t>(n)), rank_(static_cast<std::size_t>(n), 0), components_(n) {
+  for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
 }
 
 int UnionFind::find(int x) {
-  while (parent_[x] != x) {
-    parent_[x] = parent_[parent_[x]];
-    x = parent_[x];
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    parent_[static_cast<std::size_t>(x)] = parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
   }
   return x;
 }
@@ -241,9 +281,9 @@ int UnionFind::find(int x) {
 bool UnionFind::unite(int x, int y) {
   int rx = find(x), ry = find(y);
   if (rx == ry) return false;
-  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
-  parent_[ry] = rx;
-  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  if (rank_[static_cast<std::size_t>(rx)] < rank_[static_cast<std::size_t>(ry)]) std::swap(rx, ry);
+  parent_[static_cast<std::size_t>(ry)] = rx;
+  if (rank_[static_cast<std::size_t>(rx)] == rank_[static_cast<std::size_t>(ry)]) ++rank_[static_cast<std::size_t>(rx)];
   --components_;
   return true;
 }

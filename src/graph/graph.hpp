@@ -80,7 +80,7 @@ class Graph {
   /// implementation (pinned by tests).
   int edge_id(int u, int v) const;
 
-  const Edge& edge(int id) const { return edges_[id]; }
+  const Edge& edge(int id) const { return edges_[static_cast<std::size_t>(id)]; }
   const std::vector<Edge>& edges() const { return edges_; }
 
   /// Sorted (ascending) neighbor row of v once finalized; insertion-order

@@ -13,43 +13,43 @@ class Blossom {
   explicit Blossom(const Graph& g)
       : g_(g),
         n_(g.num_vertices()),
-        mate_(n_, -1),
-        parent_(n_),
-        base_(n_),
+        mate_(static_cast<std::size_t>(n_), -1),
+        parent_(static_cast<std::size_t>(n_)),
+        base_(static_cast<std::size_t>(n_)),
         q_(),
-        used_(n_),
-        blossom_(n_) {}
+        used_(static_cast<std::size_t>(n_)),
+        blossom_(static_cast<std::size_t>(n_)) {}
 
   std::vector<int> solve() {
     for (int v = 0; v < n_; ++v) {
-      if (mate_[v] == -1) augment_from(v);
+      if (mate_[static_cast<std::size_t>(v)] == -1) augment_from(v);
     }
     return mate_;
   }
 
  private:
   int lowest_common_ancestor(int a, int b) {
-    std::vector<char> seen(n_, 0);
+    std::vector<char> seen(static_cast<std::size_t>(n_), 0);
     for (;;) {
-      a = base_[a];
-      seen[a] = 1;
-      if (mate_[a] == -1) break;
-      a = parent_[mate_[a]];
+      a = base_[static_cast<std::size_t>(a)];
+      seen[static_cast<std::size_t>(a)] = 1;
+      if (mate_[static_cast<std::size_t>(a)] == -1) break;
+      a = parent_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(a)])];
     }
     for (;;) {
-      b = base_[b];
-      if (seen[b]) return b;
-      b = parent_[mate_[b]];
+      b = base_[static_cast<std::size_t>(b)];
+      if (seen[static_cast<std::size_t>(b)]) return b;
+      b = parent_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(b)])];
     }
   }
 
   void mark_path(int v, int b, int child) {
-    while (base_[v] != b) {
-      blossom_[base_[v]] = 1;
-      blossom_[base_[mate_[v]]] = 1;
-      parent_[v] = child;
-      child = mate_[v];
-      v = parent_[mate_[v]];
+    while (base_[static_cast<std::size_t>(v)] != b) {
+      blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(v)])] = 1;
+      blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(v)])])] = 1;
+      parent_[static_cast<std::size_t>(v)] = child;
+      child = mate_[static_cast<std::size_t>(v)];
+      v = parent_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(v)])];
     }
   }
 
@@ -59,10 +59,10 @@ class Blossom {
     mark_path(u, b, v);
     mark_path(v, b, u);
     for (int i = 0; i < n_; ++i) {
-      if (blossom_[base_[i]]) {
-        base_[i] = b;
-        if (!used_[i]) {
-          used_[i] = 1;
+      if (blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(i)])]) {
+        base_[static_cast<std::size_t>(i)] = b;
+        if (!used_[static_cast<std::size_t>(i)]) {
+          used_[static_cast<std::size_t>(i)] = 1;
           q_.push(i);
         }
       }
@@ -75,20 +75,20 @@ class Blossom {
     std::fill(parent_.begin(), parent_.end(), -1);
     std::iota(base_.begin(), base_.end(), 0);
     while (!q_.empty()) q_.pop();
-    used_[root] = 1;
+    used_[static_cast<std::size_t>(root)] = 1;
     q_.push(root);
     while (!q_.empty()) {
       const int u = q_.front();
       q_.pop();
       for (int w : g_.neighbors(u)) {
-        if (base_[u] == base_[w] || mate_[u] == w) continue;
-        if (w == root || (mate_[w] != -1 && parent_[mate_[w]] != -1)) {
+        if (base_[static_cast<std::size_t>(u)] == base_[static_cast<std::size_t>(w)] || mate_[static_cast<std::size_t>(u)] == w) continue;
+        if (w == root || (mate_[static_cast<std::size_t>(w)] != -1 && parent_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(w)])] != -1)) {
           contract(root, u, w);
-        } else if (parent_[w] == -1) {
-          parent_[w] = u;
-          if (mate_[w] == -1) return w;  // augmenting path found
-          used_[mate_[w]] = 1;
-          q_.push(mate_[w]);
+        } else if (parent_[static_cast<std::size_t>(w)] == -1) {
+          parent_[static_cast<std::size_t>(w)] = u;
+          if (mate_[static_cast<std::size_t>(w)] == -1) return w;  // augmenting path found
+          used_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(w)])] = 1;
+          q_.push(mate_[static_cast<std::size_t>(w)]);
         }
       }
     }
@@ -101,10 +101,10 @@ class Blossom {
     // Flip matched/unmatched edges along the path back to the root.
     int v = leaf;
     while (v != -1) {
-      const int pv = parent_[v];
-      const int ppv = mate_[pv];
-      mate_[v] = pv;
-      mate_[pv] = v;
+      const int pv = parent_[static_cast<std::size_t>(v)];
+      const int ppv = mate_[static_cast<std::size_t>(pv)];
+      mate_[static_cast<std::size_t>(v)] = pv;
+      mate_[static_cast<std::size_t>(pv)] = v;
       v = ppv;
     }
   }
@@ -128,20 +128,20 @@ std::vector<int> maximum_matching(const Graph& g) {
 std::vector<int> random_maximal_independent_set(const Graph& g,
                                                 util::Rng& rng) {
   const int n = g.num_vertices();
-  std::vector<int> order(n);
+  std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   // Fisher-Yates with the deterministic Rng.
   for (int i = n - 1; i > 0; --i) {
-    const int j = static_cast<int>(rng.next_below(i + 1));
-    std::swap(order[i], order[j]);
+    const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
   }
-  std::vector<char> blocked(n, 0);
+  std::vector<char> blocked(static_cast<std::size_t>(n), 0);
   std::vector<int> chosen;
   for (int v : order) {
-    if (blocked[v]) continue;
+    if (blocked[static_cast<std::size_t>(v)]) continue;
     chosen.push_back(v);
-    blocked[v] = 1;
-    for (int w : g.neighbors(v)) blocked[w] = 1;
+    blocked[static_cast<std::size_t>(v)] = 1;
+    for (int w : g.neighbors(v)) blocked[static_cast<std::size_t>(w)] = 1;
   }
   std::sort(chosen.begin(), chosen.end());
   return chosen;

@@ -38,11 +38,11 @@ TreeBandwidths compute_tree_bandwidths(
   // most once per tree with the same share, so the float results are
   // unchanged.
   std::vector<int> tree_edges(static_cast<std::size_t>(num_trees) *
-                              (n > 0 ? n - 1 : 0));
-  std::vector<int> congestion(num_edges, 0);
+                              static_cast<std::size_t>((n > 0 ? n - 1 : 0)));
+  std::vector<int> congestion(static_cast<std::size_t>(num_edges), 0);
   for (int t = 0; t < num_trees; ++t) {
-    const auto& tree = trees[t];
-    int* row = tree_edges.data() + static_cast<std::size_t>(t) * (n - 1);
+    const auto& tree = trees[static_cast<std::size_t>(t)];
+    int* row = tree_edges.data() + static_cast<std::size_t>(t) * static_cast<std::size_t>((n - 1));
     int slot = 0;
     for (int u = 0; u < n; ++u) {
       const auto kids = tree.children(u);
@@ -58,26 +58,26 @@ TreeBandwidths compute_tree_bandwidths(
         }
         const int id = eids[j];
         row[slot++] = id;
-        ++congestion[id];
+        ++congestion[static_cast<std::size_t>(id)];
       }
     }
   }
 
   // Edge -> tree incidence in CSR form (rows ascending in tree id), so a
   // bottleneck edge reaches exactly the trees through it.
-  std::vector<int> inc_offsets(num_edges + 1, 0);
-  for (int id : tree_edges) ++inc_offsets[id + 1];
-  for (int e = 0; e < num_edges; ++e) inc_offsets[e + 1] += inc_offsets[e];
+  std::vector<int> inc_offsets(static_cast<std::size_t>(num_edges + 1), 0);
+  for (int id : tree_edges) ++inc_offsets[static_cast<std::size_t>(id + 1)];
+  for (int e = 0; e < num_edges; ++e) inc_offsets[static_cast<std::size_t>(e + 1)] += inc_offsets[static_cast<std::size_t>(e)];
   std::vector<int> incidence(tree_edges.size());
   {
     std::vector<int> cursor(inc_offsets.begin(), inc_offsets.end() - 1);
     for (int t = 0; t < num_trees; ++t) {
-      const int* row = tree_edges.data() + static_cast<std::size_t>(t) * (n - 1);
-      for (int s = 0; s < n - 1; ++s) incidence[cursor[row[s]]++] = t;
+      const int* row = tree_edges.data() + static_cast<std::size_t>(t) * static_cast<std::size_t>((n - 1));
+      for (int s = 0; s < n - 1; ++s) incidence[static_cast<std::size_t>(cursor[static_cast<std::size_t>(row[s])]++)] = t;
     }
   }
 
-  std::vector<char> tree_done(num_trees, 0);
+  std::vector<char> tree_done(static_cast<std::size_t>(num_trees), 0);
 
   // Argmin segment tree over the cached ratios L(e)/C(e). A bottleneck
   // round touches only the edges of the trees it finalizes, so each round
@@ -95,43 +95,43 @@ TreeBandwidths compute_tree_bandwidths(
     double ratio;
     int congestion;
   };
-  std::vector<EdgeState> state(num_edges);
+  std::vector<EdgeState> state(static_cast<std::size_t>(num_edges));
   for (int e = 0; e < num_edges; ++e) {
-    state[e].remaining = link_bandwidth;
-    state[e].congestion = congestion[e];
-    state[e].ratio =
-        congestion[e] > 0 ? link_bandwidth / congestion[e] : kInf;
+    state[static_cast<std::size_t>(e)].remaining = link_bandwidth;
+    state[static_cast<std::size_t>(e)].congestion = congestion[static_cast<std::size_t>(e)];
+    state[static_cast<std::size_t>(e)].ratio =
+        congestion[static_cast<std::size_t>(e)] > 0 ? link_bandwidth / congestion[static_cast<std::size_t>(e)] : kInf;
   }
   int leaves = 1;
   while (leaves < num_edges) leaves <<= 1;
   // Internal nodes only; node c's value is inner[c] for c < leaves and
   // state[c - leaves].ratio (kInf past num_edges) at the leaf level.
-  std::vector<double> inner(leaves, kInf);
+  std::vector<double> inner(static_cast<std::size_t>(leaves), kInf);
   const auto val = [&](int c) {
-    if (c < leaves) return inner[c];
+    if (c < leaves) return inner[static_cast<std::size_t>(c)];
     const int e = c - leaves;
-    return e < num_edges ? state[e].ratio : kInf;
+    return e < num_edges ? state[static_cast<std::size_t>(e)].ratio : kInf;
   };
   for (int i = leaves - 1; i >= 1; --i) {
-    inner[i] = std::min(val(2 * i), val(2 * i + 1));
+    inner[static_cast<std::size_t>(i)] = std::min(val(2 * i), val(2 * i + 1));
   }
   const auto update = [&](int e) {
     const double nv =
-        state[e].congestion > 0 ? state[e].remaining / state[e].congestion
+        state[static_cast<std::size_t>(e)].congestion > 0 ? state[static_cast<std::size_t>(e)].remaining / state[static_cast<std::size_t>(e)].congestion
                                 : kInf;
-    if (state[e].ratio == nv) return;
-    state[e].ratio = nv;
+    if (state[static_cast<std::size_t>(e)].ratio == nv) return;
+    state[static_cast<std::size_t>(e)].ratio = nv;
     // Climb only while the subtree minimum actually changes — in the
     // paper's near-uniform tree sets most updates stop at the first level.
     for (int i = (leaves + e) / 2; i >= 1; i /= 2) {
       const double m = std::min(val(2 * i), val(2 * i + 1));
-      if (inner[i] == m) break;
-      inner[i] = m;
+      if (inner[static_cast<std::size_t>(i)] == m) break;
+      inner[static_cast<std::size_t>(i)] = m;
     }
   };
 
   TreeBandwidths out;
-  out.per_tree.assign(num_trees, 0.0);
+  out.per_tree.assign(static_cast<std::size_t>(num_trees), 0.0);
 
   int active = num_trees;
   while (active > 0) {
@@ -142,22 +142,22 @@ TreeBandwidths compute_tree_bandwidths(
     int i = 1;
     while (i < leaves) i = val(2 * i) <= val(2 * i + 1) ? 2 * i : 2 * i + 1;
     const int e_min = i - leaves;
-    const double share = state[e_min].remaining / state[e_min].congestion;
-    for (int k = inc_offsets[e_min]; k < inc_offsets[e_min + 1]; ++k) {
-      const int t = incidence[k];
-      if (tree_done[t]) continue;
-      out.per_tree[t] = share;
-      const int* row = tree_edges.data() + static_cast<std::size_t>(t) * (n - 1);
+    const double share = state[static_cast<std::size_t>(e_min)].remaining / state[static_cast<std::size_t>(e_min)].congestion;
+    for (int k = inc_offsets[static_cast<std::size_t>(e_min)]; k < inc_offsets[static_cast<std::size_t>(e_min + 1)]; ++k) {
+      const int t = incidence[static_cast<std::size_t>(k)];
+      if (tree_done[static_cast<std::size_t>(t)]) continue;
+      out.per_tree[static_cast<std::size_t>(t)] = share;
+      const int* row = tree_edges.data() + static_cast<std::size_t>(t) * static_cast<std::size_t>((n - 1));
       for (int s = 0; s < n - 1; ++s) {
         const int e = row[s];
-        state[e].remaining = std::max(0.0, state[e].remaining - share);
-        --state[e].congestion;
+        state[static_cast<std::size_t>(e)].remaining = std::max(0.0, state[static_cast<std::size_t>(e)].remaining - share);
+        --state[static_cast<std::size_t>(e)].congestion;
         update(e);
       }
-      tree_done[t] = 1;
+      tree_done[static_cast<std::size_t>(t)] = 1;
       --active;
     }
-    state[e_min].congestion = 0;  // removed from the residual network
+    state[static_cast<std::size_t>(e_min)].congestion = 0;  // removed from the residual network
     update(e_min);
   }
 
@@ -175,26 +175,26 @@ TreeBandwidths compute_tree_bandwidths_reference(
   const int num_trees = static_cast<int>(trees.size());
 
   // Per-tree edge-id lists and per-edge congestion C(e).
-  std::vector<std::vector<int>> tree_edges(num_trees);
-  std::vector<int> congestion(num_edges, 0);
+  std::vector<std::vector<int>> tree_edges(static_cast<std::size_t>(num_trees));
+  std::vector<int> congestion(static_cast<std::size_t>(num_edges), 0);
   for (int t = 0; t < num_trees; ++t) {
-    for (const auto& e : trees[t].edges()) {
+    for (const auto& e : trees[static_cast<std::size_t>(t)].edges()) {
       const int id = g.edge_id(e.u, e.v);
       if (id < 0) {
         throw std::invalid_argument(
             "compute_tree_bandwidths: tree edge not in graph");
       }
-      tree_edges[t].push_back(id);
-      ++congestion[id];
+      tree_edges[static_cast<std::size_t>(t)].push_back(id);
+      ++congestion[static_cast<std::size_t>(id)];
     }
   }
 
-  std::vector<double> remaining(num_edges, link_bandwidth);  // L(e)
-  std::vector<char> edge_removed(num_edges, 0);
-  std::vector<char> tree_done(num_trees, 0);
+  std::vector<double> remaining(static_cast<std::size_t>(num_edges), link_bandwidth);  // L(e)
+  std::vector<char> edge_removed(static_cast<std::size_t>(num_edges), 0);
+  std::vector<char> tree_done(static_cast<std::size_t>(num_trees), 0);
 
   TreeBandwidths out;
-  out.per_tree.assign(num_trees, 0.0);
+  out.per_tree.assign(static_cast<std::size_t>(num_trees), 0.0);
 
   int active = num_trees;
   while (active > 0) {
@@ -202,8 +202,8 @@ TreeBandwidths compute_tree_bandwidths_reference(
     int e_min = -1;
     double best = std::numeric_limits<double>::infinity();
     for (int e = 0; e < num_edges; ++e) {
-      if (edge_removed[e] || congestion[e] == 0) continue;
-      const double ratio = remaining[e] / congestion[e];
+      if (edge_removed[static_cast<std::size_t>(e)] || congestion[static_cast<std::size_t>(e)] == 0) continue;
+      const double ratio = remaining[static_cast<std::size_t>(e)] / congestion[static_cast<std::size_t>(e)];
       if (ratio < best) {
         best = ratio;
         e_min = e;
@@ -213,22 +213,22 @@ TreeBandwidths compute_tree_bandwidths_reference(
       throw std::logic_error(
           "compute_tree_bandwidths: active trees but no congested edge");
     }
-    const double share = remaining[e_min] / congestion[e_min];
+    const double share = remaining[static_cast<std::size_t>(e_min)] / congestion[static_cast<std::size_t>(e_min)];
     for (int t = 0; t < num_trees; ++t) {
-      if (tree_done[t]) continue;
+      if (tree_done[static_cast<std::size_t>(t)]) continue;
       const bool contains =
-          std::find(tree_edges[t].begin(), tree_edges[t].end(), e_min) !=
-          tree_edges[t].end();
+          std::find(tree_edges[static_cast<std::size_t>(t)].begin(), tree_edges[static_cast<std::size_t>(t)].end(), e_min) !=
+          tree_edges[static_cast<std::size_t>(t)].end();
       if (!contains) continue;
-      out.per_tree[t] = share;
-      for (int e : tree_edges[t]) {
-        remaining[e] = std::max(0.0, remaining[e] - share);
-        --congestion[e];
+      out.per_tree[static_cast<std::size_t>(t)] = share;
+      for (int e : tree_edges[static_cast<std::size_t>(t)]) {
+        remaining[static_cast<std::size_t>(e)] = std::max(0.0, remaining[static_cast<std::size_t>(e)] - share);
+        --congestion[static_cast<std::size_t>(e)];
       }
-      tree_done[t] = 1;
+      tree_done[static_cast<std::size_t>(t)] = 1;
       --active;
     }
-    edge_removed[e_min] = 1;
+    edge_removed[static_cast<std::size_t>(e_min)] = 1;
   }
 
   for (double b : out.per_tree) out.aggregate += b;

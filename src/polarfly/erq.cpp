@@ -2,21 +2,23 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::polarfly {
 
 PolarFly::PolarFly(int q)
     : q_(q), n_(q * q + q + 1), field_(gf::shared_field(q)), graph_(n_) {
-  points_.resize(n_);
+  points_.resize(static_cast<std::size_t>(n_));
   // Vertex ids: [1,y,z] -> y*q + z; [0,1,z] -> q^2 + z; [0,0,1] -> q^2 + q.
   for (gf::Elem y = 0; y < q_; ++y) {
     for (gf::Elem z = 0; z < q_; ++z) {
-      points_[y * q_ + z] = Point{1, y, z};
+      points_[static_cast<std::size_t>(y * q_ + z)] = Point{1, y, z};
     }
   }
   for (gf::Elem z = 0; z < q_; ++z) {
-    points_[q_ * q_ + z] = Point{0, 1, z};
+    points_[static_cast<std::size_t>(q_ * q_ + z)] = Point{0, 1, z};
   }
-  points_[q_ * q_ + q_] = Point{0, 0, 1};
+  points_[static_cast<std::size_t>(q_ * q_ + q_)] = Point{0, 0, 1};
 
   // For each vertex, its neighbors are the projective points of the 2-dim
   // orthogonal complement of its vector: a line with q+1 points. Solving
@@ -27,7 +29,7 @@ PolarFly::PolarFly(int q)
   const gf::Field& f = *field_;
   graph_.reserve(n_ * (q_ + 1) / 2, q_ + 1);
   for (int v = 0; v < n_; ++v) {
-    const Point& pt = points_[v];
+    const Point& pt = points_[static_cast<std::size_t>(v)];
     auto link = [&](int w) {
       if (w > v) graph_.add_edge(v, w);  // each undirected edge added once
     };
@@ -54,18 +56,46 @@ PolarFly::PolarFly(int q)
   graph_.finalize();
 
   // Classification: quadrics first, then V1 = neighbors of quadrics.
-  type_.assign(n_, VertexType::kV2);
+  type_.assign(static_cast<std::size_t>(n_), VertexType::kV2);
   for (int v = 0; v < n_; ++v) {
-    if (dot(points_[v], points_[v]) == 0) {
-      type_[v] = VertexType::kQuadric;
+    if (dot(points_[static_cast<std::size_t>(v)], points_[static_cast<std::size_t>(v)]) == 0) {
+      type_[static_cast<std::size_t>(v)] = VertexType::kQuadric;
       quadrics_.push_back(v);
     }
   }
   for (int w : quadrics_) {
     for (int u : graph_.neighbors(w)) {
-      if (type_[u] != VertexType::kQuadric) type_[u] = VertexType::kV1;
+      if (type_[static_cast<std::size_t>(u)] != VertexType::kQuadric) type_[static_cast<std::size_t>(u)] = VertexType::kV1;
     }
   }
+
+  // Brown-graph structure (Section 6 / Table 1): |W| = q+1 quadrics, and
+  // for odd q the non-quadrics split into |V1| = q(q+1)/2 neighbors of
+  // quadrics and |V2| = q(q-1)/2 others. Even q degenerates: every
+  // non-quadric is adjacent to a quadric, so V2 is empty.
+  PFAR_ENSURE(static_cast<int>(quadrics_.size()) == q_ + 1, q_,
+              quadrics_.size());
+  const int v1 = count(VertexType::kV1);
+  const int v2 = count(VertexType::kV2);
+  PFAR_ENSURE(v1 + v2 + static_cast<int>(quadrics_.size()) == n_, q_, v1, v2,
+              n_);
+  if (q_ % 2 == 1) {
+    PFAR_ENSURE(v1 == q_ * (q_ + 1) / 2, q_, v1);
+    PFAR_ENSURE(v2 == q_ * (q_ - 1) / 2, q_, v2);
+  } else {
+    PFAR_ENSURE(v2 == 0, q_, v2);
+  }
+
+#if PFAR_AUDIT_ENABLED
+  // Degree law: quadrics are the self-orthogonal points with degree q
+  // (their polar line contains themselves); every other vertex has degree
+  // q+1 (Erdos-Renyi polarity graph).
+  for (int v = 0; v < n_; ++v) {
+    const bool quad = type_[static_cast<std::size_t>(v)] == VertexType::kQuadric;
+    PFAR_INVARIANT(graph_.degree(v) == (quad ? q_ : q_ + 1), v, q_,
+                   graph_.degree(v));
+  }
+#endif
 }
 
 int PolarFly::vertex_of(const Point& pt) const {
@@ -100,7 +130,7 @@ gf::Elem PolarFly::dot(const Point& a, const Point& b) const {
 int PolarFly::count(VertexType t) const {
   int c = 0;
   for (int v = 0; v < n_; ++v) {
-    if (type_[v] == t) ++c;
+    if (type_[static_cast<std::size_t>(v)] == t) ++c;
   }
   return c;
 }

@@ -49,7 +49,7 @@ class PolarFly {
   const gf::Field& field() const { return *field_; }
   const graph::Graph& graph() const { return graph_; }
 
-  const Point& point(int v) const { return points_[v]; }
+  const Point& point(int v) const { return points_[static_cast<std::size_t>(v)]; }
   /// Vertex id of a left-normalized point.
   int vertex_of(const Point& pt) const;
   /// Left-normalizes an arbitrary non-zero vector.
@@ -57,8 +57,8 @@ class PolarFly {
   /// Dot product of two points over F_q.
   gf::Elem dot(const Point& a, const Point& b) const;
 
-  bool is_quadric(int v) const { return type_[v] == VertexType::kQuadric; }
-  VertexType type(int v) const { return type_[v]; }
+  bool is_quadric(int v) const { return type_[static_cast<std::size_t>(v)] == VertexType::kQuadric; }
+  VertexType type(int v) const { return type_[static_cast<std::size_t>(v)]; }
   /// All quadric vertex ids (|W(q)| = q + 1), ascending.
   const std::vector<int>& quadrics() const { return quadrics_; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::polarfly {
 
 Layout build_layout(const PolarFly& pf, int starter_index) {
@@ -15,9 +17,9 @@ Layout build_layout(const PolarFly& pf, int starter_index) {
     throw std::out_of_range("build_layout: starter_index");
   }
   Layout layout;
-  layout.starter_quadric = quadrics[starter_index];
+  layout.starter_quadric = quadrics[static_cast<std::size_t>(starter_index)];
   layout.quadric_cluster = quadrics;
-  layout.cluster_of.assign(pf.n(), -1);
+  layout.cluster_of.assign(static_cast<std::size_t>(pf.n()), -1);
 
   const graph::Graph& g = pf.graph();
   // Each neighbor v_i of the starter quadric seeds cluster C_i; C_i is v_i
@@ -26,11 +28,11 @@ Layout build_layout(const PolarFly& pf, int starter_index) {
     const int i = static_cast<int>(layout.centers.size());
     layout.centers.push_back(center);
     std::vector<int> cluster{center};
-    layout.cluster_of[center] = i;
+    layout.cluster_of[static_cast<std::size_t>(center)] = i;
     for (int u : g.neighbors(center)) {
       if (!pf.is_quadric(u)) {
         cluster.push_back(u);
-        layout.cluster_of[u] = i;
+        layout.cluster_of[static_cast<std::size_t>(u)] = i;
       }
     }
     layout.clusters.push_back(std::move(cluster));
@@ -53,6 +55,36 @@ Layout build_layout(const PolarFly& pf, int starter_index) {
       throw std::logic_error("build_layout: center missing non-starter quadric");
     }
   }
+
+  // Layout Properties 1-3: q clusters (one per starter neighbor), each of
+  // size q (the center plus its q-1 non-quadric neighbors), and together
+  // with the q+1 quadrics they partition all N = q^2+q+1 vertices.
+  const int q = pf.q();
+  PFAR_ENSURE(static_cast<int>(layout.clusters.size()) == q, q,
+              layout.clusters.size());
+  int covered = static_cast<int>(layout.quadric_cluster.size());
+  for (const auto& cluster : layout.clusters) {
+    PFAR_ENSURE(static_cast<int>(cluster.size()) == q, q, cluster.size());
+    covered += static_cast<int>(cluster.size());
+  }
+  PFAR_ENSURE(covered == pf.n(), covered, pf.n(), q);
+
+#if PFAR_AUDIT_ENABLED
+  // Partition is genuine: every non-quadric lies in exactly the cluster
+  // cluster_of says it does, and quadrics are in none.
+  for (int v = 0; v < pf.n(); ++v) {
+    const int c = layout.cluster_of[static_cast<std::size_t>(v)];
+    if (pf.is_quadric(v)) {
+      PFAR_INVARIANT(c == -1, v, c);
+    } else {
+      PFAR_INVARIANT(c >= 0 && c < q, v, c, q);
+      const auto& cluster = layout.clusters[static_cast<std::size_t>(c)];
+      PFAR_INVARIANT(
+          std::find(cluster.begin(), cluster.end(), v) != cluster.end(), v,
+          c);
+    }
+  }
+#endif
   return layout;
 }
 

@@ -17,21 +17,21 @@ int id_of(const Point& pt, int q) {
 
 ProjectivePlane::ProjectivePlane(int q)
     : q_(q), n_(q * q + q + 1), field_(q) {
-  points_.resize(n_);
+  points_.resize(static_cast<std::size_t>(n_));
   for (gf::Elem y = 0; y < q_; ++y) {
-    for (gf::Elem z = 0; z < q_; ++z) points_[y * q_ + z] = Point{1, y, z};
+    for (gf::Elem z = 0; z < q_; ++z) points_[static_cast<std::size_t>(y * q_ + z)] = Point{1, y, z};
   }
-  for (gf::Elem z = 0; z < q_; ++z) points_[q_ * q_ + z] = Point{0, 1, z};
-  points_[q_ * q_ + q_] = Point{0, 0, 1};
+  for (gf::Elem z = 0; z < q_; ++z) points_[static_cast<std::size_t>(q_ * q_ + z)] = Point{0, 1, z};
+  points_[static_cast<std::size_t>(q_ * q_ + q_)] = Point{0, 0, 1};
 
   // Enumerate each line's points via the orthogonal-complement basis, the
   // same parametrization PolarFly uses for neighbors (but keeping the
   // point equal to the line coefficients when it is self-incident).
   const gf::Field& f = field_;
-  line_points_.resize(n_);
-  point_lines_.resize(n_);
+  line_points_.resize(static_cast<std::size_t>(n_));
+  point_lines_.resize(static_cast<std::size_t>(n_));
   for (int j = 0; j < n_; ++j) {
-    const Point& coeff = points_[j];
+    const Point& coeff = points_[static_cast<std::size_t>(j)];
     Point b1, b2;
     if (coeff.x != 0) {
       const gf::Elem ix = f.inv(coeff.x);
@@ -57,28 +57,28 @@ ProjectivePlane::ProjectivePlane(int q)
       } else {
         p = Point{0, 0, 1};
       }
-      line_points_[j].push_back(id_of(p, q_));
+      line_points_[static_cast<std::size_t>(j)].push_back(id_of(p, q_));
     };
     add_point(b2.x, b2.y, b2.z);
     for (gf::Elem t = 0; t < q_; ++t) {
       add_point(f.add(b1.x, f.mul(t, b2.x)), f.add(b1.y, f.mul(t, b2.y)),
                 f.add(b1.z, f.mul(t, b2.z)));
     }
-    std::sort(line_points_[j].begin(), line_points_[j].end());
-    for (int p : line_points_[j]) point_lines_[p].push_back(j);
+    std::sort(line_points_[static_cast<std::size_t>(j)].begin(), line_points_[static_cast<std::size_t>(j)].end());
+    for (int p : line_points_[static_cast<std::size_t>(j)]) point_lines_[static_cast<std::size_t>(p)].push_back(j);
   }
   for (auto& lines : point_lines_) std::sort(lines.begin(), lines.end());
 }
 
 bool ProjectivePlane::incident(int point_id, int line_id) const {
-  const auto& pts = line_points_[line_id];
+  const auto& pts = line_points_[static_cast<std::size_t>(line_id)];
   return std::binary_search(pts.begin(), pts.end(), point_id);
 }
 
 int ProjectivePlane::line_through(int p1, int p2) const {
   if (p1 == p2) throw std::invalid_argument("line_through: equal points");
-  const auto& a = point_lines_[p1];
-  const auto& b = point_lines_[p2];
+  const auto& a = point_lines_[static_cast<std::size_t>(p1)];
+  const auto& b = point_lines_[static_cast<std::size_t>(p2)];
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] == b[j]) return a[i];
@@ -93,8 +93,8 @@ int ProjectivePlane::line_through(int p1, int p2) const {
 
 int ProjectivePlane::meet(int l1, int l2) const {
   if (l1 == l2) throw std::invalid_argument("meet: equal lines");
-  const auto& a = line_points_[l1];
-  const auto& b = line_points_[l2];
+  const auto& a = line_points_[static_cast<std::size_t>(l1)];
+  const auto& b = line_points_[static_cast<std::size_t>(l2)];
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] == b[j]) return a[i];

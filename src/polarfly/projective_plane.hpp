@@ -27,22 +27,22 @@ class ProjectivePlane {
   const gf::Field& field() const { return field_; }
 
   /// Point i as a left-normalized homogeneous coordinate triple.
-  const Point& point(int i) const { return points_[i]; }
+  const Point& point(int i) const { return points_[static_cast<std::size_t>(i)]; }
   /// Line j's coefficient triple [a,b,c]: the line {x : a x0 + b x1 +
   /// c x2 = 0}. Lines are indexed by the normalized coefficient triple,
   /// so line j has the same coordinates as point j (self-duality).
-  const Point& line(int j) const { return points_[j]; }
+  const Point& line(int j) const { return points_[static_cast<std::size_t>(j)]; }
 
   /// True iff point i lies on line j.
   bool incident(int point_id, int line_id) const;
 
   /// The q+1 points on line j, ascending.
   const std::vector<int>& points_on_line(int line_id) const {
-    return line_points_[line_id];
+    return line_points_[static_cast<std::size_t>(line_id)];
   }
   /// The q+1 lines through point i, ascending.
   const std::vector<int>& lines_through_point(int point_id) const {
-    return point_lines_[point_id];
+    return point_lines_[static_cast<std::size_t>(point_id)];
   }
 
   /// The unique line through two distinct points.

@@ -9,6 +9,8 @@
 #include <string>
 #include <utility>
 
+#include "util/contracts.hpp"
+
 namespace pfar::simnet {
 namespace {
 
@@ -80,7 +82,7 @@ struct Fabric {
   std::vector<NodeTreeState> state;
 
   NodeTreeState& st(int node, int tree) {
-    return state[static_cast<std::size_t>(tree) * n + node];
+    return state[static_cast<std::size_t>(tree) * static_cast<std::size_t>(n) + static_cast<std::size_t>(node)];
   }
 };
 
@@ -91,9 +93,9 @@ Fabric build_fabric(const graph::Graph& topology,
   f.n = topology.num_vertices();
   f.num_trees = static_cast<int>(trees.size());
   f.num_dlinks = 2 * topology.num_edges();
-  f.roots.resize(f.num_trees);
-  f.link_vcs.resize(f.num_dlinks);
-  f.state.resize(static_cast<std::size_t>(f.n) * f.num_trees);
+  f.roots.resize(static_cast<std::size_t>(f.num_trees));
+  f.link_vcs.resize(static_cast<std::size_t>(f.num_dlinks));
+  f.state.resize(static_cast<std::size_t>(f.n) * static_cast<std::size_t>(f.num_trees));
 
   const Collective mode = config.collective;
   const bool want_reduce = mode != Collective::kBroadcast;
@@ -113,16 +115,16 @@ Fabric build_fabric(const graph::Graph& topology,
     vc.credits = config.vc_credits;
     f.vcs.push_back(std::move(vc));
     const int id = static_cast<int>(f.vcs.size()) - 1;
-    f.link_vcs[f.vcs[id].dlink].push_back(id);
+    f.link_vcs[static_cast<std::size_t>(f.vcs[static_cast<std::size_t>(id)].dlink)].push_back(id);
     return id;
   };
 
   for (int t = 0; t < f.num_trees; ++t) {
-    const auto& tree = trees[t];
-    f.roots[t] = tree.root;
+    const auto& tree = trees[static_cast<std::size_t>(t)];
+    f.roots[static_cast<std::size_t>(t)] = tree.root;
     for (int v = 0; v < f.n; ++v) {
-      f.st(v, t).parent = tree.parent[v];
-      if (tree.parent[v] >= 0) f.st(tree.parent[v], t).children.push_back(v);
+      f.st(v, t).parent = tree.parent[static_cast<std::size_t>(v)];
+      if (tree.parent[static_cast<std::size_t>(v)] >= 0) f.st(tree.parent[static_cast<std::size_t>(v)], t).children.push_back(v);
     }
     for (int v = 0; v < f.n; ++v) {
       NodeTreeState& s = f.st(v, t);
@@ -145,7 +147,8 @@ Fabric build_fabric(const graph::Graph& topology,
         s.child_reduce_vc[c] = f.st(child, t).parent_reduce_vc;
         s.child_bcast_vc[c] = f.st(child, t).parent_bcast_vc;
         if (s.child_bcast_vc[c] >= 0) {
-          f.vcs[s.child_bcast_vc[c]].fork_index = static_cast<int>(c);
+          f.vcs[static_cast<std::size_t>(s.child_bcast_vc[c])].fork_index =
+              static_cast<int>(c);
         }
       }
     }
@@ -159,18 +162,18 @@ Fabric build_fabric(const graph::Graph& topology,
   // Lemma 7.8 accounting: distinct trees consuming each input port as a
   // reduction input.
   if (want_reduce) {
-    std::vector<int> reductions_per_port(f.num_dlinks, 0);
+    std::vector<int> reductions_per_port(static_cast<std::size_t>(f.num_dlinks), 0);
     for (const auto& vc : f.vcs) {
-      if (vc.phase == Phase::kReduce) ++reductions_per_port[vc.dlink];
+      if (vc.phase == Phase::kReduce) ++reductions_per_port[static_cast<std::size_t>(vc.dlink)];
     }
     for (int c : reductions_per_port) {
       result.max_reductions_per_input_port =
           std::max(result.max_reductions_per_input_port, c);
     }
   }
-  result.link_flits.assign(f.num_dlinks, 0);
-  result.tree_finish_cycle.assign(f.num_trees, 0);
-  result.tree_first_delivery.assign(f.num_trees, -1);
+  result.link_flits.assign(static_cast<std::size_t>(f.num_dlinks), 0);
+  result.tree_finish_cycle.assign(static_cast<std::size_t>(f.num_trees), 0);
+  result.tree_first_delivery.assign(static_cast<std::size_t>(f.num_trees), -1);
   result.values_correct = true;
   return f;
 }
@@ -194,30 +197,30 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
 
   const auto expected_value = [&](int tree, long long k) {
     return mode == Collective::kBroadcast
-               ? local_value(f.roots[tree], tree, k)
+               ? local_value(f.roots[static_cast<std::size_t>(tree)], tree, k)
                : sum_over_nodes(n, tree, k);
   };
 
   long long delivered_total = 0;
   long long now = 0;
   long long last_progress = 0;
-  std::vector<int> rr(f.num_dlinks, 0);
+  std::vector<int> rr(static_cast<std::size_t>(f.num_dlinks), 0);
   // Token-bucket link occupancy: `tokens` flit-slots accumulate at
   // link_bandwidth per cycle (bounded burst); a packet consumes
   // payload + header flits and may borrow, modeling multi-cycle packets.
-  std::vector<long long> tokens(f.num_dlinks, 0);
+  std::vector<long long> tokens(static_cast<std::size_t>(f.num_dlinks), 0);
   const int header = config.packet_header_flits;
 
   const auto vc_ready = [&](const VcState& vc) -> bool {
     const NodeTreeState& s = f.st(vc.src, vc.tree);
     if (vc.phase == Phase::kReduce) {
-      if (s.injected >= elements_per_tree[vc.tree]) return false;
+      if (s.injected >= elements_per_tree[static_cast<std::size_t>(vc.tree)]) return false;
       for (int cvc : s.child_reduce_vc) {
-        if (vcs[cvc].recv.empty()) return false;
+        if (vcs[static_cast<std::size_t>(cvc)].recv.empty()) return false;
       }
       return true;
     }
-    return !s.fork_stage[vc.fork_index].empty();
+    return !s.fork_stage[static_cast<std::size_t>(vc.fork_index)].empty();
   };
 
   // Assembles the next reduction packet at node `src` for tree `tree`:
@@ -225,31 +228,31 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
   // aligned across children because every stream chunks the same way.
   const auto make_reduce_packet = [&](int src, int tree) -> Packet {
     NodeTreeState& s = f.st(src, tree);
-    const long long remaining = elements_per_tree[tree] - s.injected;
+    const long long remaining = elements_per_tree[static_cast<std::size_t>(tree)] - s.injected;
     long long size = std::min<long long>(config.packet_payload, remaining);
     for (int cvc : s.child_reduce_vc) {
-      if (static_cast<long long>(vcs[cvc].recv.front().size()) != size) {
+      if (static_cast<long long>(vcs[static_cast<std::size_t>(cvc)].recv.front().size()) != size) {
         throw std::logic_error("reduce packet misalignment");
       }
     }
-    Packet packet(size);
+    Packet packet(static_cast<std::size_t>(size));
     for (long long i = 0; i < size; ++i) {
-      packet[i] = local_value(src, tree, s.injected + i);
+      packet[static_cast<std::size_t>(i)] = local_value(src, tree, s.injected + i);
     }
     s.injected += size;
     for (int cvc : s.child_reduce_vc) {
-      const Packet& head = vcs[cvc].recv.front();
-      for (long long i = 0; i < size; ++i) packet[i] += head[i];
-      vcs[cvc].recv.pop_front();
-      vcs[cvc].credit_inflight.push_back(now + config.link_latency);
+      const Packet& head = vcs[static_cast<std::size_t>(cvc)].recv.front();
+      for (long long i = 0; i < size; ++i) packet[static_cast<std::size_t>(i)] += head[static_cast<std::size_t>(i)];
+      vcs[static_cast<std::size_t>(cvc)].recv.pop_front();
+      vcs[static_cast<std::size_t>(cvc)].credit_inflight.push_back(now + config.link_latency);
     }
     return packet;
   };
 
   const auto deliver = [&](int node, int tree, const Packet& packet) {
     NodeTreeState& s = f.st(node, tree);
-    if (result.tree_first_delivery[tree] < 0) {
-      result.tree_first_delivery[tree] = now;
+    if (result.tree_first_delivery[static_cast<std::size_t>(tree)] < 0) {
+      result.tree_first_delivery[static_cast<std::size_t>(tree)] = now;
     }
     for (std::int64_t value : packet) {
       if (value != expected_value(tree, s.delivered)) {
@@ -257,7 +260,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       }
       ++s.delivered;
       ++delivered_total;
-      if (--tree_remaining[tree] == 0) result.tree_finish_cycle[tree] = now;
+      if (--tree_remaining[static_cast<std::size_t>(tree)] == 0) result.tree_finish_cycle[static_cast<std::size_t>(tree)] = now;
     }
     last_progress = now;
   };
@@ -293,36 +296,36 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
     // root (into the turnaround queue or straight to local delivery).
     // Broadcast: the root sources its own stream into the queue.
     for (int t = 0; t < num_trees; ++t) {
-      NodeTreeState& s = f.st(f.roots[t], t);
+      NodeTreeState& s = f.st(f.roots[static_cast<std::size_t>(t)], t);
       for (int fire = 0; fire < config.link_bandwidth; ++fire) {
-        if (s.injected >= elements_per_tree[t]) break;
+        if (s.injected >= elements_per_tree[static_cast<std::size_t>(t)]) break;
         if (mode != Collective::kReduce &&
             static_cast<int>(s.root_queue.size()) >= config.vc_credits) {
           break;
         }
         Packet packet;
         if (mode == Collective::kBroadcast) {
-          const long long remaining = elements_per_tree[t] - s.injected;
+          const long long remaining = elements_per_tree[static_cast<std::size_t>(t)] - s.injected;
           const long long size =
               std::min<long long>(config.packet_payload, remaining);
-          packet.resize(size);
+          packet.resize(static_cast<std::size_t>(size));
           for (long long i = 0; i < size; ++i) {
-            packet[i] = local_value(f.roots[t], t, s.injected + i);
+            packet[static_cast<std::size_t>(i)] = local_value(f.roots[static_cast<std::size_t>(t)], t, s.injected + i);
           }
           s.injected += size;
         } else {
           bool inputs_ready = true;
           for (int cvc : s.child_reduce_vc) {
-            if (vcs[cvc].recv.empty()) {
+            if (vcs[static_cast<std::size_t>(cvc)].recv.empty()) {
               inputs_ready = false;
               break;
             }
           }
           if (!inputs_ready) break;
-          packet = make_reduce_packet(f.roots[t], t);
+          packet = make_reduce_packet(f.roots[static_cast<std::size_t>(t)], t);
         }
         if (mode == Collective::kReduce) {
-          deliver(f.roots[t], t, packet);
+          deliver(f.roots[static_cast<std::size_t>(t)], t, packet);
         } else {
           s.root_queue.push_back(std::move(packet));
         }
@@ -337,7 +340,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       for (int t = 0; t < num_trees; ++t) {
         for (int v = 0; v < n; ++v) {
           NodeTreeState& s = f.st(v, t);
-          const bool is_root = (v == f.roots[t]);
+          const bool is_root = (v == f.roots[static_cast<std::size_t>(t)]);
           if (!is_root && s.parent_bcast_vc < 0) continue;
           for (int moves = 0; moves < config.link_bandwidth; ++moves) {
             bool room = true;
@@ -354,7 +357,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
               packet = std::move(s.root_queue.front());
               s.root_queue.pop_front();
             } else {
-              VcState& pvc = vcs[s.parent_bcast_vc];
+              VcState& pvc = vcs[static_cast<std::size_t>(s.parent_bcast_vc)];
               if (pvc.recv.empty()) break;
               packet = std::move(pvc.recv.front());
               pvc.recv.pop_front();
@@ -376,34 +379,34 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
     // 4. Link arbitration: round-robin over each directed link's VCs,
     // consuming token-bucket flit slots (payload + header per packet).
     for (int dl = 0; dl < f.num_dlinks; ++dl) {
-      const auto& ids = f.link_vcs[dl];
+      const auto& ids = f.link_vcs[static_cast<std::size_t>(dl)];
       if (ids.empty()) continue;
-      tokens[dl] = std::min<long long>(
-          tokens[dl] + config.link_bandwidth,
+      tokens[static_cast<std::size_t>(dl)] = std::min<long long>(
+          tokens[static_cast<std::size_t>(dl)] + config.link_bandwidth,
           static_cast<long long>(config.link_bandwidth) *
               (config.packet_payload + header));
       const int count = static_cast<int>(ids.size());
       const int probes = count * config.link_bandwidth;
-      const int base = rr[dl];
-      for (int probe = 0; probe < probes && tokens[dl] > 0; ++probe) {
+      const int base = rr[static_cast<std::size_t>(dl)];
+      for (int probe = 0; probe < probes && tokens[static_cast<std::size_t>(dl)] > 0; ++probe) {
         const int slot = (base + probe) % count;
-        VcState& vc = vcs[ids[slot]];
+        VcState& vc = vcs[static_cast<std::size_t>(ids[static_cast<std::size_t>(slot)])];
         if (vc.credits <= 0 || !vc_ready(vc)) continue;
         // True round-robin: rotate past the granted VC so competing trees
         // alternate even when packets occupy the link for several cycles.
-        rr[dl] = (slot + 1) % count;
+        rr[static_cast<std::size_t>(dl)] = (slot + 1) % count;
         Packet packet;
         if (vc.phase == Phase::kReduce) {
           packet = make_reduce_packet(vc.src, vc.tree);
         } else {
           NodeTreeState& s = f.st(vc.src, vc.tree);
-          packet = std::move(s.fork_stage[vc.fork_index].front());
-          s.fork_stage[vc.fork_index].pop_front();
+          packet = std::move(s.fork_stage[static_cast<std::size_t>(vc.fork_index)].front());
+          s.fork_stage[static_cast<std::size_t>(vc.fork_index)].pop_front();
         }
         const long long flits =
             static_cast<long long>(packet.size()) + header;
-        tokens[dl] -= flits;
-        result.link_flits[dl] += flits;
+        tokens[static_cast<std::size_t>(dl)] -= flits;
+        result.link_flits[static_cast<std::size_t>(dl)] += flits;
         --vc.credits;
         vc.data_inflight.emplace_back(now + config.link_latency,
                                       std::move(packet));
@@ -412,6 +415,24 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
     }
 
     ++now;
+  }
+
+  // Quiesce: once every element is delivered, no packet may remain queued
+  // or on the wire, and each VC's credits (held + still returning) must
+  // conserve the configured budget.
+  for (const auto& vc : vcs) {
+    PFAR_ENSURE(vc.recv.empty() && vc.data_inflight.empty(), vc.tree, vc.src,
+                vc.dst, vc.recv.size(), vc.data_inflight.size());
+    PFAR_ENSURE(vc.credits + static_cast<int>(vc.credit_inflight.size()) ==
+                    config.vc_credits,
+                vc.tree, vc.src, vc.dst, vc.credits,
+                vc.credit_inflight.size());
+  }
+  for (const auto& s : f.state) {
+    PFAR_ENSURE(s.root_queue.empty(), s.parent, s.root_queue.size());
+    for (const auto& stage : s.fork_stage) {
+      PFAR_ENSURE(stage.empty(), s.parent, stage.size());
+    }
   }
   return now;
 }
@@ -455,15 +476,15 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
 
   const auto expected_value = [&](int tree, long long k) {
     return mode == Collective::kBroadcast
-               ? local_value(f.roots[tree], tree, k)
+               ? local_value(f.roots[static_cast<std::size_t>(tree)], tree, k)
                : sum_over_nodes(n, tree, k);
   };
 
   long long delivered_total = 0;
   long long now = 0;
   long long last_progress = 0;
-  std::vector<int> rr(f.num_dlinks, 0);
-  std::vector<long long> tokens(f.num_dlinks, 0);
+  std::vector<int> rr(static_cast<std::size_t>(f.num_dlinks), 0);
+  std::vector<long long> tokens(static_cast<std::size_t>(f.num_dlinks), 0);
   const int header = config.packet_header_flits;
   const int bw = config.link_bandwidth;
   const long long token_cap =
@@ -504,14 +525,14 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   std::vector<Ref> ring_ref(static_cast<std::size_t>(num_vcs) * pcap);
   std::vector<long long> credit_time(static_cast<std::size_t>(num_vcs) *
                                      pcap);
-  std::vector<std::uint32_t> rhead(num_vcs, 0), rtotal(num_vcs, 0),
-      rready(num_vcs, 0);
-  std::vector<std::uint32_t> chead(num_vcs, 0), ccount(num_vcs, 0);
-  std::vector<std::int32_t> credits(num_vcs, config.vc_credits);
+  std::vector<std::uint32_t> rhead(static_cast<std::size_t>(num_vcs), 0), rtotal(static_cast<std::size_t>(num_vcs), 0),
+      rready(static_cast<std::size_t>(num_vcs), 0);
+  std::vector<std::uint32_t> chead(static_cast<std::size_t>(num_vcs), 0), ccount(static_cast<std::size_t>(num_vcs), 0);
+  std::vector<std::int32_t> credits(static_cast<std::size_t>(num_vcs), config.vc_credits);
 
   // --- Per-VC metadata flattened out of VcState for the hot paths.
-  std::vector<char> vc_is_reduce(num_vcs);
-  std::vector<std::int32_t> vc_src_state(num_vcs), vc_dst_state(num_vcs);
+  std::vector<char> vc_is_reduce(static_cast<std::size_t>(num_vcs));
+  std::vector<std::int32_t> vc_src_state(static_cast<std::size_t>(num_vcs)), vc_dst_state(static_cast<std::size_t>(num_vcs));
 
   // --- Per-(node, tree) engine state: ready-children counter plus flat
   // fork-stage rings (global stage id = stage_base[state] + child slot).
@@ -522,7 +543,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   std::vector<std::int32_t> stage_base(num_states + 1, 0);
   for (std::size_t i = 0; i < num_states; ++i) {
     eng_nchild[i] = static_cast<std::int32_t>(f.state[i].children.size());
-    eng_target[i] = elements_per_tree[i / n];
+    eng_target[i] = elements_per_tree[i / static_cast<std::size_t>(n)];
     stage_base[i + 1] = stage_base[i] + eng_nchild[i];
   }
   const int num_stages = stage_base[num_states];
@@ -530,21 +551,24 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       std::bit_ceil(static_cast<std::uint32_t>(config.fork_buffer));
   const std::uint32_t fmask = fcap - 1;
   std::vector<Ref> fork_ring(static_cast<std::size_t>(num_stages) * fcap);
-  std::vector<std::uint32_t> fhead(num_stages, 0), fcount(num_stages, 0);
-  std::vector<std::int32_t> vc_stage(num_vcs, -1);
+  std::vector<std::uint32_t> fhead(static_cast<std::size_t>(num_stages), 0), fcount(static_cast<std::size_t>(num_stages), 0);
+  std::vector<std::int32_t> vc_stage(static_cast<std::size_t>(num_vcs), -1);
   for (int id = 0; id < num_vcs; ++id) {
-    const VcState& vc = f.vcs[id];
-    vc_is_reduce[id] = vc.phase == Phase::kReduce ? 1 : 0;
-    vc_src_state[id] = vc.tree * n + vc.src;
-    vc_dst_state[id] = vc.tree * n + vc.dst;
+    const VcState& vc = f.vcs[static_cast<std::size_t>(id)];
+    vc_is_reduce[static_cast<std::size_t>(id)] = vc.phase == Phase::kReduce ? 1 : 0;
+    vc_src_state[static_cast<std::size_t>(id)] = vc.tree * n + vc.src;
+    vc_dst_state[static_cast<std::size_t>(id)] = vc.tree * n + vc.dst;
     if (vc.phase == Phase::kBcast) {
-      vc_stage[id] = stage_base[vc_src_state[id]] + vc.fork_index;
+      vc_stage[static_cast<std::size_t>(id)] =
+          stage_base[static_cast<std::size_t>(
+              vc_src_state[static_cast<std::size_t>(id)])] +
+          vc.fork_index;
     }
   }
 
   // --- Root turnaround queues, one ring per tree.
   std::vector<Ref> root_ring(static_cast<std::size_t>(num_trees) * pcap);
-  std::vector<std::uint32_t> rq_head(num_trees, 0), rq_count(num_trees, 0);
+  std::vector<std::uint32_t> rq_head(static_cast<std::size_t>(num_trees), 0), rq_count(static_cast<std::size_t>(num_trees), 0);
 
   // Event wheel: every data landing and credit return is scheduled at
   // now + latency, so pending wake-ups live in (now, now + latency] and a
@@ -556,12 +580,12 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       std::bit_ceil(static_cast<std::uint32_t>(latency) + 1u);
   const std::uint32_t wmask = wheel_size - 1;
   std::vector<std::vector<std::int32_t>> wheel(wheel_size);
-  std::vector<long long> last_wake(num_vcs, -1);
+  std::vector<long long> last_wake(static_cast<std::size_t>(num_vcs), -1);
   long long pending_events = 0;
-  std::vector<std::int32_t>* sched_bucket = &wheel[latency & wmask];
+  std::vector<std::int32_t>* sched_bucket = &wheel[static_cast<unsigned>(latency) & wmask];
   const auto schedule_wakeup = [&](int vc_id) {
-    if (last_wake[vc_id] == now) return;
-    last_wake[vc_id] = now;
+    if (last_wake[static_cast<std::size_t>(vc_id)] == now) return;
+    last_wake[static_cast<std::size_t>(vc_id)] = now;
     sched_bucket->push_back(vc_id);
     ++pending_events;
   };
@@ -586,8 +610,8 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   std::vector<char> bcast_active(num_states, 0);
   std::vector<std::int32_t> bcast_list, bcast_current;
   const auto activate_bcast = [&](std::int32_t state_idx) {
-    if (!bcast_active[state_idx]) {
-      bcast_active[state_idx] = 1;
+    if (!bcast_active[static_cast<std::size_t>(state_idx)]) {
+      bcast_active[static_cast<std::size_t>(state_idx)] = 1;
       bcast_list.push_back(state_idx);
     }
   };
@@ -599,30 +623,30 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   // Pops the ready head packet of a reduce child VC and schedules its
   // credit return; keeps the consumer's ready-children counter in sync.
   const auto pop_child = [&](int cvc, std::int32_t consumer_state) -> Ref {
-    const Ref head = ring_ref[cvc * pcap + (rhead[cvc] & pmask)];
-    rhead[cvc] = (rhead[cvc] + 1) & pmask;
-    --rtotal[cvc];
-    if (--rready[cvc] == 0) --eng_ready[consumer_state];
-    credit_time[cvc * pcap + ((chead[cvc] + ccount[cvc]) & pmask)] =
+    const Ref head = ring_ref[static_cast<unsigned>(cvc) * pcap + (rhead[static_cast<std::size_t>(cvc)] & pmask)];
+    rhead[static_cast<std::size_t>(cvc)] = (rhead[static_cast<std::size_t>(cvc)] + 1) & pmask;
+    --rtotal[static_cast<std::size_t>(cvc)];
+    if (--rready[static_cast<std::size_t>(cvc)] == 0) --eng_ready[static_cast<std::size_t>(consumer_state)];
+    credit_time[static_cast<unsigned>(cvc) * pcap + ((chead[static_cast<std::size_t>(cvc)] + ccount[static_cast<std::size_t>(cvc)]) & pmask)] =
         now + latency;
-    ++ccount[cvc];
+    ++ccount[static_cast<std::size_t>(cvc)];
     schedule_wakeup(cvc);
     return head;
   };
 
   const auto make_reduce_packet = [&](std::int32_t state_idx) -> Ref {
-    NodeTreeState& s = f.state[state_idx];
-    const long long remaining = eng_target[state_idx] - s.injected;
+    NodeTreeState& s = f.state[static_cast<std::size_t>(state_idx)];
+    const long long remaining = eng_target[static_cast<std::size_t>(state_idx)] - s.injected;
     const long long size =
         std::min<long long>(config.packet_payload, remaining);
     const std::int32_t slab = alloc_slab();
-    std::int64_t* out = &arena[static_cast<std::size_t>(slab) * stride];
-    std::int64_t value = inj_next[state_idx];
+    std::int64_t* out = &arena[static_cast<std::size_t>(slab) * static_cast<std::size_t>(stride)];
+    std::int64_t value = inj_next[static_cast<std::size_t>(state_idx)];
     for (long long i = 0; i < size; ++i) {
       out[i] = value;
       value += kElemStride;
     }
-    inj_next[state_idx] = value;
+    inj_next[static_cast<std::size_t>(state_idx)] = value;
     s.injected += size;
     for (int cvc : s.child_reduce_vc) {
       const Ref head = pop_child(cvc, state_idx);
@@ -630,7 +654,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
         throw std::logic_error("reduce packet misalignment");
       }
       const std::int64_t* in =
-          &arena[static_cast<std::size_t>(head.slab) * stride];
+          &arena[static_cast<std::size_t>(head.slab) * static_cast<std::size_t>(stride)];
       for (long long i = 0; i < size; ++i) out[i] += in[i];
       free_slabs.push_back(head.slab);
     }
@@ -638,19 +662,19 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   };
 
   const auto deliver = [&](int tree, std::int32_t state_idx, Ref packet) {
-    if (result.tree_first_delivery[tree] < 0) {
-      result.tree_first_delivery[tree] = now;
+    if (result.tree_first_delivery[static_cast<std::size_t>(tree)] < 0) {
+      result.tree_first_delivery[static_cast<std::size_t>(tree)] = now;
     }
     const std::int64_t* p =
-        &arena[static_cast<std::size_t>(packet.slab) * stride];
-    std::int64_t expected = exp_next[state_idx];
+        &arena[static_cast<std::size_t>(packet.slab) * static_cast<std::size_t>(stride)];
+    std::int64_t expected = exp_next[static_cast<std::size_t>(state_idx)];
     for (std::int32_t i = 0; i < packet.size; ++i) {
       if (p[i] != expected) result.values_correct = false;
       expected += exp_slope;
       ++delivered_total;
-      if (--tree_remaining[tree] == 0) result.tree_finish_cycle[tree] = now;
+      if (--tree_remaining[static_cast<std::size_t>(tree)] == 0) result.tree_finish_cycle[static_cast<std::size_t>(tree)] = now;
     }
-    exp_next[state_idx] = expected;
+    exp_next[static_cast<std::size_t>(state_idx)] = expected;
     last_progress = now;
     progressed = true;
   };
@@ -666,40 +690,43 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     }
 
     progressed = false;
-    sched_bucket = &wheel[(now + latency) & wmask];
+    sched_bucket = &wheel[static_cast<std::size_t>((now + latency) & wmask)];
 
     // 1. Arrivals: only VCs with a wake-up scheduled for this cycle. A
     // landing advances the ready boundary of the combined ring; a matured
     // credit return bumps the sender-side credit count.
     {
-      auto& bucket = wheel[now & wmask];
+      auto& bucket = wheel[static_cast<std::size_t>(now & wmask)];
       if (!bucket.empty()) {
         pending_events -= static_cast<long long>(bucket.size());
         for (std::int32_t id : bucket) {
           const std::size_t base = static_cast<std::size_t>(id) * pcap;
-          const std::uint32_t before = rready[id];
-          while (rready[id] < rtotal[id] &&
-                 ring_time[base + ((rhead[id] + rready[id]) & pmask)] <=
+          const std::uint32_t before = rready[static_cast<std::size_t>(id)];
+          while (rready[static_cast<std::size_t>(id)] < rtotal[static_cast<std::size_t>(id)] &&
+                 ring_time[base + ((rhead[static_cast<std::size_t>(id)] + rready[static_cast<std::size_t>(id)]) & pmask)] <=
                      now) {
-            ++rready[id];
+            ++rready[static_cast<std::size_t>(id)];
           }
-          if (rready[id] != before) {
+          if (rready[static_cast<std::size_t>(id)] != before) {
             result.max_vc_occupancy =
                 std::max(result.max_vc_occupancy,
-                         static_cast<int>(rready[id]));
+                         static_cast<int>(rready[static_cast<std::size_t>(id)]));
             last_progress = now;
             progressed = true;
-            if (vc_is_reduce[id]) {
-              if (before == 0) ++eng_ready[vc_dst_state[id]];
+            if (vc_is_reduce[static_cast<std::size_t>(id)]) {
+              if (before == 0) {
+              ++eng_ready[static_cast<std::size_t>(
+                  vc_dst_state[static_cast<std::size_t>(id)])];
+            }
             } else {
-              activate_bcast(vc_dst_state[id]);
+              activate_bcast(vc_dst_state[static_cast<std::size_t>(id)]);
             }
           }
-          while (ccount[id] > 0 &&
-                 credit_time[base + (chead[id] & pmask)] <= now) {
-            chead[id] = (chead[id] + 1) & pmask;
-            --ccount[id];
-            ++credits[id];
+          while (ccount[static_cast<std::size_t>(id)] > 0 &&
+                 credit_time[base + (chead[static_cast<std::size_t>(id)] & pmask)] <= now) {
+            chead[static_cast<std::size_t>(id)] = (chead[static_cast<std::size_t>(id)] + 1) & pmask;
+            --ccount[static_cast<std::size_t>(id)];
+            ++credits[static_cast<std::size_t>(id)];
             progressed = true;
           }
         }
@@ -709,41 +736,41 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
 
     // 2. Root engines (O(num_trees), cheap enough to visit every cycle).
     for (int t = 0; t < num_trees; ++t) {
-      const std::int32_t si = t * n + f.roots[t];
-      NodeTreeState& s = f.state[si];
+      const std::int32_t si = t * n + f.roots[static_cast<std::size_t>(t)];
+      NodeTreeState& s = f.state[static_cast<std::size_t>(si)];
       for (int fire = 0; fire < bw; ++fire) {
-        if (s.injected >= eng_target[si]) break;
+        if (s.injected >= eng_target[static_cast<std::size_t>(si)]) break;
         if (mode != Collective::kReduce &&
-            static_cast<int>(rq_count[t]) >= config.vc_credits) {
+            static_cast<int>(rq_count[static_cast<std::size_t>(t)]) >= config.vc_credits) {
           break;
         }
         Ref packet;
         if (mode == Collective::kBroadcast) {
-          const long long remaining = eng_target[si] - s.injected;
+          const long long remaining = eng_target[static_cast<std::size_t>(si)] - s.injected;
           const long long size =
               std::min<long long>(config.packet_payload, remaining);
           const std::int32_t slab = alloc_slab();
           std::int64_t* out =
-              &arena[static_cast<std::size_t>(slab) * stride];
-          std::int64_t value = inj_next[si];
+              &arena[static_cast<std::size_t>(slab) * static_cast<std::size_t>(stride)];
+          std::int64_t value = inj_next[static_cast<std::size_t>(si)];
           for (long long i = 0; i < size; ++i) {
             out[i] = value;
             value += kElemStride;
           }
-          inj_next[si] = value;
+          inj_next[static_cast<std::size_t>(si)] = value;
           s.injected += size;
           packet = Ref{slab, static_cast<std::int32_t>(size)};
         } else {
-          if (eng_ready[si] != eng_nchild[si]) break;
+          if (eng_ready[static_cast<std::size_t>(si)] != eng_nchild[static_cast<std::size_t>(si)]) break;
           packet = make_reduce_packet(si);
         }
         if (mode == Collective::kReduce) {
           deliver(t, si, packet);
           free_slabs.push_back(packet.slab);
         } else {
-          root_ring[t * pcap + ((rq_head[t] + rq_count[t]) & pmask)] =
+          root_ring[static_cast<unsigned>(t) * pcap + ((rq_head[static_cast<std::size_t>(t)] + rq_count[static_cast<std::size_t>(t)]) & pmask)] =
               packet;
-          ++rq_count[t];
+          ++rq_count[static_cast<std::size_t>(t)];
           activate_bcast(si);
         }
         last_progress = now;
@@ -757,21 +784,21 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     if (want_bcast && !bcast_list.empty()) {
       bcast_current.clear();
       bcast_current.swap(bcast_list);
-      for (std::int32_t idx : bcast_current) bcast_active[idx] = 0;
+      for (std::int32_t idx : bcast_current) bcast_active[static_cast<std::size_t>(idx)] = 0;
       for (std::int32_t idx : bcast_current) {
         const int t = idx / n;
         const int v = idx % n;
-        NodeTreeState& s = f.state[idx];
-        const bool is_root = (v == f.roots[t]);
+        NodeTreeState& s = f.state[static_cast<std::size_t>(idx)];
+        const bool is_root = (v == f.roots[static_cast<std::size_t>(t)]);
         if (!is_root && s.parent_bcast_vc < 0) continue;
-        const std::int32_t sb = stage_base[idx];
-        const std::int32_t forks = eng_nchild[idx];
+        const std::int32_t sb = stage_base[static_cast<std::size_t>(idx)];
+        const std::int32_t forks = eng_nchild[static_cast<std::size_t>(idx)];
         bool blocked = false;
         int moves = 0;
         for (; moves < bw; ++moves) {
           bool room = true;
           for (std::int32_t c = 0; c < forks; ++c) {
-            if (static_cast<int>(fcount[sb + c]) >= config.fork_buffer) {
+            if (static_cast<int>(fcount[static_cast<std::size_t>(sb + c)]) >= config.fork_buffer) {
               room = false;
               break;
             }
@@ -782,27 +809,27 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
           }
           Ref packet;
           if (is_root) {
-            if (rq_count[t] == 0) {
+            if (rq_count[static_cast<std::size_t>(t)] == 0) {
               blocked = true;  // re-armed by the next root-queue push
               break;
             }
-            packet = root_ring[t * pcap + (rq_head[t] & pmask)];
-            rq_head[t] = (rq_head[t] + 1) & pmask;
-            --rq_count[t];
+            packet = root_ring[static_cast<unsigned>(t) * pcap + (rq_head[static_cast<std::size_t>(t)] & pmask)];
+            rq_head[static_cast<std::size_t>(t)] = (rq_head[static_cast<std::size_t>(t)] + 1) & pmask;
+            --rq_count[static_cast<std::size_t>(t)];
           } else {
             const int pvc = s.parent_bcast_vc;
-            if (rready[pvc] == 0) {
+            if (rready[static_cast<std::size_t>(pvc)] == 0) {
               blocked = true;  // re-armed by the next arrival
               break;
             }
-            packet = ring_ref[pvc * pcap + (rhead[pvc] & pmask)];
-            rhead[pvc] = (rhead[pvc] + 1) & pmask;
-            --rtotal[pvc];
-            --rready[pvc];
-            credit_time[pvc * pcap +
-                        ((chead[pvc] + ccount[pvc]) & pmask)] =
+            packet = ring_ref[static_cast<unsigned>(pvc) * pcap + (rhead[static_cast<std::size_t>(pvc)] & pmask)];
+            rhead[static_cast<std::size_t>(pvc)] = (rhead[static_cast<std::size_t>(pvc)] + 1) & pmask;
+            --rtotal[static_cast<std::size_t>(pvc)];
+            --rready[static_cast<std::size_t>(pvc)];
+            credit_time[static_cast<unsigned>(pvc) * pcap +
+                        ((chead[static_cast<std::size_t>(pvc)] + ccount[static_cast<std::size_t>(pvc)]) & pmask)] =
                 now + latency;
-            ++ccount[pvc];
+            ++ccount[static_cast<std::size_t>(pvc)];
             schedule_wakeup(pvc);
           }
           deliver(t, idx, packet);
@@ -812,18 +839,18 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             for (std::int32_t c = 0; c + 1 < forks; ++c) {
               const std::int32_t slab = alloc_slab();
               std::copy_n(
-                  &arena[static_cast<std::size_t>(packet.slab) * stride],
+                  &arena[static_cast<std::size_t>(packet.slab) * static_cast<std::size_t>(stride)],
                   packet.size,
-                  &arena[static_cast<std::size_t>(slab) * stride]);
+                  &arena[static_cast<std::size_t>(slab) * static_cast<std::size_t>(stride)]);
               const std::int32_t sid = sb + c;
-              fork_ring[sid * fcap + ((fhead[sid] + fcount[sid]) & fmask)] =
+              fork_ring[static_cast<unsigned>(sid) * fcap + ((fhead[static_cast<std::size_t>(sid)] + fcount[static_cast<std::size_t>(sid)]) & fmask)] =
                   Ref{slab, packet.size};
-              ++fcount[sid];
+              ++fcount[static_cast<std::size_t>(sid)];
             }
             const std::int32_t sid = sb + forks - 1;
-            fork_ring[sid * fcap + ((fhead[sid] + fcount[sid]) & fmask)] =
+            fork_ring[static_cast<unsigned>(sid) * fcap + ((fhead[static_cast<std::size_t>(sid)] + fcount[static_cast<std::size_t>(sid)]) & fmask)] =
                 packet;
-            ++fcount[sid];
+            ++fcount[static_cast<std::size_t>(sid)];
           }
         }
         // Used its full per-cycle budget without blocking: it may have more
@@ -837,49 +864,49 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     // horizon instead of being probed.
     long long recharge_offset = LLONG_MAX;
     for (int dl = 0; dl < f.num_dlinks; ++dl) {
-      const auto& ids = f.link_vcs[dl];
+      const auto& ids = f.link_vcs[static_cast<std::size_t>(dl)];
       if (ids.empty()) continue;
-      tokens[dl] = std::min<long long>(tokens[dl] + bw, token_cap);
-      if (tokens[dl] <= 0) {
+      tokens[static_cast<std::size_t>(dl)] = std::min<long long>(tokens[static_cast<std::size_t>(dl)] + bw, token_cap);
+      if (tokens[static_cast<std::size_t>(dl)] <= 0) {
         // Cycles until the bucket is positive again: smallest k >= 1 with
         // tokens + k * bw >= 1.
         recharge_offset =
-            std::min(recharge_offset, (1 - tokens[dl] + bw - 1) / bw);
+            std::min(recharge_offset, (1 - tokens[static_cast<std::size_t>(dl)] + bw - 1) / bw);
         continue;
       }
       const int count = static_cast<int>(ids.size());
       const int probes = count * bw;
-      int slot = rr[dl];
-      for (int probe = 0; probe < probes && tokens[dl] > 0;
+      int slot = rr[static_cast<std::size_t>(dl)];
+      for (int probe = 0; probe < probes && tokens[static_cast<std::size_t>(dl)] > 0;
            ++probe, slot = slot + 1 == count ? 0 : slot + 1) {
-        const int id = ids[slot];
-        if (credits[id] <= 0) continue;
+        const int id = ids[static_cast<std::size_t>(slot)];
+        if (credits[static_cast<std::size_t>(id)] <= 0) continue;
         Ref packet;
-        if (vc_is_reduce[id]) {
-          const std::int32_t si = vc_src_state[id];
-          if (f.state[si].injected >= eng_target[si] ||
-              eng_ready[si] != eng_nchild[si]) {
+        if (vc_is_reduce[static_cast<std::size_t>(id)]) {
+          const std::int32_t si = vc_src_state[static_cast<std::size_t>(id)];
+          if (f.state[static_cast<std::size_t>(si)].injected >= eng_target[static_cast<std::size_t>(si)] ||
+              eng_ready[static_cast<std::size_t>(si)] != eng_nchild[static_cast<std::size_t>(si)]) {
             continue;
           }
-          rr[dl] = slot + 1 == count ? 0 : slot + 1;
+          rr[static_cast<std::size_t>(dl)] = slot + 1 == count ? 0 : slot + 1;
           packet = make_reduce_packet(si);
         } else {
-          const std::int32_t sid = vc_stage[id];
-          if (fcount[sid] == 0) continue;
-          rr[dl] = slot + 1 == count ? 0 : slot + 1;
-          packet = fork_ring[sid * fcap + (fhead[sid] & fmask)];
-          fhead[sid] = (fhead[sid] + 1) & fmask;
-          --fcount[sid];
-          activate_bcast(vc_src_state[id]);  // fork slot drained
+          const std::int32_t sid = vc_stage[static_cast<std::size_t>(id)];
+          if (fcount[static_cast<std::size_t>(sid)] == 0) continue;
+          rr[static_cast<std::size_t>(dl)] = slot + 1 == count ? 0 : slot + 1;
+          packet = fork_ring[static_cast<unsigned>(sid) * fcap + (fhead[static_cast<std::size_t>(sid)] & fmask)];
+          fhead[static_cast<std::size_t>(sid)] = (fhead[static_cast<std::size_t>(sid)] + 1) & fmask;
+          --fcount[static_cast<std::size_t>(sid)];
+          activate_bcast(vc_src_state[static_cast<std::size_t>(id)]);  // fork slot drained
         }
         const long long flits = packet.size + header;
-        tokens[dl] -= flits;
-        result.link_flits[dl] += flits;
-        --credits[id];
-        ring_time[id * pcap + ((rhead[id] + rtotal[id]) & pmask)] =
+        tokens[static_cast<std::size_t>(dl)] -= flits;
+        result.link_flits[static_cast<std::size_t>(dl)] += flits;
+        --credits[static_cast<std::size_t>(id)];
+        ring_time[static_cast<unsigned>(id) * pcap + ((rhead[static_cast<std::size_t>(id)] + rtotal[static_cast<std::size_t>(id)]) & pmask)] =
             now + latency;
-        ring_ref[id * pcap + ((rhead[id] + rtotal[id]) & pmask)] = packet;
-        ++rtotal[id];
+        ring_ref[static_cast<unsigned>(id) * pcap + ((rhead[static_cast<std::size_t>(id)] + rtotal[static_cast<std::size_t>(id)]) & pmask)] = packet;
+        ++rtotal[static_cast<std::size_t>(id)];
         schedule_wakeup(id);
         last_progress = now;
         progressed = true;
@@ -896,7 +923,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     long long target = LLONG_MAX;
     if (pending_events > 0) {
       for (int d = 1; d <= latency; ++d) {
-        if (!wheel[(now + d) & wmask].empty()) {
+        if (!wheel[static_cast<std::size_t>((now + d) & wmask)].empty()) {
           target = now + d;
           break;
         }
@@ -910,11 +937,33 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     const long long skip = target - now - 1;
     if (skip > 0) {
       for (int dl = 0; dl < f.num_dlinks; ++dl) {
-        if (f.link_vcs[dl].empty()) continue;
-        tokens[dl] = std::min<long long>(tokens[dl] + skip * bw, token_cap);
+        if (f.link_vcs[static_cast<std::size_t>(dl)].empty()) continue;
+        tokens[static_cast<std::size_t>(dl)] = std::min<long long>(tokens[static_cast<std::size_t>(dl)] + skip * bw, token_cap);
       }
     }
     now = target;
+  }
+
+  // Quiesce, mirrored from the reference loop onto the flat rings: empty
+  // receive/in-flight rings, drained fork stages and root queues, and
+  // credit conservation per VC (held + still returning == budget).
+  for (int id = 0; id < num_vcs; ++id) {
+    PFAR_ENSURE(rtotal[static_cast<std::size_t>(id)] == 0, id,
+                rtotal[static_cast<std::size_t>(id)]);
+    PFAR_ENSURE(credits[static_cast<std::size_t>(id)] +
+                        static_cast<std::int32_t>(
+                            ccount[static_cast<std::size_t>(id)]) ==
+                    config.vc_credits,
+                id, credits[static_cast<std::size_t>(id)],
+                ccount[static_cast<std::size_t>(id)]);
+  }
+  for (int sid = 0; sid < num_stages; ++sid) {
+    PFAR_ENSURE(fcount[static_cast<std::size_t>(sid)] == 0, sid,
+                fcount[static_cast<std::size_t>(sid)]);
+  }
+  for (int t = 0; t < num_trees; ++t) {
+    PFAR_ENSURE(rq_count[static_cast<std::size_t>(t)] == 0, t,
+                rq_count[static_cast<std::size_t>(t)]);
   }
   return now;
 }
@@ -937,12 +986,12 @@ AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
     }
     for (int v = 0; v < n; ++v) {
       if (v == tree.root) {
-        if (tree.parent[v] != -1) {
+        if (tree.parent[static_cast<std::size_t>(v)] != -1) {
           throw std::invalid_argument("AllreduceSimulator: root has parent");
         }
         continue;
       }
-      if (!topology_.has_edge(v, tree.parent[v])) {
+      if (!topology_.has_edge(v, tree.parent[static_cast<std::size_t>(v)])) {
         throw std::invalid_argument(
             "AllreduceSimulator: tree edge not a physical link");
       }
@@ -964,16 +1013,16 @@ SimResult AllreduceSimulator::run(
   // at the root only for Reduce.
   const Collective mode = config_.collective;
   long long total_target = 0;
-  std::vector<long long> tree_remaining(num_trees);
+  std::vector<long long> tree_remaining(static_cast<std::size_t>(num_trees));
   for (int t = 0; t < num_trees; ++t) {
-    if (elements_per_tree[t] < 0) {
+    if (elements_per_tree[static_cast<std::size_t>(t)] < 0) {
       throw std::invalid_argument("run: negative element count");
     }
-    result.total_elements += elements_per_tree[t];
+    result.total_elements += elements_per_tree[static_cast<std::size_t>(t)];
     const long long receivers =
         (mode == Collective::kReduce) ? 1 : fabric.n;
-    tree_remaining[t] = elements_per_tree[t] * receivers;
-    total_target += tree_remaining[t];
+    tree_remaining[static_cast<std::size_t>(t)] = elements_per_tree[static_cast<std::size_t>(t)] * receivers;
+    total_target += tree_remaining[static_cast<std::size_t>(t)];
   }
   if (total_target == 0) return result;
 

@@ -24,33 +24,33 @@ DeadlockCheckResult check_deadlock_free(
     return 3 * (static_cast<int>(t) * n + v) + static_cast<int>(k);
   };
   const int total = 3 * n * num_trees;
-  std::vector<std::vector<int>> wait_for(total);
-  std::vector<char> present(total, 0);
+  std::vector<std::vector<int>> wait_for(static_cast<std::size_t>(total));
+  std::vector<char> present(static_cast<std::size_t>(total), 0);
 
   DeadlockCheckResult result;
   for (int t = 0; t < num_trees; ++t) {
-    const auto& tree = trees[t];
+    const auto& tree = trees[static_cast<std::size_t>(t)];
     if (static_cast<int>(tree.parent.size()) != n) {
       throw std::invalid_argument("check_deadlock_free: tree size mismatch");
     }
     for (int v = 0; v < n; ++v) {
-      const int parent = tree.parent[v];
+      const int parent = tree.parent[static_cast<std::size_t>(v)];
       if (v == tree.root) {
-        if (want_reduce && want_bcast) present[rid(t, v, kTurnaround)] = 1;
+        if (want_reduce && want_bcast) present[static_cast<std::size_t>(rid(t, v, kTurnaround))] = 1;
         continue;
       }
-      if (want_reduce) present[rid(t, v, kReduceVc)] = 1;
-      if (want_bcast) present[rid(t, v, kBcastVc)] = 1;
+      if (want_reduce) present[static_cast<std::size_t>(rid(t, v, kReduceVc))] = 1;
+      if (want_bcast) present[static_cast<std::size_t>(rid(t, v, kBcastVc))] = 1;
       // Draining v's reduce VC (held at parent) requires emitting into the
       // parent's own upward VC — or the turnaround at the root.
       if (want_reduce) {
         if (parent == tree.root) {
           if (want_bcast) {
-            wait_for[rid(t, v, kReduceVc)].push_back(
+            wait_for[static_cast<std::size_t>(rid(t, v, kReduceVc))].push_back(
                 rid(t, parent, kTurnaround));
           }
         } else {
-          wait_for[rid(t, v, kReduceVc)].push_back(
+          wait_for[static_cast<std::size_t>(rid(t, v, kReduceVc))].push_back(
               rid(t, parent, kReduceVc));
         }
       }
@@ -58,8 +58,8 @@ DeadlockCheckResult check_deadlock_free(
       // children's broadcast VCs.
       if (want_bcast) {
         for (int c = 0; c < n; ++c) {
-          if (tree.parent[c] == v) {
-            wait_for[rid(t, v, kBcastVc)].push_back(rid(t, c, kBcastVc));
+          if (tree.parent[static_cast<std::size_t>(c)] == v) {
+            wait_for[static_cast<std::size_t>(rid(t, v, kBcastVc))].push_back(rid(t, c, kBcastVc));
           }
         }
       }
@@ -67,8 +67,8 @@ DeadlockCheckResult check_deadlock_free(
     // The turnaround drains into the root's children's broadcast VCs.
     if (want_reduce && want_bcast) {
       for (int c = 0; c < n; ++c) {
-        if (tree.parent[c] == tree.root) {
-          wait_for[rid(t, tree.root, kTurnaround)].push_back(
+        if (tree.parent[static_cast<std::size_t>(c)] == tree.root) {
+          wait_for[static_cast<std::size_t>(rid(t, tree.root, kTurnaround))].push_back(
               rid(t, c, kBcastVc));
         }
       }
@@ -76,31 +76,31 @@ DeadlockCheckResult check_deadlock_free(
   }
 
   for (int r = 0; r < total; ++r) {
-    if (present[r]) ++result.resources;
-    result.dependencies += static_cast<int>(wait_for[r].size());
+    if (present[static_cast<std::size_t>(r)]) ++result.resources;
+    result.dependencies += static_cast<int>(wait_for[static_cast<std::size_t>(r)].size());
   }
 
   // Cycle detection via iterative three-color DFS.
-  std::vector<char> color(total, 0);  // 0 white, 1 gray, 2 black
+  std::vector<char> color(static_cast<std::size_t>(total), 0);  // 0 white, 1 gray, 2 black
   for (int start = 0; start < total; ++start) {
-    if (!present[start] || color[start] != 0) continue;
+    if (!present[static_cast<std::size_t>(start)] || color[static_cast<std::size_t>(start)] != 0) continue;
     std::vector<std::pair<int, std::size_t>> stack{{start, 0}};
-    color[start] = 1;
+    color[static_cast<std::size_t>(start)] = 1;
     while (!stack.empty()) {
       auto& [node, idx] = stack.back();
-      if (idx < wait_for[node].size()) {
-        const int next = wait_for[node][idx++];
-        if (color[next] == 1) {
+      if (idx < wait_for[static_cast<std::size_t>(node)].size()) {
+        const int next = wait_for[static_cast<std::size_t>(node)][idx++];
+        if (color[static_cast<std::size_t>(next)] == 1) {
           result.cycle_witness = next;
           result.deadlock_free = false;
           return result;
         }
-        if (color[next] == 0) {
-          color[next] = 1;
+        if (color[static_cast<std::size_t>(next)] == 0) {
+          color[static_cast<std::size_t>(next)] = 1;
           stack.emplace_back(next, 0);
         }
       } else {
-        color[node] = 2;
+        color[static_cast<std::size_t>(node)] = 2;
         stack.pop_back();
       }
     }

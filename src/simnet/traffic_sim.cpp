@@ -32,19 +32,19 @@ TrafficSimulator::TrafficSimulator(const graph::Graph& topology)
   if (n < 2 || !topology_.is_connected()) {
     throw std::invalid_argument("TrafficSimulator: need a connected graph");
   }
-  next_hop_.assign(static_cast<std::size_t>(n) * n, -1);
+  next_hop_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
   for (int dst = 0; dst < n; ++dst) {
-    auto* hop = &next_hop_[static_cast<std::size_t>(dst) * n];
+    auto* hop = &next_hop_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n)];
     std::queue<int> frontier;
-    std::vector<int> dist(n, -1);
-    dist[dst] = 0;
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    dist[static_cast<std::size_t>(dst)] = 0;
     frontier.push(dst);
     while (!frontier.empty()) {
       const int u = frontier.front();
       frontier.pop();
       for (int w : topology_.neighbors(u)) {
-        if (dist[w] < 0) {
-          dist[w] = dist[u] + 1;
+        if (dist[static_cast<std::size_t>(w)] < 0) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
           hop[w] = u;
           frontier.push(w);
         }
@@ -63,24 +63,24 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
   util::Rng rng(config.seed);
 
   // Fixed permutation targets (derangement-ish: re-draw self-targets).
-  std::vector<int> perm(n);
+  std::vector<int> perm(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), 0);
   for (int i = n - 1; i > 0; --i) {
-    std::swap(perm[i], perm[static_cast<int>(rng.next_below(i + 1))]);
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i + 1)))]);
   }
   for (int i = 0; i < n; ++i) {
-    if (perm[i] == i) perm[i] = (i + 1) % n;
+    if (perm[static_cast<std::size_t>(i)] == i) perm[static_cast<std::size_t>(i)] = (i + 1) % n;
   }
 
   const auto pick_destination = [&](int src) {
     switch (config.pattern) {
       case TrafficPattern::kPermutation:
-        return perm[src];
+        return perm[static_cast<std::size_t>(src)];
       case TrafficPattern::kHotspot:
         if (src != 0 && rng.next_double() < config.hotspot_fraction) return 0;
         [[fallthrough]];
       case TrafficPattern::kUniform: {
-        int dst = static_cast<int>(rng.next_below(n - 1));
+        int dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
         if (dst >= src) ++dst;  // uniform over others
         return dst;
       }
@@ -90,64 +90,64 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
 
   // Ports: for each node, one input port per incoming neighbor link plus
   // one injection port (index = degree). Port lookup by (node, from).
-  std::vector<std::vector<Port>> ports(n);
-  std::vector<std::vector<int>> from_index(n);  // neighbor rank lookup
+  std::vector<std::vector<Port>> ports(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> from_index(static_cast<std::size_t>(n));  // neighbor rank lookup
   // Flat port ids (port_base[v] + p) for the event wheel.
-  std::vector<int> port_base(n + 1, 0);
+  std::vector<int> port_base(static_cast<std::size_t>(n + 1), 0);
   for (int v = 0; v < n; ++v) {
-    ports[v].resize(topology_.degree(v) + 1);
-    port_base[v + 1] = port_base[v] + static_cast<int>(ports[v].size());
-    from_index[v].assign(n, -1);
+    ports[static_cast<std::size_t>(v)].resize(static_cast<std::size_t>(topology_.degree(v) + 1));
+    port_base[static_cast<std::size_t>(v + 1)] = port_base[static_cast<std::size_t>(v)] + static_cast<int>(ports[static_cast<std::size_t>(v)].size());
+    from_index[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(n), -1);
     const auto& nbrs = topology_.neighbors(v);
     for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
-      from_index[v][nbrs[i]] = i;
+      from_index[static_cast<std::size_t>(v)][static_cast<std::size_t>(nbrs[static_cast<std::size_t>(i)])] = i;
     }
   }
-  std::vector<int> port_owner(port_base[n]);
+  std::vector<int> port_owner(static_cast<std::size_t>(port_base[static_cast<std::size_t>(n)]));
   for (int v = 0; v < n; ++v) {
-    for (int p = port_base[v]; p < port_base[v + 1]; ++p) port_owner[p] = v;
+    for (int p = port_base[static_cast<std::size_t>(v)]; p < port_base[static_cast<std::size_t>(v + 1)]; ++p) port_owner[static_cast<std::size_t>(p)] = v;
   }
   // Unbounded source queues (latency includes source queueing, the
   // standard open-loop measurement methodology).
-  std::vector<std::deque<Packet>> source(n);
+  std::vector<std::deque<Packet>> source(static_cast<std::size_t>(n));
   // Credits toward each (node, input port).
-  std::vector<std::vector<int>> credits(n);
-  std::vector<std::vector<std::deque<long long>>> credit_return(n);
+  std::vector<std::vector<int>> credits(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::deque<long long>>> credit_return(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
-    credits[v].assign(ports[v].size(), config.buffer_packets);
-    credit_return[v].resize(ports[v].size());
+    credits[static_cast<std::size_t>(v)].assign(ports[static_cast<std::size_t>(v)].size(), config.buffer_packets);
+    credit_return[static_cast<std::size_t>(v)].resize(ports[static_cast<std::size_t>(v)].size());
   }
   // Output-link occupancy token buckets and round-robin pointers. Token
   // accumulation for a router that sat idle (no parked packets) is caught
   // up lazily from last_tick when the router next does work — the closed
   // form min(t + delta, cap) equals delta per-cycle updates.
-  std::vector<std::vector<long long>> tokens(n);
-  std::vector<std::vector<int>> rr(n);
-  std::vector<long long> last_tick(n, -1);
+  std::vector<std::vector<long long>> tokens(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> rr(static_cast<std::size_t>(n));
+  std::vector<long long> last_tick(static_cast<std::size_t>(n), -1);
   for (int v = 0; v < n; ++v) {
-    tokens[v].assign(topology_.degree(v), 0);
-    rr[v].assign(topology_.degree(v), 0);
+    tokens[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(topology_.degree(v)), 0);
+    rr[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(topology_.degree(v)), 0);
   }
   // Packets parked in any of node v's FIFOs: a router with zero parked
   // packets can neither eject nor forward, so step 3 skips it entirely.
-  std::vector<long long> parked(n, 0);
+  std::vector<long long> parked(static_cast<std::size_t>(n), 0);
 
   // Event wheel over flat port ids. Arrivals land at now + link_latency +
   // packet_flits, credit returns at now + link_latency; both deltas are
   // constant so pending wake-ups live within the next wheel_size cycles.
   const int wheel_size = config.link_latency + config.packet_flits + 1;
-  std::vector<std::vector<int>> wheel(wheel_size);
+  std::vector<std::vector<int>> wheel(static_cast<std::size_t>(wheel_size));
   long long now = 0;
   // Clamp to now + 1: an event stamped `now` (zero link latency) is only
   // ever observed on the next cycle, and the current cycle's bucket has
   // already been drained.
   const auto schedule_wakeup = [&](int flat_port, long long t) {
-    wheel[std::max(t, now + 1) % wheel_size].push_back(flat_port);
+    wheel[static_cast<std::size_t>(std::max(t, now + 1) % wheel_size)].push_back(flat_port);
   };
 
   TrafficResult result;
   std::vector<long long> latencies;
-  latencies.reserve(config.measure_packets);
+  latencies.reserve(static_cast<std::size_t>(config.measure_packets));
   long long total_hops = 0;
   long long measured_start = -1;
 
@@ -159,21 +159,21 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
 
     // 1. Arrivals and credit returns: only ports with due wake-ups.
     {
-      auto& bucket = wheel[now % wheel_size];
+      auto& bucket = wheel[static_cast<std::size_t>(now % wheel_size)];
       for (int flat : bucket) {
-        const int v = port_owner[flat];
-        const std::size_t p = static_cast<std::size_t>(flat - port_base[v]);
-        Port& port = ports[v][p];
+        const int v = port_owner[static_cast<std::size_t>(flat)];
+        const std::size_t p = static_cast<std::size_t>(flat - port_base[static_cast<std::size_t>(v)]);
+        Port& port = ports[static_cast<std::size_t>(v)][p];
         while (!port.inflight.empty() &&
                port.inflight.front().first <= now) {
           port.fifo.push_back(port.inflight.front().second);
           port.inflight.pop_front();
-          ++parked[v];
+          ++parked[static_cast<std::size_t>(v)];
         }
-        auto& returns = credit_return[v][p];
+        auto& returns = credit_return[static_cast<std::size_t>(v)][p];
         while (!returns.empty() && returns.front() <= now) {
           returns.pop_front();
-          ++credits[v][p];
+          ++credits[static_cast<std::size_t>(v)][p];
         }
       }
       bucket.clear();
@@ -189,40 +189,40 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
         Packet pkt;
         pkt.dst = pick_destination(v);
         if (config.routing == Routing::kValiant) {
-          const int via = static_cast<int>(rng.next_below(n));
+          const int via = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
           if (via != v && via != pkt.dst) pkt.via = via;
         }
         pkt.generated = now;
         pkt.measured = now >= config.warmup_cycles;
-        source[v].push_back(pkt);
+        source[static_cast<std::size_t>(v)].push_back(pkt);
       }
-      const std::size_t inj = ports[v].size() - 1;
-      while (!source[v].empty() &&
-             static_cast<int>(ports[v][inj].fifo.size()) <
+      const std::size_t inj = ports[static_cast<std::size_t>(v)].size() - 1;
+      while (!source[static_cast<std::size_t>(v)].empty() &&
+             static_cast<int>(ports[static_cast<std::size_t>(v)][inj].fifo.size()) <
                  config.buffer_packets) {
-        ports[v][inj].fifo.push_back(source[v].front());
-        source[v].pop_front();
-        ++parked[v];
+        ports[static_cast<std::size_t>(v)][inj].fifo.push_back(source[static_cast<std::size_t>(v)].front());
+        source[static_cast<std::size_t>(v)].pop_front();
+        ++parked[static_cast<std::size_t>(v)];
       }
     }
 
     // 3. Switch allocation + traversal: each output link grants one input
     // port per free slot (round-robin), consuming link occupancy tokens.
     for (int v = 0; v < n; ++v) {
-      if (parked[v] == 0) continue;
+      if (parked[static_cast<std::size_t>(v)] == 0) continue;
       const auto& nbrs = topology_.neighbors(v);
-      const int num_ports = static_cast<int>(ports[v].size());
+      const int num_ports = static_cast<int>(ports[static_cast<std::size_t>(v)].size());
       // Catch up token accumulation for the cycles this router sat idle.
-      const long long delta = now - last_tick[v];
-      last_tick[v] = now;
+      const long long delta = now - last_tick[static_cast<std::size_t>(v)];
+      last_tick[static_cast<std::size_t>(v)] = now;
       for (int out = 0; out < static_cast<int>(nbrs.size()); ++out) {
-        tokens[v][out] = std::min<long long>(tokens[v][out] + delta,
+        tokens[static_cast<std::size_t>(v)][static_cast<std::size_t>(out)] = std::min<long long>(tokens[static_cast<std::size_t>(v)][static_cast<std::size_t>(out)] + delta,
                                              config.packet_flits);
       }
       // Ejection first: heads destined here leave immediately. A head that
       // reached its Valiant intermediate sheds it and keeps routing.
       for (int p = 0; p < num_ports; ++p) {
-        Port& port = ports[v][p];
+        Port& port = ports[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
         while (!port.fifo.empty()) {
           Packet& head = port.fifo.front();
           if (head.via == v) head.via = -1;
@@ -233,50 +233,50 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
             total_hops += head.hops;
           }
           port.fifo.pop_front();
-          --parked[v];
+          --parked[static_cast<std::size_t>(v)];
           if (p < num_ports - 1) {  // network port: return a credit upstream
-            credit_return[v][p].push_back(now + config.link_latency);
-            schedule_wakeup(port_base[v] + p, now + config.link_latency);
+            credit_return[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)].push_back(now + config.link_latency);
+            schedule_wakeup(port_base[static_cast<std::size_t>(v)] + p, now + config.link_latency);
           }
         }
       }
       for (int out = 0; out < static_cast<int>(nbrs.size()); ++out) {
-        if (tokens[v][out] <= 0) continue;
-        const int next = nbrs[out];
-        const int in_port_at_next = from_index[next][v];
-        if (credits[next][in_port_at_next] <= 0) continue;
+        if (tokens[static_cast<std::size_t>(v)][static_cast<std::size_t>(out)] <= 0) continue;
+        const int next = nbrs[static_cast<std::size_t>(out)];
+        const int in_port_at_next = from_index[static_cast<std::size_t>(next)][static_cast<std::size_t>(v)];
+        if (credits[static_cast<std::size_t>(next)][static_cast<std::size_t>(in_port_at_next)] <= 0) continue;
         // Round-robin over this router's input ports for this output.
         int granted = -1;
         for (int probe = 0; probe < num_ports; ++probe) {
-          const int p = (rr[v][out] + probe) % num_ports;
-          Port& port = ports[v][p];
+          const int p = (rr[static_cast<std::size_t>(v)][static_cast<std::size_t>(out)] + probe) % num_ports;
+          Port& port = ports[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
           if (port.fifo.empty()) continue;
           const Packet& head = port.fifo.front();
           const int target = head.via >= 0 ? head.via : head.dst;
           if (target == v) continue;  // ejection handled above
           const int hop =
-              next_hop_[static_cast<std::size_t>(target) * n + v];
+              next_hop_[static_cast<std::size_t>(target) * static_cast<std::size_t>(n) + static_cast<std::size_t>(v)];
           if (hop != next) continue;
           granted = p;
           break;
         }
         if (granted < 0) continue;
-        rr[v][out] = (granted + 1) % num_ports;
-        Port& port = ports[v][granted];
+        rr[static_cast<std::size_t>(v)][static_cast<std::size_t>(out)] = (granted + 1) % num_ports;
+        Port& port = ports[static_cast<std::size_t>(v)][static_cast<std::size_t>(granted)];
         Packet pkt = port.fifo.front();
         port.fifo.pop_front();
-        --parked[v];
+        --parked[static_cast<std::size_t>(v)];
         if (granted < num_ports - 1) {
-          credit_return[v][granted].push_back(now + config.link_latency);
-          schedule_wakeup(port_base[v] + granted, now + config.link_latency);
+          credit_return[static_cast<std::size_t>(v)][static_cast<std::size_t>(granted)].push_back(now + config.link_latency);
+          schedule_wakeup(port_base[static_cast<std::size_t>(v)] + granted, now + config.link_latency);
         }
         ++pkt.hops;
-        tokens[v][out] -= config.packet_flits;
-        --credits[next][in_port_at_next];
+        tokens[static_cast<std::size_t>(v)][static_cast<std::size_t>(out)] -= config.packet_flits;
+        --credits[static_cast<std::size_t>(next)][static_cast<std::size_t>(in_port_at_next)];
         const long long arrival =
             now + config.link_latency + config.packet_flits;
-        ports[next][in_port_at_next].inflight.emplace_back(arrival, pkt);
-        schedule_wakeup(port_base[next] + in_port_at_next, arrival);
+        ports[static_cast<std::size_t>(next)][static_cast<std::size_t>(in_port_at_next)].inflight.emplace_back(arrival, pkt);
+        schedule_wakeup(port_base[static_cast<std::size_t>(next)] + in_port_at_next, arrival);
       }
     }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gf/cubic_extension.hpp"
+#include "util/contracts.hpp"
 #include "util/numeric.hpp"
 
 namespace pfar::singer {
@@ -32,6 +33,13 @@ DifferenceSet build_difference_set(const gf::Field& field) {
   if (!is_valid_difference_set(out.elements, out.n)) {
     throw std::logic_error("build_difference_set: validation failed");
   }
+  // Def 6.2 bookkeeping: q+1 sorted residues in [0, n), and the q(q+1)
+  // pairwise differences tile Z_n \ {0} exactly (checked above); the
+  // element range is what alternating-path arithmetic depends on.
+  PFAR_ENSURE(out.elements.front() >= 0 && out.elements.back() < out.n,
+              out.q, out.n, out.elements.front(), out.elements.back());
+  PFAR_ENSURE(std::is_sorted(out.elements.begin(), out.elements.end()),
+              out.q);
   return out;
 }
 
@@ -41,14 +49,14 @@ DifferenceSet build_difference_set(int q) {
 }
 
 bool is_valid_difference_set(const std::vector<long long>& d, long long n) {
-  std::vector<char> seen(n, 0);
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
   for (std::size_t i = 0; i < d.size(); ++i) {
     for (std::size_t j = 0; j < d.size(); ++j) {
       if (i == j) continue;
       long long diff = (d[i] - d[j]) % n;
       if (diff < 0) diff += n;
-      if (diff == 0 || seen[diff]) return false;
-      seen[diff] = 1;
+      if (diff == 0 || seen[static_cast<std::size_t>(diff)]) return false;
+      seen[static_cast<std::size_t>(diff)] = 1;
     }
   }
   // Every value 1..n-1 must be hit: counts match iff sizes line up.

@@ -1,9 +1,11 @@
 #include "singer/disjoint.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
+#include "util/contracts.hpp"
 #include "util/numeric.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,13 +16,27 @@ DisjointHamiltonianSet materialize(
     const DifferenceSet& d,
     std::vector<std::pair<long long, long long>> pairs, int threads = 1) {
   std::sort(pairs.begin(), pairs.end());
+  // Corollary 7.15/7.16 supply: at most floor((q+1)/2) pairs, and no
+  // difference-set element may appear in two pairs (element-disjointness is
+  // what makes the resulting Hamiltonian paths edge-disjoint).
+  PFAR_REQUIRE(static_cast<int>(pairs.size()) <=
+                   disjoint_hamiltonian_upper_bound(d.q),
+               d.q, pairs.size());
+  {
+    std::set<long long> used;
+    for (const auto& [d0, d1] : pairs) {
+      const bool fresh_d0 = used.insert(d0).second;
+      const bool fresh_d1 = used.insert(d1).second;
+      PFAR_REQUIRE(d0 != d1 && fresh_d0 && fresh_d1, d0, d1, d.q);
+    }
+  }
   DisjointHamiltonianSet out;
   out.pairs = std::move(pairs);
   // Each O(N) path build depends only on its pair; results land by index.
   out.paths.resize(out.pairs.size());
   util::parallel_for(threads, static_cast<int>(out.pairs.size()), [&](int i) {
-    out.paths[i] =
-        build_alternating_path(d, out.pairs[i].first, out.pairs[i].second);
+    out.paths[static_cast<std::size_t>(i)] =
+        build_alternating_path(d, out.pairs[static_cast<std::size_t>(i)].first, out.pairs[static_cast<std::size_t>(i)].second);
   });
   return out;
 }
@@ -35,7 +51,7 @@ DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d,
   graph::Graph element_graph(k);
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
-      if (util::gcd_ll(d.elements[i] - d.elements[j], d.n) == 1) {
+      if (util::gcd_ll(d.elements[static_cast<std::size_t>(i)] - d.elements[static_cast<std::size_t>(j)], d.n) == 1) {
         element_graph.add_edge(i, j);
       }
     }
@@ -45,8 +61,8 @@ DisjointHamiltonianSet find_disjoint_hamiltonians(const DifferenceSet& d,
 
   std::vector<std::pair<long long, long long>> pairs;
   for (int i = 0; i < k; ++i) {
-    if (mate[i] > i) {
-      pairs.emplace_back(d.elements[i], d.elements[mate[i]]);
+    if (mate[static_cast<std::size_t>(i)] > i) {
+      pairs.emplace_back(d.elements[static_cast<std::size_t>(i)], d.elements[static_cast<std::size_t>(mate[static_cast<std::size_t>(i)])]);
     }
   }
   return materialize(d, std::move(pairs), threads);
@@ -61,10 +77,10 @@ DisjointHamiltonianSet find_disjoint_hamiltonians_random(
   graph::Graph conflict(m);
   for (int i = 0; i < m; ++i) {
     for (int j = i + 1; j < m; ++j) {
-      const bool share = ham_pairs[i].first == ham_pairs[j].first ||
-                         ham_pairs[i].first == ham_pairs[j].second ||
-                         ham_pairs[i].second == ham_pairs[j].first ||
-                         ham_pairs[i].second == ham_pairs[j].second;
+      const bool share = ham_pairs[static_cast<std::size_t>(i)].first == ham_pairs[static_cast<std::size_t>(j)].first ||
+                         ham_pairs[static_cast<std::size_t>(i)].first == ham_pairs[static_cast<std::size_t>(j)].second ||
+                         ham_pairs[static_cast<std::size_t>(i)].second == ham_pairs[static_cast<std::size_t>(j)].first ||
+                         ham_pairs[static_cast<std::size_t>(i)].second == ham_pairs[static_cast<std::size_t>(j)].second;
       if (share) conflict.add_edge(i, j);
     }
   }
@@ -73,7 +89,7 @@ DisjointHamiltonianSet find_disjoint_hamiltonians_random(
 
   std::vector<std::pair<long long, long long>> pairs;
   pairs.reserve(chosen.size());
-  for (int id : chosen) pairs.push_back(ham_pairs[id]);
+  for (int id : chosen) pairs.push_back(ham_pairs[static_cast<std::size_t>(id)]);
   return materialize(d, std::move(pairs));
 }
 

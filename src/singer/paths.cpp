@@ -21,7 +21,7 @@ AlternatingPath build_alternating_path(const DifferenceSet& d, long long d0,
   AlternatingPath path;
   path.d0 = d0;
   path.d1 = d1;
-  path.vertices.reserve(k);
+  path.vertices.reserve(static_cast<std::size_t>(k));
   long long b = util::mod_mul(half, d1, n);  // b_1 = 2^{-1} d1 (Lemma 7.12)
   path.vertices.push_back(b);
   for (long long i = 2; i <= k; ++i) {

@@ -14,8 +14,8 @@ SingerGraph::SingerGraph(int q) : SingerGraph(build_difference_set(q)) {}
 void SingerGraph::build() {
   const long long n = d_.n;
   reflection_ = reflection_points(d_);
-  is_reflection_.assign(n, 0);
-  for (long long r : reflection_) is_reflection_[r] = 1;
+  is_reflection_.assign(static_cast<std::size_t>(n), 0);
+  for (long long r : reflection_) is_reflection_[static_cast<std::size_t>(r)] = 1;
 
   const int k = static_cast<int>(d_.elements.size());
   graph_.reserve(static_cast<int>(n) * k / 2, k);

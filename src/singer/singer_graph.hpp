@@ -31,7 +31,7 @@ class SingerGraph {
     return (static_cast<long long>(i) + j) % d_.n;
   }
 
-  bool is_reflection_point(int v) const { return is_reflection_[v]; }
+  bool is_reflection_point(int v) const { return is_reflection_[static_cast<std::size_t>(v)]; }
   /// Sorted reflection-point ids (these are PolarFly's quadrics,
   /// Corollary 6.8).
   const std::vector<long long>& reflection() const { return reflection_; }

@@ -114,9 +114,9 @@ graph::Graph slimfly(int q) {
   // X = non-zero squares (even powers of a primitive element), X' = the
   // non-squares. q == 1 mod 4 makes -1 a square, so both sets are
   // symmetric and the intra-column relations are undirected.
-  std::vector<char> is_square(q, 0);
+  std::vector<char> is_square(static_cast<std::size_t>(q), 0);
   for (gf::Elem x = 1; x < q; ++x) {
-    is_square[f.mul(x, x)] = 1;
+    is_square[static_cast<std::size_t>(f.mul(x, x))] = 1;
   }
 
   // Vertex ids: (group, x, y) -> group * q^2 + x * q + y.
@@ -129,8 +129,8 @@ graph::Graph slimfly(int q) {
     for (gf::Elem y = 0; y < q; ++y) {
       for (gf::Elem y2 = y + 1; y2 < q; ++y2) {
         const gf::Elem diff = f.sub(y2, y);
-        if (is_square[diff]) g.add_edge(id(0, x, y), id(0, x, y2));
-        if (!is_square[diff]) g.add_edge(id(1, x, y), id(1, x, y2));
+        if (is_square[static_cast<std::size_t>(diff)]) g.add_edge(id(0, x, y), id(0, x, y2));
+        if (!is_square[static_cast<std::size_t>(diff)]) g.add_edge(id(1, x, y), id(1, x, y2));
       }
     }
   }

@@ -15,8 +15,8 @@ class ForestPacker {
       : g_(g),
         k_(k),
         n_(g.num_vertices()),
-        owner_(g.num_edges(), -1),
-        adj_(k, std::vector<std::vector<std::pair<int, int>>>(n_)) {}
+        owner_(static_cast<std::size_t>(g.num_edges()), -1),
+        adj_(static_cast<std::size_t>(k), std::vector<std::vector<std::pair<int, int>>>(static_cast<std::size_t>(n_))) {}
 
   /// Attempts to place every edge; returns the number placed.
   int pack() {
@@ -31,7 +31,7 @@ class ForestPacker {
   std::vector<int> forest_edges(int i) const {
     std::vector<int> out;
     for (int e = 0; e < g_.num_edges(); ++e) {
-      if (owner_[e] == i) out.push_back(e);
+      if (owner_[static_cast<std::size_t>(e)] == i) out.push_back(e);
     }
     return out;
   }
@@ -40,27 +40,27 @@ class ForestPacker {
   // Path between u and v inside forest i as edge ids; empty if
   // disconnected there.
   std::vector<int> forest_path(int i, int u, int v) const {
-    std::vector<int> prev_edge(n_, -1);
-    std::vector<int> prev_node(n_, -1);
-    std::vector<char> seen(n_, 0);
+    std::vector<int> prev_edge(static_cast<std::size_t>(n_), -1);
+    std::vector<int> prev_node(static_cast<std::size_t>(n_), -1);
+    std::vector<char> seen(static_cast<std::size_t>(n_), 0);
     std::queue<int> frontier;
-    seen[u] = 1;
+    seen[static_cast<std::size_t>(u)] = 1;
     frontier.push(u);
-    while (!frontier.empty() && !seen[v]) {
+    while (!frontier.empty() && !seen[static_cast<std::size_t>(v)]) {
       const int x = frontier.front();
       frontier.pop();
-      for (const auto& [y, eid] : adj_[i][x]) {
-        if (!seen[y]) {
-          seen[y] = 1;
-          prev_edge[y] = eid;
-          prev_node[y] = x;
+      for (const auto& [y, eid] : adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(x)]) {
+        if (!seen[static_cast<std::size_t>(y)]) {
+          seen[static_cast<std::size_t>(y)] = 1;
+          prev_edge[static_cast<std::size_t>(y)] = eid;
+          prev_node[static_cast<std::size_t>(y)] = x;
           frontier.push(y);
         }
       }
     }
     std::vector<int> path;
-    if (!seen[v]) return path;
-    for (int x = v; x != u; x = prev_node[x]) path.push_back(prev_edge[x]);
+    if (!seen[static_cast<std::size_t>(v)]) return path;
+    for (int x = v; x != u; x = prev_node[static_cast<std::size_t>(x)]) path.push_back(prev_edge[static_cast<std::size_t>(x)]);
     return path;
   }
 
@@ -69,31 +69,31 @@ class ForestPacker {
   }
 
   void attach(int e, int i) {
-    owner_[e] = i;
+    owner_[static_cast<std::size_t>(e)] = i;
     const auto& edge = g_.edge(e);
-    adj_[i][edge.u].emplace_back(edge.v, e);
-    adj_[i][edge.v].emplace_back(edge.u, e);
+    adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.u)].emplace_back(edge.v, e);
+    adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.v)].emplace_back(edge.u, e);
   }
 
   void detach(int e) {
-    const int i = owner_[e];
+    const int i = owner_[static_cast<std::size_t>(e)];
     const auto& edge = g_.edge(e);
     auto scrub = [&](int x) {
-      auto& list = adj_[i][x];
+      auto& list = adj_[static_cast<std::size_t>(i)][static_cast<std::size_t>(x)];
       list.erase(std::find_if(list.begin(), list.end(),
                               [&](const auto& p) { return p.second == e; }));
     };
     scrub(edge.u);
     scrub(edge.v);
-    owner_[e] = -1;
+    owner_[static_cast<std::size_t>(e)] = -1;
   }
 
   // Augmenting insertion: BFS over edges that would have to move.
   bool insert(int e0) {
     const int num_edges = g_.num_edges();
-    std::vector<int> parent_edge(num_edges, -2);   // -2 = unvisited
-    std::vector<int> parent_forest(num_edges, -1);
-    parent_edge[e0] = -1;
+    std::vector<int> parent_edge(static_cast<std::size_t>(num_edges), -2);   // -2 = unvisited
+    std::vector<int> parent_forest(static_cast<std::size_t>(num_edges), -1);
+    parent_edge[static_cast<std::size_t>(e0)] = -1;
     std::deque<int> frontier{e0};
 
     while (!frontier.empty()) {
@@ -107,19 +107,19 @@ class ForestPacker {
           int cur = f;
           int target = i;
           for (;;) {
-            if (owner_[cur] >= 0) detach(cur);
+            if (owner_[static_cast<std::size_t>(cur)] >= 0) detach(cur);
             attach(cur, target);
-            const int p = parent_edge[cur];
+            const int p = parent_edge[static_cast<std::size_t>(cur)];
             if (p < 0) break;
-            target = parent_forest[cur];
+            target = parent_forest[static_cast<std::size_t>(cur)];
             cur = p;
           }
           return true;
         }
         for (int gid : path) {
-          if (parent_edge[gid] == -2) {
-            parent_edge[gid] = f;
-            parent_forest[gid] = i;
+          if (parent_edge[static_cast<std::size_t>(gid)] == -2) {
+            parent_edge[static_cast<std::size_t>(gid)] = f;
+            parent_forest[static_cast<std::size_t>(gid)] = i;
             frontier.push_back(gid);
           }
         }
@@ -164,8 +164,8 @@ std::vector<SpanningTree> exact_tree_packing(const graph::Graph& g) {
       }
       forest.finalize();
       // Root at 0; derive parents by BFS.
-      std::vector<int> parent(n, -1);
-      std::vector<char> seen(n, 0);
+      std::vector<int> parent(static_cast<std::size_t>(n), -1);
+      std::vector<char> seen(static_cast<std::size_t>(n), 0);
       std::queue<int> frontier;
       seen[0] = 1;
       frontier.push(0);
@@ -173,9 +173,9 @@ std::vector<SpanningTree> exact_tree_packing(const graph::Graph& g) {
         const int u = frontier.front();
         frontier.pop();
         for (int w : forest.neighbors(u)) {
-          if (!seen[w]) {
-            seen[w] = 1;
-            parent[w] = u;
+          if (!seen[static_cast<std::size_t>(w)]) {
+            seen[static_cast<std::size_t>(w)] = 1;
+            parent[static_cast<std::size_t>(w)] = u;
             frontier.push(w);
           }
         }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfar::trees {
@@ -17,23 +18,28 @@ SpanningTree hamiltonian_path_tree(const singer::AlternatingPath& path) {
   // Midpoint of b_1..b_N (N odd): index (N+1)/2, i.e. 0-based (n-1)/2
   // (Lemma 7.17).
   const int mid = (n - 1) / 2;
-  std::vector<int> parent(n, -1);
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
   for (int idx = 0; idx < n; ++idx) {
-    const int v = static_cast<int>(vs[idx]);
+    const int v = static_cast<int>(vs[static_cast<std::size_t>(idx)]);
     if (idx < mid) {
-      parent[v] = static_cast<int>(vs[idx + 1]);
+      parent[static_cast<std::size_t>(v)] = static_cast<int>(vs[static_cast<std::size_t>(idx + 1)]);
     } else if (idx > mid) {
-      parent[v] = static_cast<int>(vs[idx - 1]);
+      parent[static_cast<std::size_t>(v)] = static_cast<int>(vs[static_cast<std::size_t>(idx - 1)]);
     }
   }
-  return SpanningTree(static_cast<int>(vs[mid]), std::move(parent));
+  SpanningTree tree(static_cast<int>(vs[static_cast<std::size_t>(mid)]),
+                    std::move(parent));
+  // A path split at its midpoint has depth ceil((n-1)/2) (Lemma 7.17's
+  // latency bound); anything deeper means the parent wiring above is wrong.
+  PFAR_ENSURE(tree.depth() == (n - 1) - mid, n, mid, tree.depth());
+  return tree;
 }
 
 std::vector<SpanningTree> hamiltonian_trees(
     const singer::DisjointHamiltonianSet& set, int threads) {
   std::vector<std::optional<SpanningTree>> slots(set.paths.size());
   util::parallel_for(threads, static_cast<int>(set.paths.size()), [&](int i) {
-    slots[i].emplace(hamiltonian_path_tree(set.paths[i]));
+    slots[static_cast<std::size_t>(i)].emplace(hamiltonian_path_tree(set.paths[static_cast<std::size_t>(i)]));
   });
   std::vector<SpanningTree> out;
   out.reserve(slots.size());

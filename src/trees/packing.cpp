@@ -9,7 +9,7 @@ std::vector<SpanningTree> greedy_tree_packing(const graph::Graph& g,
   const int n = g.num_vertices();
   std::vector<SpanningTree> out;
   if (n < 2) return out;
-  std::vector<char> used(g.num_edges(), 0);
+  std::vector<char> used(static_cast<std::size_t>(g.num_edges()), 0);
 
   for (;;) {
     if (max_trees >= 0 && static_cast<int>(out.size()) >= max_trees) break;
@@ -19,11 +19,11 @@ std::vector<SpanningTree> greedy_tree_packing(const graph::Graph& g,
     // exhaust the root's links after one round. The root and the neighbor
     // scan offset rotate per tree to diversify shapes further.
     const int round = static_cast<int>(out.size());
-    const int root = (round * 2654435761u) % n;
-    std::vector<int> parent(n, -1);
-    std::vector<char> seen(n, 0);
+    const int root = static_cast<int>((static_cast<unsigned>(round) * 2654435761u) % static_cast<unsigned>(n));
+    std::vector<int> parent(static_cast<std::size_t>(n), -1);
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
     std::vector<int> stack{root};
-    seen[root] = 1;
+    seen[static_cast<std::size_t>(root)] = 1;
     int covered = 1;
     while (!stack.empty()) {
       const int u = stack.back();
@@ -31,8 +31,8 @@ std::vector<SpanningTree> greedy_tree_packing(const graph::Graph& g,
       const int deg = static_cast<int>(nbrs.size());
       int next = -1;
       for (int i = 0; i < deg; ++i) {
-        const int w = nbrs[(i + round + u) % deg];
-        if (!seen[w] && !used[g.edge_id(u, w)]) {
+        const int w = nbrs[static_cast<std::size_t>((i + round + u) % deg)];
+        if (!seen[static_cast<std::size_t>(w)] && !used[static_cast<std::size_t>(g.edge_id(u, w))]) {
           next = w;
           break;
         }
@@ -41,14 +41,14 @@ std::vector<SpanningTree> greedy_tree_packing(const graph::Graph& g,
         stack.pop_back();
         continue;
       }
-      seen[next] = 1;
-      parent[next] = u;
+      seen[static_cast<std::size_t>(next)] = 1;
+      parent[static_cast<std::size_t>(next)] = u;
       ++covered;
       stack.push_back(next);
     }
     if (covered < n) break;  // residual graph no longer spans
     for (int v = 0; v < n; ++v) {
-      if (v != root) used[g.edge_id(v, parent[v])] = 1;
+      if (v != root) used[static_cast<std::size_t>(g.edge_id(v, parent[static_cast<std::size_t>(v)]))] = 1;
     }
     out.emplace_back(root, std::move(parent));
   }

@@ -7,37 +7,37 @@ namespace pfar::trees {
 SpanningTree::SpanningTree(int root, std::vector<int> parent)
     : root_(root), parent_(std::move(parent)) {
   const int n = static_cast<int>(parent_.size());
-  if (root_ < 0 || root_ >= n || parent_[root_] != -1) {
+  if (root_ < 0 || root_ >= n || parent_[static_cast<std::size_t>(root_)] != -1) {
     throw std::invalid_argument("SpanningTree: bad root");
   }
   // Counting-sort CSR build of the child lists (each row ascending, as
   // children are appended in vertex order).
-  child_offsets_.assign(n + 1, 0);
+  child_offsets_.assign(static_cast<std::size_t>(n + 1), 0);
   for (int v = 0; v < n; ++v) {
     if (v == root_) continue;
-    if (parent_[v] < 0 || parent_[v] >= n) {
+    if (parent_[static_cast<std::size_t>(v)] < 0 || parent_[static_cast<std::size_t>(v)] >= n) {
       throw std::invalid_argument("SpanningTree: vertex without parent");
     }
-    ++child_offsets_[parent_[v] + 1];
+    ++child_offsets_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)] + 1)];
   }
-  for (int v = 0; v < n; ++v) child_offsets_[v + 1] += child_offsets_[v];
-  children_.resize(n > 0 ? n - 1 : 0);
+  for (int v = 0; v < n; ++v) child_offsets_[static_cast<std::size_t>(v + 1)] += child_offsets_[static_cast<std::size_t>(v)];
+  children_.resize(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
   std::vector<int> cursor(child_offsets_.begin(), child_offsets_.end() - 1);
   for (int v = 0; v < n; ++v) {
-    if (v != root_) children_[cursor[parent_[v]]++] = v;
+    if (v != root_) children_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])]++)] = v;
   }
   // Levels via BFS from the root; also detects cycles/disconnection
   // (a cycle never gets a level assigned).
-  level_.assign(n, -1);
+  level_.assign(static_cast<std::size_t>(n), -1);
   std::vector<int> frontier;
-  frontier.reserve(n);
-  level_[root_] = 0;
+  frontier.reserve(static_cast<std::size_t>(n));
+  level_[static_cast<std::size_t>(root_)] = 0;
   frontier.push_back(root_);
   for (std::size_t head = 0; head < frontier.size(); ++head) {
     const int u = frontier[head];
-    depth_ = std::max(depth_, level_[u]);
+    depth_ = std::max(depth_, level_[static_cast<std::size_t>(u)]);
     for (int c : children(u)) {
-      level_[c] = level_[u] + 1;
+      level_[static_cast<std::size_t>(c)] = level_[static_cast<std::size_t>(u)] + 1;
       frontier.push_back(c);
     }
   }
@@ -50,7 +50,7 @@ std::vector<graph::Edge> SpanningTree::edges() const {
   std::vector<graph::Edge> out;
   out.reserve(parent_.size() - 1);
   for (int v = 0; v < num_vertices(); ++v) {
-    if (v != root_) out.emplace_back(v, parent_[v]);
+    if (v != root_) out.emplace_back(v, parent_[static_cast<std::size_t>(v)]);
   }
   return out;
 }
@@ -59,7 +59,7 @@ bool SpanningTree::is_spanning_tree_of(const graph::Graph& g) const {
   if (g.num_vertices() != num_vertices()) return false;
   for (int v = 0; v < num_vertices(); ++v) {
     if (v == root_) continue;
-    if (!g.has_edge(v, parent_[v])) return false;
+    if (!g.has_edge(v, parent_[static_cast<std::size_t>(v)])) return false;
   }
   // Connectivity/acyclicity already guaranteed by the constructor.
   return true;
@@ -67,14 +67,14 @@ bool SpanningTree::is_spanning_tree_of(const graph::Graph& g) const {
 
 std::vector<int> edge_congestion(const graph::Graph& g,
                                  const std::vector<SpanningTree>& trees) {
-  std::vector<int> congestion(g.num_edges(), 0);
+  std::vector<int> congestion(static_cast<std::size_t>(g.num_edges()), 0);
   for (const auto& tree : trees) {
     for (const auto& e : tree.edges()) {
       const int id = g.edge_id(e.u, e.v);
       if (id < 0) {
         throw std::invalid_argument("edge_congestion: tree edge not in graph");
       }
-      ++congestion[id];
+      ++congestion[static_cast<std::size_t>(id)];
     }
   }
   return congestion;
@@ -96,8 +96,8 @@ bool opposite_reduction_flows(const graph::Graph& g,
                               const std::vector<SpanningTree>& trees) {
   // orientation[id]: +1 if reduction flows u->v (v is the parent side),
   // -1 if v->u, for the normalized edge {u < v}; 0 if unused so far.
-  std::vector<int> orientation(g.num_edges(), 0);
-  std::vector<int> uses(g.num_edges(), 0);
+  std::vector<int> orientation(static_cast<std::size_t>(g.num_edges()), 0);
+  std::vector<int> uses(static_cast<std::size_t>(g.num_edges()), 0);
   for (const auto& tree : trees) {
     for (int x = 0; x < tree.num_vertices(); ++x) {
       if (x == tree.root()) continue;
@@ -105,10 +105,10 @@ bool opposite_reduction_flows(const graph::Graph& g,
       const graph::Edge e(x, p);
       const int id = g.edge_id(e.u, e.v);
       const int dir = (p == e.v) ? +1 : -1;  // child -> parent direction
-      ++uses[id];
-      if (uses[id] > 2) return false;
-      if (uses[id] == 2 && orientation[id] == dir) return false;
-      orientation[id] = dir;
+      ++uses[static_cast<std::size_t>(id)];
+      if (uses[static_cast<std::size_t>(id)] > 2) return false;
+      if (uses[static_cast<std::size_t>(id)] == 2 && orientation[static_cast<std::size_t>(id)] == dir) return false;
+      orientation[static_cast<std::size_t>(id)] = dir;
     }
   }
   return true;

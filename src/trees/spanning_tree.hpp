@@ -21,15 +21,15 @@ class SpanningTree {
 
   int root() const { return root_; }
   int num_vertices() const { return static_cast<int>(parent_.size()); }
-  int parent(int v) const { return parent_[v]; }
+  int parent(int v) const { return parent_[static_cast<std::size_t>(v)]; }
   const std::vector<int>& parents() const { return parent_; }
   graph::IntSpan children(int v) const {
-    return graph::IntSpan(children_.data() + child_offsets_[v],
-                          children_.data() + child_offsets_[v + 1]);
+    return graph::IntSpan(children_.data() + child_offsets_[static_cast<std::size_t>(v)],
+                          children_.data() + child_offsets_[static_cast<std::size_t>(v + 1)]);
   }
 
   /// Distance of v from the root (levels computed once at construction).
-  int level(int v) const { return level_[v]; }
+  int level(int v) const { return level_[static_cast<std::size_t>(v)]; }
   /// Tree depth = max level (the paper's latency proxy).
   int depth() const { return depth_; }
 

@@ -1,0 +1,52 @@
+#include "util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pfar::util::contracts {
+namespace {
+
+void abort_handler(const char* /*kind*/, const char* /*expr*/,
+                   const std::string& message) {
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<FailHandler> g_handler{&abort_handler};
+
+void throw_handler(const char* kind, const char* expr,
+                   const std::string& message) {
+  throw ContractViolation(kind, expr, message);
+}
+
+}  // namespace
+
+FailHandler set_fail_handler(FailHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &abort_handler);
+}
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& operands) {
+  std::string message = "pfar contract violation: ";
+  message += kind;
+  message += '(';
+  message += expr;
+  message += ")\n  at ";
+  message += file;
+  message += ':';
+  message += std::to_string(line);
+  message += operands;
+  g_handler.load()(kind, expr, message);
+  // A handler must not resume a violated contract.
+  std::abort();
+}
+
+ScopedThrowHandler::ScopedThrowHandler()
+    : previous_(set_fail_handler(&throw_handler)) {}
+
+ScopedThrowHandler::~ScopedThrowHandler() { set_fail_handler(previous_); }
+
+}  // namespace pfar::util::contracts

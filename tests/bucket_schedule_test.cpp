@@ -40,7 +40,8 @@ TEST(BucketScheduleTest, FusionGainLargerForDeepTrees) {
     const auto f = run_bucketed_allreduce(plan.topology(), plan.trees(),
                                           buckets, simnet::SimConfig{},
                                           BucketStrategy::kFused);
-    return static_cast<double>(s.total_cycles) / f.total_cycles;
+    return static_cast<double>(s.total_cycles) /
+           static_cast<double>(f.total_cycles);
   };
   EXPECT_GT(gain(deep), gain(shallow));
 }
@@ -77,9 +78,9 @@ TEST(MultiJobTest, PartitionedTreesServeTwoJobsConcurrently) {
   simnet::AllreduceSimulator sim(plan.topology(), embeddings,
                                  simnet::SimConfig{});
   // Job A on trees 0..3, job B on trees 4..6 (element counts differ).
-  std::vector<long long> elements(plan.num_trees(), 0);
-  for (int t = 0; t < 4; ++t) elements[t] = 2000;
-  for (int t = 4; t < plan.num_trees(); ++t) elements[t] = 1000;
+  std::vector<long long> elements(static_cast<std::size_t>(plan.num_trees()), 0);
+  for (int t = 0; t < 4; ++t) elements[static_cast<std::size_t>(t)] = 2000;
+  for (int t = 4; t < plan.num_trees(); ++t) elements[static_cast<std::size_t>(t)] = 1000;
   const auto r = sim.run(elements);
   EXPECT_TRUE(r.values_correct);
   EXPECT_EQ(r.total_elements,

@@ -83,9 +83,9 @@ TEST(RoutedNetworkTest, PathsAreShortest) {
   const RoutedNetwork net(pf.graph());
   const auto dist0 = pf.graph().bfs_distances(0);
   for (int v = 0; v < pf.n(); ++v) {
-    EXPECT_EQ(net.hops(0, v), dist0[v]);
+    EXPECT_EQ(net.hops(0, v), dist0[static_cast<std::size_t>(v)]);
     const auto path = net.path(0, v);
-    EXPECT_EQ(static_cast<int>(path.size()) - 1, dist0[v]);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, dist0[static_cast<std::size_t>(v)]);
     EXPECT_EQ(path.front(), 0);
     EXPECT_EQ(path.back(), v);
     for (std::size_t i = 1; i < path.size(); ++i) {
@@ -154,7 +154,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(HostBaselineTest, RingOnPolarFlyIsCorrectAndCosted) {
   const polarfly::PolarFly pf(3);  // N = 13
   const RoutedNetwork net(pf.graph());
-  std::vector<int> placement(pf.n());
+  std::vector<int> placement(static_cast<std::size_t>(pf.n()));
   std::iota(placement.begin(), placement.end(), 0);
   const auto res = run_host_baseline(HostAlgorithm::kRing, net, placement,
                                      13000, 1.0, 1.0);
@@ -166,7 +166,7 @@ TEST(HostBaselineTest, RingOnPolarFlyIsCorrectAndCosted) {
 TEST(HostBaselineTest, RecursiveDoublingRoundCount) {
   const polarfly::PolarFly pf(3);
   const RoutedNetwork net(pf.graph());
-  std::vector<int> placement(pf.n());
+  std::vector<int> placement(static_cast<std::size_t>(pf.n()));
   std::iota(placement.begin(), placement.end(), 0);
   const auto res = run_host_baseline(HostAlgorithm::kRecursiveDoubling, net,
                                      placement, 1000, 1.0, 1.0);
@@ -181,7 +181,7 @@ TEST(HostBaselineTest, InNetworkBeatsHostRingOnBandwidth) {
   const int q = 5;
   const polarfly::PolarFly pf(q);
   const RoutedNetwork net(pf.graph());
-  std::vector<int> placement(pf.n());
+  std::vector<int> placement(static_cast<std::size_t>(pf.n()));
   std::iota(placement.begin(), placement.end(), 0);
   const long long m = 31000;
   // Host ring: alpha=0 beta=1 time (pure bandwidth).

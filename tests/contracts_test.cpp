@@ -1,0 +1,175 @@
+// Tests for the contract layer (src/util/contracts.hpp): level selection,
+// failure-message formatting, the throwing test hook, and the annotated
+// seams in the library proper.
+
+#include "util/contracts.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "core/serialize.hpp"
+
+namespace contracts = pfar::util::contracts;
+using contracts::ContractViolation;
+using contracts::ScopedThrowHandler;
+
+namespace {
+
+TEST(Contracts, PassingContractIsSilent) {
+  ScopedThrowHandler guard;
+  int evaluations = 0;
+  EXPECT_NO_THROW(PFAR_REQUIRE(++evaluations > 0));
+  EXPECT_NO_THROW(PFAR_ENSURE(true));
+#if PFAR_CHECKS_LEVEL >= 1
+  EXPECT_EQ(evaluations, 1);  // condition evaluated exactly once
+#else
+  EXPECT_EQ(evaluations, 0);  // compiled out: never evaluated
+#endif
+}
+
+#if PFAR_CHECKS_LEVEL >= 1
+TEST(Contracts, RequireThrowsWithKindAndExpression) {
+  ScopedThrowHandler guard;
+  try {
+    const int q = 1;
+    PFAR_REQUIRE(q >= 2, q);
+    FAIL() << "PFAR_REQUIRE did not fire";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "REQUIRE");
+    EXPECT_EQ(v.expr(), "q >= 2");
+    const std::string msg = v.what();
+    EXPECT_NE(msg.find("pfar contract violation: REQUIRE(q >= 2)"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("contracts_test.cpp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("q = 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Contracts, EnsureFormatsEveryOperand) {
+  ScopedThrowHandler guard;
+  try {
+    const int lhs = 3;
+    const long long rhs = -7;
+    const std::string name = "tree";
+    PFAR_ENSURE(lhs == rhs, lhs, rhs, name);
+    FAIL() << "PFAR_ENSURE did not fire";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "ENSURE");
+    const std::string msg = v.what();
+    EXPECT_NE(msg.find("lhs = 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rhs = -7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("name = tree"), std::string::npos) << msg;
+  }
+}
+
+TEST(Contracts, UnprintableOperandsAreMarked) {
+  ScopedThrowHandler guard;
+  struct Opaque {
+    int x = 0;
+  };
+  try {
+    const Opaque state;
+    PFAR_REQUIRE(state.x == 1, state);
+    FAIL() << "PFAR_REQUIRE did not fire";
+  } catch (const ContractViolation& v) {
+    EXPECT_NE(std::string(v.what()).find("state = <unprintable>"),
+              std::string::npos)
+        << v.what();
+  }
+}
+#endif  // PFAR_CHECKS_LEVEL >= 1
+
+TEST(Contracts, LevelSelectionMatchesBuildConfiguration) {
+#if PFAR_CHECKS_LEVEL >= 1
+  {
+    ScopedThrowHandler guard;
+    EXPECT_THROW(PFAR_REQUIRE(false), ContractViolation);
+    EXPECT_THROW(PFAR_ENSURE(false), ContractViolation);
+  }
+#else
+  // Everything is compiled out: nothing throws, nothing is evaluated.
+  int evaluations = 0;
+  PFAR_REQUIRE(++evaluations > 0);
+  PFAR_ENSURE(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+#endif
+
+#if PFAR_AUDIT_ENABLED
+  {
+    ScopedThrowHandler guard;
+    EXPECT_THROW(PFAR_INVARIANT(false), ContractViolation);
+  }
+#else
+  // PFAR_INVARIANT is dead below audit level: the condition and operands
+  // must not be evaluated at all.
+  int invariant_evaluations = 0;
+  PFAR_INVARIANT(++invariant_evaluations > 0, ++invariant_evaluations);
+  EXPECT_EQ(invariant_evaluations, 0);
+#endif
+}
+
+TEST(Contracts, HandlerRestoredAfterScopeExit) {
+  contracts::FailHandler before = contracts::set_fail_handler(nullptr);
+  contracts::set_fail_handler(before);
+  {
+    ScopedThrowHandler guard;
+    contracts::FailHandler inside = contracts::set_fail_handler(nullptr);
+    EXPECT_NE(inside, before);
+    contracts::set_fail_handler(inside);
+  }
+  contracts::FailHandler after = contracts::set_fail_handler(nullptr);
+  contracts::set_fail_handler(after);
+  EXPECT_EQ(after, before);
+}
+
+#if PFAR_CHECKS_LEVEL >= 1
+TEST(Contracts, NestedScopedHandlersUnwindInOrder) {
+  ScopedThrowHandler outer;
+  {
+    ScopedThrowHandler inner;
+    EXPECT_THROW(PFAR_REQUIRE(false), ContractViolation);
+  }
+  // The outer handler is still in force after the inner scope ends.
+  EXPECT_THROW(PFAR_REQUIRE(false), ContractViolation);
+}
+#endif  // PFAR_CHECKS_LEVEL >= 1
+
+#if PFAR_CHECKS_LEVEL >= 1
+// Real seam: serializing a default-constructed (never built) plan violates
+// PlanIO::write's preconditions and must fail as a structured contract
+// violation, not as garbage output.
+TEST(Contracts, SerializeUnbuiltPlanViolatesPrecondition) {
+  ScopedThrowHandler guard;
+  try {
+    const pfar::core::AllreducePlan empty;
+    pfar::core::serialize_plan(empty, 0);
+    FAIL() << "precondition did not fire";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "REQUIRE");
+    EXPECT_NE(std::string(v.what()).find("topology_"), std::string::npos)
+        << v.what();
+  }
+}
+#endif
+
+#if PFAR_AUDIT_ENABLED
+// Audit-level sweep: building every solution for a small design point runs
+// the expensive whole-structure invariants (spanning trees, congestion,
+// disjointness) without firing.
+TEST(Contracts, AuditLevelBuildPassesAllInvariants) {
+  ScopedThrowHandler guard;
+  for (const auto solution :
+       {pfar::core::Solution::kLowDepth, pfar::core::Solution::kEdgeDisjoint,
+        pfar::core::Solution::kSingleTree}) {
+    EXPECT_NO_THROW(static_cast<void>(pfar::core::AllreducePlanner(7)
+                                          .solution(solution)
+                                          .build()));
+  }
+}
+#endif
+
+}  // namespace

@@ -13,9 +13,9 @@ namespace {
 
 std::vector<std::vector<std::int64_t>> random_inputs(int n, long long m,
                                                      util::Rng& rng) {
-  std::vector<std::vector<std::int64_t>> inputs(n);
+  std::vector<std::vector<std::int64_t>> inputs(static_cast<std::size_t>(n));
   for (auto& vec : inputs) {
-    vec.resize(m);
+    vec.resize(static_cast<std::size_t>(m));
     for (auto& x : vec) x = static_cast<std::int64_t>(rng.next_below(1000));
   }
   return inputs;
@@ -40,8 +40,8 @@ TEST_P(FunctionalOnPlans, SumMatchesReference) {
   ASSERT_EQ(static_cast<long long>(out.size()), m);
   for (long long k = 0; k < m; ++k) {
     std::int64_t expected = 0;
-    for (const auto& vec : inputs) expected += vec[k];
-    EXPECT_EQ(out[k], expected) << "k=" << k;
+    for (const auto& vec : inputs) expected += vec[static_cast<std::size_t>(k)];
+    EXPECT_EQ(out[static_cast<std::size_t>(k)], expected) << "k=" << k;
   }
 }
 
@@ -65,13 +65,13 @@ TEST_P(FunctionalOnPlans, MinAndMaxOperators) {
   const auto lo = armin.run(inputs);
   const auto hi = armax.run(inputs);
   for (long long k = 0; k < 64; ++k) {
-    std::int64_t emin = inputs[0][k], emax = inputs[0][k];
+    std::int64_t emin = inputs[0][static_cast<std::size_t>(k)], emax = inputs[0][static_cast<std::size_t>(k)];
     for (const auto& vec : inputs) {
-      emin = std::min(emin, vec[k]);
-      emax = std::max(emax, vec[k]);
+      emin = std::min(emin, vec[static_cast<std::size_t>(k)]);
+      emax = std::max(emax, vec[static_cast<std::size_t>(k)]);
     }
-    EXPECT_EQ(lo[k], emin);
-    EXPECT_EQ(hi[k], emax);
+    EXPECT_EQ(lo[static_cast<std::size_t>(k)], emin);
+    EXPECT_EQ(hi[static_cast<std::size_t>(k)], emax);
   }
 }
 
@@ -87,7 +87,7 @@ TEST(FunctionalTest, FloatAssociationIsDeterministic) {
   // must reproduce the router dataflow order deterministically.
   const auto plan = core::AllreducePlanner(5).build();
   util::Rng rng(3);
-  std::vector<std::vector<double>> inputs(plan.num_nodes());
+  std::vector<std::vector<double>> inputs(static_cast<std::size_t>(plan.num_nodes()));
   for (auto& vec : inputs) {
     vec.resize(16);
     for (auto& x : vec) x = rng.next_double();
@@ -111,7 +111,7 @@ TEST(FunctionalTest, RejectsBadInputs) {
                               [](const int& a, const int& b) { return a + b; });
   std::vector<std::vector<int>> wrong_count(3, std::vector<int>(4, 1));
   EXPECT_THROW(ar.run(wrong_count), std::invalid_argument);
-  std::vector<std::vector<int>> ragged(plan.num_nodes(),
+  std::vector<std::vector<int>> ragged(static_cast<std::size_t>(plan.num_nodes()),
                                        std::vector<int>(4, 1));
   ragged.back().resize(5);
   EXPECT_THROW(ar.run(ragged), std::invalid_argument);
@@ -129,8 +129,11 @@ TEST(FunctionalTest, NonCommutativeOperatorFollowsPortOrder) {
                         .solution(core::Solution::kSingleTree)
                         .build();
   const int n = plan.num_nodes();
-  std::vector<std::vector<std::string>> inputs(n);
-  for (int v = 0; v < n; ++v) inputs[v] = {std::string(1, 'a' + v % 26)};
+  std::vector<std::vector<std::string>> inputs(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    inputs[static_cast<std::size_t>(v)] = {
+        std::string(1, static_cast<char>('a' + v % 26))};
+  }
   FunctionalAllreduce<std::string> ar(
       plan.topology(), plan.trees(),
       [](const std::string& a, const std::string& b) { return a + b; });
@@ -139,7 +142,7 @@ TEST(FunctionalTest, NonCommutativeOperatorFollowsPortOrder) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(static_cast<int>(out[0].size()), n);
   for (int v = 0; v < n; ++v) {
-    EXPECT_NE(out[0].find('a' + v % 26), std::string::npos);
+    EXPECT_NE(out[0].find(static_cast<char>('a' + v % 26)), std::string::npos);
   }
 }
 

@@ -35,18 +35,20 @@ int brute_force_matching(const graph::Graph& g) {
   int best = 0;
   // Iterate subsets of edges (m <= ~16).
   for (int mask = 0; mask < (1 << m); ++mask) {
-    if (__builtin_popcount(mask) <= best) continue;
-    std::vector<char> used(g.num_vertices(), 0);
+    if (__builtin_popcount(static_cast<unsigned>(mask)) <= best) continue;
+    std::vector<char> used(static_cast<std::size_t>(g.num_vertices()), 0);
     bool ok = true;
     for (int e = 0; e < m && ok; ++e) {
       if (!(mask & (1 << e))) continue;
-      if (used[edges[e].u] || used[edges[e].v]) {
+      if (used[static_cast<std::size_t>(edges[static_cast<std::size_t>(e)].u)] ||
+          used[static_cast<std::size_t>(edges[static_cast<std::size_t>(e)].v)]) {
         ok = false;
       } else {
-        used[edges[e].u] = used[edges[e].v] = 1;
+        used[static_cast<std::size_t>(edges[static_cast<std::size_t>(e)].u)] =
+            used[static_cast<std::size_t>(edges[static_cast<std::size_t>(e)].v)] = 1;
       }
     }
-    if (ok) best = __builtin_popcount(mask);
+    if (ok) best = __builtin_popcount(static_cast<unsigned>(mask));
   }
   return best;
 }
@@ -60,7 +62,7 @@ TEST(FuzzMatching, BlossomMatchesBruteForce) {
     const auto mate = graph::maximum_matching(g);
     int size = 0;
     for (int v = 0; v < g.num_vertices(); ++v) {
-      if (mate[v] > v) ++size;
+      if (mate[static_cast<std::size_t>(v)] > v) ++size;
     }
     EXPECT_EQ(size, brute_force_matching(g)) << "iter " << iter;
   }
@@ -73,24 +75,24 @@ TEST(FuzzGraph, BfsMatchesFloydWarshall) {
     const int n = g.num_vertices();
     // Floyd-Warshall reference.
     constexpr int kInf = 1 << 20;
-    std::vector<int> dist(n * n, kInf);
-    for (int v = 0; v < n; ++v) dist[v * n + v] = 0;
+    std::vector<int> dist(static_cast<std::size_t>(n * n), kInf);
+    for (int v = 0; v < n; ++v) dist[static_cast<std::size_t>(v * n + v)] = 0;
     for (const auto& e : g.edges()) {
-      dist[e.u * n + e.v] = dist[e.v * n + e.u] = 1;
+      dist[static_cast<std::size_t>(e.u * n + e.v)] = dist[static_cast<std::size_t>(e.v * n + e.u)] = 1;
     }
     for (int k = 0; k < n; ++k) {
       for (int i = 0; i < n; ++i) {
         for (int j = 0; j < n; ++j) {
-          dist[i * n + j] = std::min(dist[i * n + j],
-                                     dist[i * n + k] + dist[k * n + j]);
+          dist[static_cast<std::size_t>(i * n + j)] = std::min(dist[static_cast<std::size_t>(i * n + j)],
+                                     dist[static_cast<std::size_t>(i * n + k)] + dist[static_cast<std::size_t>(k * n + j)]);
         }
       }
     }
     for (int src = 0; src < n; ++src) {
       const auto bfs = g.bfs_distances(src);
       for (int v = 0; v < n; ++v) {
-        const int expected = dist[src * n + v] >= kInf ? -1 : dist[src * n + v];
-        EXPECT_EQ(bfs[v], expected);
+        const int expected = dist[static_cast<std::size_t>(src * n + v)] >= kInf ? -1 : dist[static_cast<std::size_t>(src * n + v)];
+        EXPECT_EQ(bfs[static_cast<std::size_t>(v)], expected);
       }
     }
   }
@@ -107,23 +109,23 @@ TEST(FuzzModel, AlgorithmOneIsOrderIndependentAndConservative) {
     // Build 3 random DFS-ish spanning trees (may overlap arbitrarily).
     std::vector<trees::SpanningTree> ts;
     for (int t = 0; t < 3; ++t) {
-      std::vector<int> order(g.num_vertices());
+      std::vector<int> order(static_cast<std::size_t>(g.num_vertices()));
       std::iota(order.begin(), order.end(), 0);
       for (int i = g.num_vertices() - 1; i > 0; --i) {
-        std::swap(order[i], order[rng.next_below(i + 1)]);
+        std::swap(order[static_cast<std::size_t>(i)], order[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
       }
       const int root = order[0];
-      std::vector<int> parent(g.num_vertices(), -1);
-      std::vector<char> seen(g.num_vertices(), 0);
-      seen[root] = 1;
+      std::vector<int> parent(static_cast<std::size_t>(g.num_vertices()), -1);
+      std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+      seen[static_cast<std::size_t>(root)] = 1;
       std::vector<int> stack{root};
       while (!stack.empty()) {
         const int u = stack.back();
         stack.pop_back();
         for (int w : g.neighbors(u)) {
-          if (!seen[w]) {
-            seen[w] = 1;
-            parent[w] = u;
+          if (!seen[static_cast<std::size_t>(w)]) {
+            seen[static_cast<std::size_t>(w)] = 1;
+            parent[static_cast<std::size_t>(w)] = u;
             stack.push_back(w);
           }
         }
@@ -136,10 +138,10 @@ TEST(FuzzModel, AlgorithmOneIsOrderIndependentAndConservative) {
       EXPECT_LE(b, 1.0 + 1e-9);
     }
     // Conservation per link.
-    std::vector<double> load(g.num_edges(), 0.0);
+    std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
     for (std::size_t t = 0; t < ts.size(); ++t) {
       for (const auto& e : ts[t].edges()) {
-        load[g.edge_id(e.u, e.v)] += bw.per_tree[t];
+        load[static_cast<std::size_t>(g.edge_id(e.u, e.v))] += bw.per_tree[t];
       }
     }
     for (double l : load) EXPECT_LE(l, 1.0 + 1e-9);
@@ -172,7 +174,7 @@ TEST(FuzzApportion, AlwaysSumsAndRespectsMonotonicity) {
   util::Rng rng(31);
   for (int iter = 0; iter < 50; ++iter) {
     const int k = 1 + static_cast<int>(rng.next_below(8));
-    std::vector<double> weights(k);
+    std::vector<double> weights(static_cast<std::size_t>(k));
     for (auto& w : weights) w = rng.next_double() + 0.01;
     const long long total = static_cast<long long>(rng.next_below(100000));
     const auto split = util::apportion(total, weights);
@@ -181,9 +183,10 @@ TEST(FuzzApportion, AlwaysSumsAndRespectsMonotonicity) {
         std::accumulate(weights.begin(), weights.end(), 0.0);
     for (int i = 0; i < k; ++i) {
       // Largest-remainder stays within 1 of the exact quota.
-      const double quota = total * weights[i] / sum;
-      EXPECT_GE(split[i], static_cast<long long>(quota) - 1);
-      EXPECT_LE(split[i], static_cast<long long>(quota) + 1);
+      const double quota =
+          static_cast<double>(total) * weights[static_cast<std::size_t>(i)] / sum;
+      EXPECT_GE(split[static_cast<std::size_t>(i)], static_cast<long long>(quota) - 1);
+      EXPECT_LE(split[static_cast<std::size_t>(i)], static_cast<long long>(quota) + 1);
     }
   }
 }

@@ -61,12 +61,12 @@ TEST_P(FieldAxioms, ExpLogConsistency) {
     EXPECT_EQ(f.exp(f.log(x)), x);
   }
   // The generator has full order q-1: all powers are distinct.
-  std::vector<char> seen(q, 0);
+  std::vector<char> seen(static_cast<std::size_t>(q), 0);
   for (int e = 0; e < q - 1; ++e) {
     const Elem v = f.exp(e);
     EXPECT_NE(v, 0);
-    EXPECT_FALSE(seen[v]);
-    seen[v] = 1;
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
   }
 }
 
@@ -146,8 +146,8 @@ TEST(FieldTest, GF9ModulusIsPrimitive) {
   std::vector<char> seen(9, 0);
   Elem cur = 1;
   for (int i = 0; i < 8; ++i) {
-    EXPECT_FALSE(seen[cur]);
-    seen[cur] = 1;
+    EXPECT_FALSE(seen[static_cast<std::size_t>(cur)]);
+    seen[static_cast<std::size_t>(cur)] = 1;
     cur = f.mul(cur, 3);
   }
   EXPECT_EQ(cur, 1);
@@ -250,14 +250,14 @@ TEST(SharedFieldTest, ConcurrentLookupsAgree) {
   std::vector<const Field*> seen(kThreads * 2, nullptr);
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([t, &seen] {
-      seen[2 * t] = shared_field(19).get();
-      seen[2 * t + 1] = shared_field(23).get();
+      seen[static_cast<std::size_t>(2 * t)] = shared_field(19).get();
+      seen[static_cast<std::size_t>(2 * t + 1)] = shared_field(23).get();
     });
   }
   for (auto& w : workers) w.join();
   for (int t = 1; t < kThreads; ++t) {
-    EXPECT_EQ(seen[2 * t], seen[0]);
-    EXPECT_EQ(seen[2 * t + 1], seen[1]);
+    EXPECT_EQ(seen[static_cast<std::size_t>(2 * t)], seen[0]);
+    EXPECT_EQ(seen[static_cast<std::size_t>(2 * t + 1)], seen[1]);
   }
 }
 

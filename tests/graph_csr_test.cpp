@@ -38,12 +38,12 @@ struct ReferenceGraph {
   std::set<std::pair<int, int>> edges;            // normalized u < v
   std::vector<std::set<int>> adj;
 
-  explicit ReferenceGraph(int vertices) : n(vertices), adj(vertices) {}
+  explicit ReferenceGraph(int vertices) : n(vertices), adj(static_cast<std::size_t>(vertices)) {}
 
   void add(int u, int v) {
     edges.insert({std::min(u, v), std::max(u, v)});
-    adj[u].insert(v);
-    adj[v].insert(u);
+    adj[static_cast<std::size_t>(u)].insert(v);
+    adj[static_cast<std::size_t>(v)].insert(u);
   }
 };
 
@@ -65,12 +65,13 @@ void expect_identical(const Graph& g, const ReferenceGraph& ref) {
   for (int v = 0; v < ref.n; ++v) {
     const auto row = g.neighbors(v);
     const auto eids = g.neighbor_edge_ids(v);
-    ASSERT_EQ(row.size(), ref.adj[v].size()) << "vertex " << v;
+    ASSERT_EQ(row.size(), ref.adj[static_cast<std::size_t>(v)].size())
+        << "vertex " << v;
     ASSERT_EQ(eids.size(), row.size());
     EXPECT_EQ(g.degree(v), static_cast<int>(row.size()));
     EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
     std::size_t i = 0;
-    for (int u : ref.adj[v]) {  // set iterates ascending
+    for (int u : ref.adj[static_cast<std::size_t>(v)]) {  // set iterates ascending
       EXPECT_EQ(row[i], u);
       EXPECT_EQ(eids[i], g.edge_id(v, u));
       ++i;
@@ -79,15 +80,15 @@ void expect_identical(const Graph& g, const ReferenceGraph& ref) {
 
   for (int u = 0; u < ref.n; ++u) {
     for (int v = 0; v < ref.n; ++v) {
-      const bool expected = ref.adj[u].count(v) > 0;
+      const bool expected = ref.adj[static_cast<std::size_t>(u)].count(v) > 0;
       EXPECT_EQ(g.has_edge(u, v), expected) << u << "-" << v;
       if (!expected && u != v) {
         EXPECT_EQ(g.edge_id(u, v), -1);
       }
       if (u < v) {
         std::vector<int> common;
-        std::set_intersection(ref.adj[u].begin(), ref.adj[u].end(),
-                              ref.adj[v].begin(), ref.adj[v].end(),
+        std::set_intersection(ref.adj[static_cast<std::size_t>(u)].begin(), ref.adj[static_cast<std::size_t>(u)].end(),
+                              ref.adj[static_cast<std::size_t>(v)].begin(), ref.adj[static_cast<std::size_t>(v)].end(),
                               std::back_inserter(common));
         EXPECT_EQ(g.common_neighbor_count(u, v),
                   static_cast<int>(common.size()));

@@ -64,13 +64,13 @@ TEST(GraphTest, RejectsDuplicateEdges) {
 
 TEST(GraphTest, EdgeIdsAreDenseAndStable) {
   Graph g = complete_graph(5);
-  std::vector<char> seen(g.num_edges(), 0);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_edges()), 0);
   for (const auto& e : g.edges()) {
     const int id = g.edge_id(e.u, e.v);
     ASSERT_GE(id, 0);
     ASSERT_LT(id, g.num_edges());
-    EXPECT_FALSE(seen[id]);
-    seen[id] = 1;
+    EXPECT_FALSE(seen[static_cast<std::size_t>(id)]);
+    seen[static_cast<std::size_t>(id)] = 1;
     EXPECT_EQ(g.edge(id), e);
     EXPECT_EQ(g.edge_id(e.v, e.u), id);  // symmetric lookup
   }
@@ -80,7 +80,9 @@ TEST(GraphTest, EdgeIdsAreDenseAndStable) {
 TEST(GraphTest, BfsDistancesOnPath) {
   Graph g = path_graph(5);
   const auto dist = g.bfs_distances(0);
-  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(i)], i);
+  }
 }
 
 TEST(GraphTest, DisconnectedGraph) {
@@ -121,7 +123,7 @@ int matching_size(const std::vector<int>& mate) {
   int c = 0;
   for (std::size_t v = 0; v < mate.size(); ++v) {
     if (mate[v] >= 0) {
-      EXPECT_EQ(mate[mate[v]], static_cast<int>(v));  // symmetric
+      EXPECT_EQ(mate[static_cast<std::size_t>(mate[v])], static_cast<int>(v));  // symmetric
       ++c;
     }
   }
@@ -162,8 +164,8 @@ TEST(MatchingTest, MatchedEdgesExist) {
   Graph g = cycle_graph(7);
   const auto mate = maximum_matching(g);
   for (int v = 0; v < 7; ++v) {
-    if (mate[v] >= 0) {
-      EXPECT_TRUE(g.has_edge(v, mate[v]));
+    if (mate[static_cast<std::size_t>(v)] >= 0) {
+      EXPECT_TRUE(g.has_edge(v, mate[static_cast<std::size_t>(v)]));
     }
   }
 }
@@ -180,10 +182,10 @@ TEST(MisTest, IndependentAndMaximal) {
       }
     }
     // Maximality: every vertex is in the set or adjacent to it.
-    std::vector<char> covered(g.num_vertices(), 0);
+    std::vector<char> covered(static_cast<std::size_t>(g.num_vertices()), 0);
     for (int v : set) {
-      covered[v] = 1;
-      for (int w : g.neighbors(v)) covered[w] = 1;
+      covered[static_cast<std::size_t>(v)] = 1;
+      for (int w : g.neighbors(v)) covered[static_cast<std::size_t>(w)] = 1;
     }
     EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
                             [](char c) { return c == 1; }));

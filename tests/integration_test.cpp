@@ -118,7 +118,8 @@ TEST(IntegrationTest, TreeFinishTimesNearlyEqualUnderOptimalSplit) {
   const auto& finish = res.sim.tree_finish_cycle;
   const auto [lo, hi] = std::minmax_element(finish.begin(), finish.end());
   // Within 5% of each other for a bandwidth-dominated run.
-  EXPECT_LT(static_cast<double>(*hi - *lo), 0.05 * *hi);
+  EXPECT_LT(static_cast<double>(*hi - *lo),
+            0.05 * static_cast<double>(*hi));
 }
 
 }  // namespace

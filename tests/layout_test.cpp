@@ -15,13 +15,13 @@ TEST_P(LayoutProperties, EveryVertexInExactlyOneCluster) {
   const int q = GetParam();
   const PolarFly pf(q);
   const Layout layout = build_layout(pf);
-  std::vector<int> membership(pf.n(), 0);
-  for (int w : layout.quadric_cluster) ++membership[w];
+  std::vector<int> membership(static_cast<std::size_t>(pf.n()), 0);
+  for (int w : layout.quadric_cluster) ++membership[static_cast<std::size_t>(w)];
   for (const auto& cluster : layout.clusters) {
-    for (int v : cluster) ++membership[v];
+    for (int v : cluster) ++membership[static_cast<std::size_t>(v)];
   }
   for (int v = 0; v < pf.n(); ++v) {
-    EXPECT_EQ(membership[v], 1) << "vertex " << v;
+    EXPECT_EQ(membership[static_cast<std::size_t>(v)], 1) << "vertex " << v;
   }
 }
 
@@ -85,8 +85,8 @@ TEST_P(LayoutProperties, PropertyThreeInterClusterConnectivity) {
   for (int i = 0; i < q; ++i) {
     for (int j = 0; j < q; ++j) {
       if (i == j) continue;
-      const auto& ci = layout.clusters[i];
-      const auto& cj = layout.clusters[j];
+      const auto& ci = layout.clusters[static_cast<std::size_t>(i)];
+      const auto& cj = layout.clusters[static_cast<std::size_t>(j)];
       // (1) q-2 edges between distinct clusters.
       if (j > i) {
         EXPECT_EQ(edges_between(g, ci, cj), q - 2);
@@ -106,7 +106,7 @@ TEST_P(LayoutProperties, PropertyThreeInterClusterConnectivity) {
         }
         if (!adj) {
           ++non_adjacent;
-          if (u == layout.centers[j]) {
+          if (u == layout.centers[static_cast<std::size_t>(j)]) {
             center_non_adjacent = true;
           } else {
             the_non_center = u;
@@ -121,7 +121,7 @@ TEST_P(LayoutProperties, PropertyThreeInterClusterConnectivity) {
       for (int w : layout.quadric_cluster) {
         if (w == layout.starter_quadric) continue;
         if (g.has_edge(w, the_non_center) &&
-            g.has_edge(w, layout.centers[i])) {
+            g.has_edge(w, layout.centers[static_cast<std::size_t>(i)])) {
           found = true;
           break;
         }
@@ -158,7 +158,7 @@ TEST(LayoutTest, AllStarterChoicesWork) {
   const PolarFly pf(7);
   for (int s = 0; s < static_cast<int>(pf.quadrics().size()); ++s) {
     const Layout layout = build_layout(pf, s);
-    EXPECT_EQ(layout.starter_quadric, pf.quadrics()[s]);
+    EXPECT_EQ(layout.starter_quadric, pf.quadrics()[static_cast<std::size_t>(s)]);
     EXPECT_EQ(static_cast<int>(layout.clusters.size()), 7);
   }
   EXPECT_THROW(build_layout(pf, 99), std::out_of_range);

@@ -90,17 +90,17 @@ TEST(RandomLogicalTreesTest, WellFormed) {
     int roots = 0;
     std::vector<int> children(20, 0);
     for (int v = 0; v < 20; ++v) {
-      if (t.parent[v] == -1) {
+      if (t.parent[static_cast<std::size_t>(v)] == -1) {
         ++roots;
         EXPECT_EQ(v, t.root);
       } else {
-        EXPECT_GE(t.parent[v], 0);
-        EXPECT_LT(t.parent[v], 20);
-        ++children[t.parent[v]];
+        EXPECT_GE(t.parent[static_cast<std::size_t>(v)], 0);
+        EXPECT_LT(t.parent[static_cast<std::size_t>(v)], 20);
+        ++children[static_cast<std::size_t>(t.parent[static_cast<std::size_t>(v)])];
       }
     }
     EXPECT_EQ(roots, 1);
-    for (int v = 0; v < 20; ++v) EXPECT_LE(children[v], 3);  // arity bound
+    for (int v = 0; v < 20; ++v) EXPECT_LE(children[static_cast<std::size_t>(v)], 3);  // arity bound
   }
   EXPECT_THROW(random_logical_trees(0, 1, 1, rng), std::invalid_argument);
 }

@@ -55,8 +55,8 @@ TEST(CongestionTest, CountsOverlaps) {
   // Edge (0,1) in a and b; (1,2) in a and b.
   EXPECT_EQ(max_congestion(g, ts), 2);
   EXPECT_FALSE(edge_disjoint(g, ts));
-  EXPECT_EQ(congestion[g.edge_id(0, 1)], 2);
-  EXPECT_EQ(congestion[g.edge_id(0, 2)], 0);
+  EXPECT_EQ(congestion[static_cast<std::size_t>(g.edge_id(0, 1))], 2);
+  EXPECT_EQ(congestion[static_cast<std::size_t>(g.edge_id(0, 2))], 0);
 }
 
 // Theorems 7.4-7.6 and Lemma 7.8, across odd prime powers.
@@ -95,7 +95,7 @@ TEST_P(LowDepthTheorems, RootsAreClusterCenters) {
   const auto layout = build_layout(pf);
   const auto ts = build_low_depth_trees(pf, layout);
   for (int i = 0; i < q; ++i) {
-    EXPECT_EQ(ts[i].root(), layout.centers[i]);
+    EXPECT_EQ(ts[static_cast<std::size_t>(i)].root(), layout.centers[static_cast<std::size_t>(i)]);
   }
 }
 

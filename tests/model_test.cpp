@@ -102,10 +102,10 @@ TEST(CongestionModelTest, ConservationPerLink) {
   const auto ts = trees::build_low_depth_trees(pf, polarfly::build_layout(pf));
   const double B = 3.0;
   const auto bw = compute_tree_bandwidths(pf.graph(), ts, B);
-  std::vector<double> load(pf.graph().num_edges(), 0.0);
+  std::vector<double> load(static_cast<std::size_t>(pf.graph().num_edges()), 0.0);
   for (std::size_t t = 0; t < ts.size(); ++t) {
     for (const auto& e : ts[t].edges()) {
-      load[pf.graph().edge_id(e.u, e.v)] += bw.per_tree[t];
+      load[static_cast<std::size_t>(pf.graph().edge_id(e.u, e.v))] += bw.per_tree[t];
     }
   }
   for (double l : load) EXPECT_LE(l, B + 1e-9);

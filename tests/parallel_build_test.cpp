@@ -54,7 +54,7 @@ TEST_P(OddQParallelBuild, HamiltoniansMatchAcrossThreadCounts) {
     ASSERT_EQ(set.pairs, reference.pairs);
     ASSERT_EQ(set.size(), reference.size());
     for (int i = 0; i < set.size(); ++i) {
-      EXPECT_EQ(set.paths[i].vertices, reference.paths[i].vertices);
+      EXPECT_EQ(set.paths[static_cast<std::size_t>(i)].vertices, reference.paths[static_cast<std::size_t>(i)].vertices);
     }
     expect_same_trees(reference_trees, trees::hamiltonian_trees(set, threads));
   }
@@ -133,8 +133,8 @@ TEST(PlannerThreads, PlansIdenticalAcrossThreadCounts) {
           core::AllreducePlanner(7).solution(s).threads(threads).build();
       ASSERT_EQ(plan.num_trees(), base.num_trees());
       for (int t = 0; t < plan.num_trees(); ++t) {
-        EXPECT_EQ(plan.trees()[t].root(), base.trees()[t].root());
-        EXPECT_EQ(plan.trees()[t].parents(), base.trees()[t].parents());
+        EXPECT_EQ(plan.trees()[static_cast<std::size_t>(t)].root(), base.trees()[static_cast<std::size_t>(t)].root());
+        EXPECT_EQ(plan.trees()[static_cast<std::size_t>(t)].parents(), base.trees()[static_cast<std::size_t>(t)].parents());
       }
       EXPECT_EQ(plan.aggregate_bandwidth(), base.aggregate_bandwidth());
       EXPECT_EQ(plan.bandwidths().per_tree, base.bandwidths().per_tree);

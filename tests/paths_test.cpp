@@ -88,8 +88,9 @@ TEST_P(PathTheorems, ClosedFormMatchesIteration) {
       if (d0 == d1) continue;
       const auto path = build_alternating_path(d, d0, d1);
       for (std::size_t i = 1; i <= path.vertices.size(); ++i) {
-        EXPECT_EQ(alternating_path_element(d, d0, d1, i),
-                  path.vertices[i - 1])
+        EXPECT_EQ(
+            alternating_path_element(d, d0, d1, static_cast<long long>(i)),
+            path.vertices[i - 1])
             << "i=" << i;
       }
     }

@@ -34,8 +34,8 @@ void expect_same_plan(const AllreducePlan& a, const AllreducePlan& b) {
   }
   ASSERT_EQ(a.num_trees(), b.num_trees());
   for (int t = 0; t < a.num_trees(); ++t) {
-    EXPECT_EQ(a.trees()[t].root(), b.trees()[t].root());
-    EXPECT_EQ(a.trees()[t].parents(), b.trees()[t].parents());
+    EXPECT_EQ(a.trees()[static_cast<std::size_t>(t)].root(), b.trees()[static_cast<std::size_t>(t)].root());
+    EXPECT_EQ(a.trees()[static_cast<std::size_t>(t)].parents(), b.trees()[static_cast<std::size_t>(t)].parents());
   }
   EXPECT_EQ(a.aggregate_bandwidth(), b.aggregate_bandwidth());
   ASSERT_EQ(a.bandwidths().per_tree.size(), b.bandwidths().per_tree.size());

@@ -65,5 +65,30 @@ TEST(SerializeTest, RejectsEmptySet) {
   EXPECT_THROW(serialize_trees(3, {}), std::invalid_argument);
 }
 
+// Regression: parse_plan used to accept any trailing bytes after the
+// checksum line as long as they were pure whitespace, so an appended-to
+// (tampered) artifact still round-tripped. The checksum line must now be
+// the byte-exact final line.
+TEST(SerializeTest, PlanRejectsWhitespaceAfterChecksum) {
+  const std::string good = serialize_plan(AllreducePlanner(3).build(), 0);
+  ASSERT_NO_THROW(parse_plan(good));
+
+  for (const std::string& tail :
+       {std::string(" "), std::string("\n"), std::string(" \n"),
+        std::string("\t"), std::string("\n\n"), std::string("   \t \n")}) {
+    EXPECT_THROW(parse_plan(good + tail), std::invalid_argument)
+        << "accepted trailing bytes: " << ::testing::PrintToString(tail);
+  }
+}
+
+TEST(SerializeTest, PlanRejectsContentAfterChecksum) {
+  const std::string good = serialize_plan(AllreducePlanner(3).build(), 0);
+  EXPECT_THROW(parse_plan(good + "extra"), std::invalid_argument);
+  EXPECT_THROW(parse_plan(good + "checksum 0\n"), std::invalid_argument);
+  // Missing the final newline is also a framing violation.
+  EXPECT_THROW(parse_plan(good.substr(0, good.size() - 1)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pfar::core

@@ -64,7 +64,7 @@ TEST(CollectiveModeTest, AllModesOnPolarFlyPlans) {
     SimConfig cfg;
     cfg.collective = mode;
     AllreduceSimulator sim(plan.topology(), embeddings, cfg);
-    const auto r = sim.run(std::vector<long long>(plan.num_trees(), 500));
+    const auto r = sim.run(std::vector<long long>(static_cast<std::size_t>(plan.num_trees()), 500));
     EXPECT_TRUE(r.values_correct) << static_cast<int>(mode);
   }
 }
@@ -150,7 +150,7 @@ TEST(CollectiveModeTest, ReduceOnlyDoublesLowDepthBandwidth) {
   reduce_cfg.collective = Collective::kReduce;
   AllreduceSimulator reduce_sim(plan.topology(), embeddings, reduce_cfg);
   AllreduceSimulator ar_sim(plan.topology(), embeddings, SimConfig{});
-  const std::vector<long long> split(plan.num_trees(), 4000);
+  const std::vector<long long> split(static_cast<std::size_t>(plan.num_trees()), 4000);
   const auto red = reduce_sim.run(split);
   const auto ar = ar_sim.run(split);
   EXPECT_TRUE(red.values_correct);

@@ -190,7 +190,9 @@ TEST(SimulatorTest, LatencyAffectsSmallMessagesOnly) {
   const auto big_fast = sim_fast.run({5000});
   const auto big_slow = sim_slow.run({5000});
   // Bandwidth-dominated: within ~5%.
-  EXPECT_NEAR(static_cast<double>(big_slow.cycles) / big_fast.cycles, 1.0,
+  EXPECT_NEAR(static_cast<double>(big_slow.cycles) /
+                  static_cast<double>(big_fast.cycles),
+              1.0,
               0.05);
 }
 

@@ -1,0 +1,534 @@
+// pfar_audit: end-to-end invariant audit for PolarFly Allreduce plans.
+//
+// Loads a serialized plan (--plan FILE) or builds design points from
+// scratch (--q N), then runs the full invariant battery against the
+// paper's claims: Table 1 vertex partition sizes, layout Properties 1-3
+// (Algorithm 2), Lemma 7.8 (congestion <= 2 with opposite reduction
+// flows), Corollaries 7.15/7.16 (pairwise edge-disjoint Hamiltonian path
+// trees), Lemma 7.17 depth bounds, plus cross-checks the code itself
+// could get wrong as a unit: congestion recomputed from scratch against
+// the planner's claim, Algorithm 1 bandwidths against the reference
+// implementation, and a byte-exact serialization round trip.
+//
+// Output is a machine-readable JSON report (stdout or --out FILE).
+// Exit status: 0 = every check passed, 1 = at least one violation,
+// 2 = usage or I/O error.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/serialize.hpp"
+#include "model/congestion_model.hpp"
+#include "polarfly/erq.hpp"
+#include "polarfly/layout.hpp"
+#include "singer/difference_set.hpp"
+#include "singer/disjoint.hpp"
+#include "trees/spanning_tree.hpp"
+#include "util/args.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using pfar::core::AllreducePlan;
+using pfar::core::Solution;
+
+struct Check {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+struct Report {
+  std::string solution;
+  int q = 0;
+  int starter = 0;
+  std::vector<Check> checks;
+
+  int failed() const {
+    int n = 0;
+    for (const auto& c : checks) n += c.pass ? 0 : 1;
+    return n;
+  }
+};
+
+/// Runs one named check. The body returns its human-readable detail
+/// string and signals failure by throwing; contract violations and any
+/// other exception are captured as the failure detail.
+template <typename Fn>
+void run_check(std::vector<Check>& out, const std::string& name, Fn&& body) {
+  Check c;
+  c.name = name;
+  try {
+    c.detail = body();
+    c.pass = true;
+  } catch (const std::exception& e) {
+    c.pass = false;
+    c.detail = e.what();
+  }
+  out.push_back(std::move(c));
+}
+
+/// Failure signal for check bodies: carries the violation description.
+struct Violation : std::runtime_error {
+  explicit Violation(const std::string& what) : std::runtime_error(what) {}
+};
+
+template <typename T>
+std::string str(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw Violation(what);
+}
+
+std::string solution_flag(Solution s) {
+  switch (s) {
+    case Solution::kLowDepth: return "low-depth";
+    case Solution::kEdgeDisjoint: return "edge-disjoint";
+    case Solution::kSingleTree: return "single-tree";
+  }
+  return "?";
+}
+
+/// Normalized undirected edge key for audit-local congestion counting,
+/// independent of graph::Graph's edge ids.
+long long edge_key(int n, int u, int v) {
+  const long long a = u < v ? u : v;
+  const long long b = u < v ? v : u;
+  return a * static_cast<long long>(n) + b;
+}
+
+// ---------------------------------------------------------------------------
+// Design-point checks (rebuilt from q alone, independent of the plan).
+// ---------------------------------------------------------------------------
+
+void check_table1(std::vector<Check>& out, int q) {
+  run_check(out, "table1.partition_sizes", [q] {
+    const pfar::polarfly::PolarFly pf(q);
+    const int n = q * q + q + 1;
+    require(pf.n() == n, "N != q^2+q+1: " + str(pf.n()));
+    const int w = pf.count(pfar::polarfly::VertexType::kQuadric);
+    const int v1 = pf.count(pfar::polarfly::VertexType::kV1);
+    const int v2 = pf.count(pfar::polarfly::VertexType::kV2);
+    require(w == q + 1, "|W| = " + str(w) + ", expected " + str(q + 1));
+    if (q % 2 == 1) {
+      require(v1 == q * (q + 1) / 2,
+              "|V1| = " + str(v1) + ", expected " + str(q * (q + 1) / 2));
+      require(v2 == q * (q - 1) / 2,
+              "|V2| = " + str(v2) + ", expected " + str(q * (q - 1) / 2));
+    } else {
+      require(v1 == q * q, "|V1| = " + str(v1) + ", expected " + str(q * q));
+      require(v2 == 0, "|V2| = " + str(v2) + ", expected 0 for even q");
+    }
+    return "|W| = " + str(w) + ", |V1| = " + str(v1) + ", |V2| = " + str(v2);
+  });
+
+  run_check(out, "topology.degree_law", [q] {
+    const pfar::polarfly::PolarFly pf(q);
+    const auto& g = pf.graph();
+    int deg_q = 0;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      const int d = g.degree(v);
+      if (d == q) {
+        ++deg_q;
+      } else if (d != q + 1) {
+        throw Violation("vertex " + str(v) + " has degree " + str(d));
+      }
+    }
+    require(deg_q == q + 1, "degree-q vertex count " + str(deg_q) +
+                                ", expected " + str(q + 1) + " quadrics");
+    return str(q + 1) + " quadrics of degree q, rest degree q+1";
+  });
+
+  if (q % 2 == 1) {
+    run_check(out, "layout.properties_1_to_3", [q] {
+      const pfar::polarfly::PolarFly pf(q);
+      const auto layout = pfar::polarfly::build_layout(pf, 0);
+      require(static_cast<int>(layout.clusters.size()) == q,
+              "cluster count " + str(layout.clusters.size()));
+      int covered = static_cast<int>(layout.quadric_cluster.size());
+      for (const auto& cluster : layout.clusters) {
+        require(static_cast<int>(cluster.size()) == q,
+                "cluster size " + str(cluster.size()) + ", expected q");
+        covered += static_cast<int>(cluster.size());
+      }
+      require(covered == pf.n(), "partition covers " + str(covered) + " of " +
+                                     str(pf.n()) + " vertices");
+      for (int v = 0; v < pf.n(); ++v) {
+        const int c = layout.cluster_of[static_cast<std::size_t>(v)];
+        if (pf.is_quadric(v)) {
+          require(c == -1, "quadric " + str(v) + " mapped to cluster");
+        } else {
+          require(c >= 0 && c < q, "vertex " + str(v) + " unassigned");
+        }
+      }
+      return str(q) + " clusters of size q partition V \\ W";
+    });
+  }
+
+  run_check(out, "singer.difference_set", [q] {
+    const auto d = pfar::singer::build_difference_set(q);
+    require(d.n == static_cast<long long>(q) * q + q + 1,
+            "N = " + str(d.n));
+    require(static_cast<int>(d.elements.size()) == q + 1,
+            "|D| = " + str(d.elements.size()) + ", expected q+1");
+    require(pfar::singer::is_valid_difference_set(d.elements, d.n),
+            "Definition 6.2 violated: differences do not cover Z_N \\ {0}");
+    return "perfect difference set of order q+1 over Z_" + str(d.n);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level checks (work for built and deserialized plans alike).
+// ---------------------------------------------------------------------------
+
+void check_plan(std::vector<Check>& out, const AllreducePlan& plan,
+                int starter) {
+  const int q = plan.q();
+  const auto& g = plan.topology();
+  const auto& trees = plan.trees();
+  const int n = g.num_vertices();
+
+  run_check(out, "topology.order", [&] {
+    require(n == q * q + q + 1,
+            "n = " + str(n) + ", expected " + str(q * q + q + 1));
+    return "n = " + str(n);
+  });
+
+  run_check(out, "trees.count", [&] {
+    int expected = 0;
+    switch (plan.solution()) {
+      case Solution::kLowDepth: expected = (q % 2 == 1) ? q : q - 1; break;
+      case Solution::kEdgeDisjoint:
+        expected = pfar::singer::disjoint_hamiltonian_upper_bound(q);
+        break;
+      case Solution::kSingleTree: expected = 1; break;
+    }
+    require(plan.num_trees() == expected, "num_trees = " +
+                                              str(plan.num_trees()) +
+                                              ", expected " + str(expected));
+    return str(plan.num_trees()) + " trees";
+  });
+
+  run_check(out, "trees.spanning", [&] {
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      require(trees[i].is_spanning_tree_of(g),
+              "tree " + str(i) + " is not a spanning tree of the topology");
+    }
+    return "all " + str(trees.size()) + " trees span the topology";
+  });
+
+  run_check(out, "trees.depth_bound", [&] {
+    int bound = 0;
+    switch (plan.solution()) {
+      case Solution::kLowDepth: bound = 3; break;           // Theorem 7.4
+      case Solution::kSingleTree: bound = 2; break;         // diameter 2
+      case Solution::kEdgeDisjoint: bound = n / 2; break;   // Lemma 7.17
+    }
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      require(trees[i].depth() <= bound,
+              "tree " + str(i) + " depth " + str(trees[i].depth()) +
+                  " exceeds bound " + str(bound));
+    }
+    require(plan.max_depth() <= bound, "max_depth() disagrees");
+    return "max depth " + str(plan.max_depth()) + " <= " + str(bound);
+  });
+
+  run_check(out, "congestion.recomputed", [&] {
+    // Recount from scratch with an audit-local edge keying, independent
+    // of graph::Graph's edge-id machinery and trees::edge_congestion.
+    std::unordered_map<long long, int> load;
+    for (const auto& t : trees) {
+      for (const auto& e : t.edges()) {
+        require(g.has_edge(e.u, e.v), "tree edge (" + str(e.u) + "," +
+                                          str(e.v) + ") not in topology");
+        ++load[edge_key(n, e.u, e.v)];
+      }
+    }
+    int recomputed = 0;
+    for (const auto& [key, c] : load) {
+      static_cast<void>(key);
+      recomputed = std::max(recomputed, c);
+    }
+    const int claimed = plan.max_congestion();
+    require(recomputed == claimed, "recomputed max congestion " +
+                                       str(recomputed) +
+                                       " != planner claim " + str(claimed));
+    const int bound = plan.solution() == Solution::kLowDepth ? 2 : 1;
+    require(recomputed <= bound, "congestion " + str(recomputed) +
+                                     " exceeds bound " + str(bound));
+    return "max congestion " + str(recomputed) + " <= " + str(bound) +
+           ", matches planner claim";
+  });
+
+  if (plan.solution() == Solution::kLowDepth) {
+    run_check(out, "lemma7_8.opposite_flows", [&] {
+      require(pfar::trees::opposite_reduction_flows(g, trees),
+              "a doubly-loaded link carries same-direction reduction flows");
+      return "every shared link reduces in opposite directions";
+    });
+  }
+
+  if (plan.solution() == Solution::kEdgeDisjoint) {
+    run_check(out, "cor7_15.pairwise_edge_disjoint", [&] {
+      // Corollaries 7.15/7.16 via explicit pairwise edge-set
+      // intersection, not just the congestion <= 1 shortcut.
+      std::vector<std::set<long long>> sets(trees.size());
+      for (std::size_t i = 0; i < trees.size(); ++i) {
+        for (const auto& e : trees[i].edges()) {
+          sets[i].insert(edge_key(n, e.u, e.v));
+        }
+      }
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        for (std::size_t j = i + 1; j < sets.size(); ++j) {
+          for (long long key : sets[i]) {
+            require(sets[j].count(key) == 0,
+                    "trees " + str(i) + " and " + str(j) +
+                        " share an edge (key " + str(key) + ")");
+          }
+        }
+      }
+      require(static_cast<int>(trees.size()) <=
+                  pfar::singer::disjoint_hamiltonian_upper_bound(q),
+              "more trees than Lemma 7.18's floor((q+1)/2) bound");
+      return str(trees.size()) + " pairwise edge-disjoint path trees";
+    });
+  }
+
+  run_check(out, "bandwidth.claim", [&] {
+    const auto ref =
+        pfar::model::compute_tree_bandwidths_reference(g, trees, 1.0);
+    const auto& claimed = plan.bandwidths();
+    require(claimed.per_tree.size() == ref.per_tree.size(),
+            "per-tree bandwidth count mismatch");
+    for (std::size_t i = 0; i < ref.per_tree.size(); ++i) {
+      require(claimed.per_tree[i] == ref.per_tree[i],
+              "tree " + str(i) + " bandwidth " + str(claimed.per_tree[i]) +
+                  " != reference " + str(ref.per_tree[i]));
+    }
+    require(claimed.aggregate == ref.aggregate,
+            "aggregate " + str(claimed.aggregate) + " != reference " +
+                str(ref.aggregate));
+    return "Algorithm 1 reference agrees, aggregate = " +
+           str(ref.aggregate);
+  });
+
+  run_check(out, "serialize.roundtrip", [&] {
+    const std::string text = pfar::core::serialize_plan(plan, starter);
+    const auto parsed = pfar::core::parse_plan(text);
+    require(parsed.plan.q() == q, "round trip changed q");
+    require(parsed.plan.solution() == plan.solution(),
+            "round trip changed solution");
+    require(parsed.starter == starter, "round trip changed starter");
+    require(parsed.plan.num_trees() == plan.num_trees(),
+            "round trip changed tree count");
+    for (int i = 0; i < plan.num_trees(); ++i) {
+      const auto& a = trees[static_cast<std::size_t>(i)];
+      const auto& b = parsed.plan.trees()[static_cast<std::size_t>(i)];
+      require(a.root() == b.root() && a.parents() == b.parents(),
+              "round trip changed tree " + str(i));
+    }
+    const std::string again =
+        pfar::core::serialize_plan(parsed.plan, parsed.starter);
+    require(again == text, "re-serialization is not byte-identical");
+    return str(text.size()) + " bytes, byte-exact round trip";
+  });
+}
+
+// ---------------------------------------------------------------------------
+// JSON report.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const std::vector<Report>& reports) {
+  int passed = 0, failed = 0;
+  for (const auto& r : reports) {
+    for (const auto& c : r.checks) (c.pass ? passed : failed) += 1;
+  }
+  os << "{\n";
+  os << "  \"tool\": \"pfar_audit\",\n";
+  os << "  \"builder\": \"" << pfar::core::kBuilderVersion << "\",\n";
+  os << "  \"reports\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    os << "    {\n";
+    os << "      \"solution\": \"" << json_escape(r.solution) << "\",\n";
+    os << "      \"q\": " << r.q << ",\n";
+    os << "      \"starter\": " << r.starter << ",\n";
+    os << "      \"checks\": [\n";
+    for (std::size_t j = 0; j < r.checks.size(); ++j) {
+      const auto& c = r.checks[j];
+      os << "        {\"name\": \"" << json_escape(c.name) << "\", \"pass\": "
+         << (c.pass ? "true" : "false") << ", \"detail\": \""
+         << json_escape(c.detail) << "\"}"
+         << (j + 1 < r.checks.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"passed\": " << passed << ",\n";
+  os << "  \"failed\": " << failed << ",\n";
+  os << "  \"ok\": " << (failed == 0 ? "true" : "false") << "\n";
+  os << "}\n";
+}
+
+void usage() {
+  std::cerr
+      << "pfar_audit: invariant audit for PolarFly Allreduce plans\n\n"
+         "  pfar_audit --q N [--solution low-depth|edge-disjoint|"
+         "single-tree|all]\n"
+         "             [--starter I] [--threads T] [--out FILE]\n"
+         "  pfar_audit --plan FILE [--out FILE]\n\n"
+         "Exit status: 0 all checks passed, 1 violations found, "
+         "2 usage/IO error.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pfar::util::Args args(argc, argv);
+  if (args.has("help")) {
+    usage();
+    return 0;
+  }
+
+  // Contract violations raised while building or auditing become ordinary
+  // exceptions, so they are reported as named failed checks instead of
+  // aborting the audit run half way.
+  const pfar::util::contracts::ScopedThrowHandler throw_on_violation;
+
+  std::vector<Report> reports;
+
+  if (args.has("plan")) {
+    const std::string path = args.get_string("plan", "");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "pfar_audit: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Report r;
+    r.solution = "plan-file";
+    bool parsed_ok = false;
+    pfar::core::ParsedPlan parsed;
+    run_check(r.checks, "serialize.parse", [&] {
+      parsed = pfar::core::parse_plan(buf.str());
+      parsed_ok = true;
+      return "checksum verified, " + str(parsed.plan.num_trees()) +
+             " trees for q = " + str(parsed.plan.q());
+    });
+    if (parsed_ok) {
+      r.solution = solution_flag(parsed.plan.solution());
+      r.q = parsed.plan.q();
+      r.starter = parsed.starter;
+      check_plan(r.checks, parsed.plan, parsed.starter);
+    }
+    reports.push_back(std::move(r));
+  } else if (args.has("q")) {
+    const int q = static_cast<int>(args.get_int("q", 0));
+    const int starter = static_cast<int>(args.get_int("starter", 0));
+    const int threads = args.threads();
+    const std::string want = args.get_string("solution", "all");
+
+    std::vector<Solution> solutions;
+    if (want == "all") {
+      solutions = {Solution::kLowDepth, Solution::kEdgeDisjoint,
+                   Solution::kSingleTree};
+    } else if (want == "low-depth") {
+      solutions = {Solution::kLowDepth};
+    } else if (want == "edge-disjoint") {
+      solutions = {Solution::kEdgeDisjoint};
+    } else if (want == "single-tree") {
+      solutions = {Solution::kSingleTree};
+    } else {
+      std::cerr << "pfar_audit: unknown --solution '" << want << "'\n";
+      usage();
+      return 2;
+    }
+
+    {
+      Report design;
+      design.solution = "design-point";
+      design.q = q;
+      design.starter = starter;
+      check_table1(design.checks, q);
+      reports.push_back(std::move(design));
+    }
+
+    for (Solution s : solutions) {
+      Report r;
+      r.solution = solution_flag(s);
+      r.q = q;
+      r.starter = starter;
+      bool built = false;
+      AllreducePlan plan;
+      run_check(r.checks, "planner.build", [&] {
+        plan = pfar::core::AllreducePlanner(q)
+                   .solution(s)
+                   .starter_quadric(starter)
+                   .threads(threads)
+                   .build();
+        built = true;
+        return str(plan.num_trees()) + " trees built";
+      });
+      if (built) check_plan(r.checks, plan, starter);
+      reports.push_back(std::move(r));
+    }
+  } else {
+    usage();
+    return 2;
+  }
+
+  int failed = 0;
+  for (const auto& r : reports) failed += r.failed();
+
+  if (args.has("out")) {
+    std::ofstream out(args.get_string("out", ""));
+    if (!out) {
+      std::cerr << "pfar_audit: cannot write --out file\n";
+      return 2;
+    }
+    write_json(out, reports);
+  } else {
+    write_json(std::cout, reports);
+  }
+  return failed == 0 ? 0 : 1;
+}

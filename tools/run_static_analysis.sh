@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy (using the compile database the build
+# exports) and cppcheck, both under the configs committed at the repo root.
+#
+# Usage: tools/run_static_analysis.sh [BUILD_DIR]   (default: build)
+#
+# Tools that are not installed are skipped with a notice instead of
+# failing, so the script is safe to run in minimal containers; CI installs
+# both and therefore enforces them. Exit status is nonzero iff an installed
+# tool reported a finding.
+
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ -d "$build_dir" ] || build_dir="$repo_root/$1"
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: no compile_commands.json in '$build_dir'." >&2
+  echo "       Configure first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default):" >&2
+  echo "       cmake -S . -B build" >&2
+  exit 2
+fi
+
+status=0
+cd "$repo_root"
+
+# clang-tidy over every first-party translation unit in the compile
+# database (src/ and tools/; tests and benches follow the same flags but
+# are skipped to keep the run fast).
+if command -v clang-tidy >/dev/null 2>&1; then
+  sources=$(find src tools -name '*.cpp' | sort)
+  echo "== clang-tidy ($(echo "$sources" | wc -l) files, config .clang-tidy)"
+  # shellcheck disable=SC2086
+  if ! clang-tidy -p "$build_dir" --quiet $sources; then
+    echo "clang-tidy: findings above" >&2
+    status=1
+  fi
+else
+  echo "== clang-tidy not installed; skipping (CI runs it)"
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+  echo "== cppcheck (config .cppcheck-suppressions)"
+  if ! cppcheck --enable=warning,performance,portability \
+      --suppressions-list=.cppcheck-suppressions \
+      --inline-suppr \
+      --error-exitcode=1 \
+      --std=c++20 \
+      --quiet \
+      -I src \
+      src tools; then
+    echo "cppcheck: findings above" >&2
+    status=1
+  fi
+else
+  echo "== cppcheck not installed; skipping (CI runs it)"
+fi
+
+exit $status
