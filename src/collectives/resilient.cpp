@@ -1,0 +1,203 @@
+#include "collectives/resilient.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "collectives/innetwork.hpp"
+#include "core/resilience.hpp"
+#include "model/congestion_model.hpp"
+#include "util/contracts.hpp"
+
+namespace pfar::collectives {
+namespace {
+
+[[noreturn]] void fail_unrecoverable(const std::string& why) {
+  PFAR_REQUIRE(false && "run_resilient_allreduce: unrecoverable failure",
+               why);
+  // Contracts compiled out (PFAR_CHECKS=off): still fail loudly.
+  throw std::runtime_error("run_resilient_allreduce: unrecoverable failure: " +
+                           why);
+}
+
+std::uint64_t remix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The fault script an attempt that starts `elapsed` global cycles into the
+/// original script sees: pending events shifted into the attempt's local
+/// clock (clamped at 0), restricted to links the residual topology still
+/// has. Flaky links that survive stay flaky, with the attempt index mixed
+/// into the seed so a replay does not replicate the old drop pattern
+/// packet-for-packet.
+simnet::FaultScript shift_script(const simnet::FaultScript& script,
+                                 long long elapsed,
+                                 const graph::Graph& residual, int attempt) {
+  simnet::FaultScript out;
+  const int n = residual.num_vertices();
+  const auto still_a_link = [&](int u, int v) {
+    return u >= 0 && u < n && v >= 0 && v < n && residual.has_edge(u, v);
+  };
+  for (const auto& ev : script.events) {
+    if (!still_a_link(ev.u, ev.v)) continue;
+    simnet::FaultEvent shifted = ev;
+    shifted.cycle = std::max<long long>(0, ev.cycle - elapsed);
+    out.events.push_back(shifted);
+  }
+  for (const auto& [u, v] : script.flaky_links) {
+    if (still_a_link(u, v)) out.flaky_links.emplace_back(u, v);
+  }
+  out.flaky_drop_permille = script.flaky_drop_permille;
+  out.flaky_seed =
+      attempt == 0 ? script.flaky_seed
+                   : remix(script.flaky_seed +
+                           static_cast<std::uint64_t>(attempt));
+  return out;
+}
+
+}  // namespace
+
+RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
+                                      const std::vector<trees::SpanningTree>&
+                                          spanning_trees,
+                                      long long m,
+                                      const simnet::SimConfig& config,
+                                      const ResilienceConfig& resilience) {
+  if (spanning_trees.empty()) {
+    throw std::invalid_argument("run_resilient_allreduce: no trees");
+  }
+  if (m < 0) {
+    throw std::invalid_argument("run_resilient_allreduce: negative m");
+  }
+  if (config.progress_timeout <= 0) {
+    throw std::invalid_argument(
+        "run_resilient_allreduce: progress_timeout must be > 0 (loss "
+        "detection is driven by the per-tree timeout)");
+  }
+  if (resilience.max_retries < 0 || resilience.backoff_cycles < 0) {
+    throw std::invalid_argument("run_resilient_allreduce: bad resilience "
+                                "config");
+  }
+
+  RecoveryStats stats;
+  stats.values_correct = true;
+
+  // Current plan: starts as the caller's, replaced by degraded plans. The
+  // shared_ptr keeps a residual topology alive across loop iterations.
+  std::shared_ptr<graph::Graph> residual;
+  const graph::Graph* cur_topology = &topology;
+  std::vector<trees::SpanningTree> cur_trees = spanning_trees;
+
+  std::vector<graph::Edge> accumulated_failed;
+  long long remaining = m;
+  long long backoff = resilience.backoff_cycles;
+
+  const int max_attempts = 1 + resilience.max_retries;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const model::TreeBandwidths bw = model::compute_tree_bandwidths(
+        *cur_topology, cur_trees,
+        static_cast<double>(config.link_bandwidth));
+    const std::vector<long long> split = model::optimal_split(remaining, bw);
+
+    simnet::SimConfig attempt_config = config;
+    attempt_config.faults = shift_script(config.faults, stats.total_cycles,
+                                         *cur_topology, attempt);
+
+    simnet::AllreduceSimulator sim(*cur_topology, to_embeddings(cur_trees),
+                                   attempt_config);
+    simnet::SimResult res = sim.run(split);
+
+    ++stats.attempts;
+    if (!res.values_correct) stats.values_correct = false;
+
+    AttemptStats log;
+    log.start_cycle = stats.total_cycles;
+    log.cycles = res.cycles;
+    log.trees = static_cast<int>(cur_trees.size());
+    log.elements = remaining;
+    log.model_bandwidth = bw.aggregate;
+    if (attempt > 0) stats.chunks_replayed += remaining;
+
+    // Tally what the failed trees did not finish and when the first
+    // failure of this attempt was detected.
+    long long lost = 0;
+    long long first_detect = -1;
+    for (std::size_t t = 0; t < res.tree_failed.size(); ++t) {
+      if (!res.tree_failed[t]) continue;
+      lost += split[t] - res.tree_completed[t];
+      if (first_detect < 0 || res.tree_fail_cycle[t] < first_detect) {
+        first_detect = res.tree_fail_cycle[t];
+      }
+    }
+    log.elements_lost = lost;
+    log.detection_cycle = first_detect;
+    stats.attempt_log.push_back(log);
+    if (first_detect >= 0 && stats.detection_cycle < 0) {
+      stats.detection_cycle = stats.total_cycles + first_detect;
+    }
+    stats.total_cycles += res.cycles;
+
+    if (lost == 0) {
+      stats.recovered = true;
+      stats.degraded_aggregate_bandwidth = bw.aggregate;
+      stats.final_sim = std::move(res);
+      return stats;
+    }
+
+    // Exclude every link implicated in this attempt: scripted downs still
+    // in effect plus links whose flaky mode actually ate packets.
+    for (const auto& e : res.links_down) accumulated_failed.push_back(e);
+    for (std::size_t d = 0; d < res.link_dropped_flits.size(); ++d) {
+      if (res.link_dropped_flits[d] > 0) {
+        accumulated_failed.push_back(
+            cur_topology->edges()[d / 2]);
+      }
+    }
+    std::sort(accumulated_failed.begin(), accumulated_failed.end());
+    accumulated_failed.erase(
+        std::unique(accumulated_failed.begin(), accumulated_failed.end()),
+        accumulated_failed.end());
+
+    if (attempt + 1 >= max_attempts) break;
+
+    // Replan on the original topology minus everything failed so far.
+    try {
+      if (resilience.policy == RecoveryPolicy::kKeepSurviving) {
+        core::DegradedPlan plan = core::degrade_keep_surviving(
+            topology, spanning_trees, accumulated_failed);
+        if (plan.trees.empty()) {
+          fail_unrecoverable("no surviving trees after " +
+                             std::to_string(accumulated_failed.size()) +
+                             " failed links");
+        }
+        residual = plan.topology;
+        cur_trees = std::move(plan.trees);
+      } else {
+        core::DegradedPlan plan =
+            core::degrade_repack(topology, accumulated_failed);
+        residual = plan.topology;
+        cur_trees = std::move(plan.trees);
+      }
+    } catch (const std::runtime_error& e) {
+      // remove_links: residual graph disconnected.
+      fail_unrecoverable(e.what());
+    }
+    cur_topology = residual.get();
+    remaining = lost;
+    stats.failed_links = accumulated_failed;
+    stats.total_cycles += backoff;
+    backoff *= 2;
+  }
+
+  stats.failed_links = accumulated_failed;
+  fail_unrecoverable("retries exhausted with " +
+                     std::to_string(remaining) + " elements undelivered");
+}
+
+}  // namespace pfar::collectives

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::collectives {
+
+/// How run_resilient_allreduce replans after a detected failure (the two
+/// static degrade paths of core/resilience, see docs/resilience.md).
+enum class RecoveryPolicy {
+  kKeepSurviving,  // drop trees touched by failed links, keep the rest
+  kRepack,         // repack trees greedily on the residual topology
+};
+
+/// Retry/backoff knobs of the resilient driver. Loss detection itself is
+/// configured on the simulator side (SimConfig::progress_timeout, which
+/// must be > 0 for the driver to work).
+struct ResilienceConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kRepack;
+  /// Replay attempts after the initial run (attempt count <= 1 + retries).
+  int max_retries = 3;
+  /// Cycles charged between a failed attempt and its replay (re-planning /
+  /// re-synchronization cost), doubled on every further retry.
+  long long backoff_cycles = 256;
+};
+
+/// One simulated attempt (the initial run or a replay) in the recovery log.
+struct AttemptStats {
+  long long start_cycle = 0;      // global cycle the attempt began at
+  long long cycles = 0;           // simulated cycles of this attempt
+  int trees = 0;                  // trees in this attempt's plan
+  long long elements = 0;         // elements assigned to this attempt
+  long long elements_lost = 0;    // elements its failed trees did not finish
+  double model_bandwidth = 0.0;   // Algorithm 1 aggregate of this plan
+  long long detection_cycle = -1; // attempt-local first detection, -1 healthy
+};
+
+/// Outcome of a resilient Allreduce: what was lost, when it was detected,
+/// what it cost to replay, and how much bandwidth the degraded plan keeps.
+struct RecoveryStats {
+  bool recovered = false;       // every element delivered in some attempt
+  bool values_correct = false;  // all delivered values exact in all attempts
+  int attempts = 0;
+  /// Global cycle of the first loss detection, -1 if the run stayed healthy.
+  long long detection_cycle = -1;
+  /// Elements replayed on degraded plans (sum of replay assignments).
+  long long chunks_replayed = 0;
+  /// End-to-end cycles: all attempts plus retry backoff.
+  long long total_cycles = 0;
+  /// Algorithm 1 aggregate bandwidth of the final (successful) plan — the
+  /// degradation benches plot this against the number of failed links.
+  double degraded_aggregate_bandwidth = 0.0;
+  /// Every link excluded by recovery (scripted downs and flaky droppers).
+  std::vector<graph::Edge> failed_links;
+  std::vector<AttemptStats> attempt_log;
+  /// Simulator result of the final attempt.
+  simnet::SimResult final_sim;
+};
+
+/// Runs an m-element Allreduce over `trees`, reacting to failures injected
+/// via `config.faults`: when the per-tree progress timeout cancels trees,
+/// the driver consults core/resilience for a degraded plan on the original
+/// topology minus every failed link, replays exactly the lost elements on
+/// it (bounded retries with exponential backoff), and reports RecoveryStats.
+///
+/// Requires `config.progress_timeout > 0` (detection) and non-empty trees.
+/// Unrecoverable situations — residual topology disconnected, no surviving
+/// trees, retries exhausted — fail loudly through a PFAR_REQUIRE contract
+/// violation (std::runtime_error when contracts are compiled out); the
+/// driver never hangs past the simulator's max_cycles.
+RecoveryStats run_resilient_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees, long long m,
+    const simnet::SimConfig& config,
+    const ResilienceConfig& resilience = {});
+
+}  // namespace pfar::collectives

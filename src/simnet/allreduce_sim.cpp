@@ -38,6 +38,110 @@ enum class Phase { kReduce, kBcast };
 // A packet: a contiguous chunk of one tree's element stream.
 using Packet = std::vector<std::int64_t>;
 
+// ---------------------------------------------------------------------------
+// Fault injection. One FaultState instance drives a single run; both
+// engines consume it through the same entry points in the same per-cycle
+// order, so a given script is honored bit-identically (the differential
+// fault tests pin this). See docs/resilience.md for the model.
+// ---------------------------------------------------------------------------
+
+// SplitMix64 finalizer: the deterministic hash behind flaky-link drops.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A FaultEvent resolved against the topology: undirected edge id + kind.
+struct PreparedFault {
+  long long cycle = 0;
+  int edge = 0;
+  bool down = true;
+};
+
+struct FaultState {
+  std::vector<PreparedFault> events;  // stable-sorted by cycle
+  std::size_t next = 0;
+  std::vector<char> edge_down;        // per undirected edge id
+  std::vector<char> dlink_flaky;      // per directed link (empty if none)
+  std::vector<long long> dlink_sent;  // flaky drop ordinal per directed link
+  std::uint64_t seed = 0;
+  int drop_permille = 0;
+  bool flaky = false;
+  bool active = false;  // any events or flaky links configured
+
+  bool edge_ok(int dlink) const {
+    return edge_down[static_cast<std::size_t>(dlink >> 1)] == 0;
+  }
+
+  /// Deterministic drop decision for a flaky directed link. Must be called
+  /// exactly once per packet granted on the link: the per-link ordinal is
+  /// part of the hash input, so both engines (which grant identical packet
+  /// sequences) reach identical decisions.
+  bool drop_now(int dlink) {
+    if (!flaky || !dlink_flaky[static_cast<std::size_t>(dlink)]) return false;
+    const std::uint64_t ordinal = static_cast<std::uint64_t>(
+        dlink_sent[static_cast<std::size_t>(dlink)]++);
+    const std::uint64_t h =
+        mix64(seed ^ mix64(static_cast<std::uint64_t>(dlink) *
+                               0x9e3779b97f4a7c15ULL +
+                           ordinal));
+    return static_cast<int>(h % 1000) < drop_permille;
+  }
+};
+
+FaultState prepare_faults(const graph::Graph& topology,
+                          const FaultScript& script) {
+  const int n = topology.num_vertices();
+  const auto resolve = [&](int u, int v) {
+    if (u < 0 || u >= n || v < 0 || v >= n || !topology.has_edge(u, v)) {
+      throw std::invalid_argument(
+          "FaultScript: (" + std::to_string(u) + "," + std::to_string(v) +
+          ") is not a link of the topology");
+    }
+    return topology.edge_id(u, v);
+  };
+  FaultState fs;
+  fs.edge_down.assign(static_cast<std::size_t>(topology.num_edges()), 0);
+  fs.seed = script.flaky_seed;
+  fs.drop_permille = script.flaky_drop_permille;
+  if (script.flaky_drop_permille < 0 || script.flaky_drop_permille > 1000) {
+    throw std::invalid_argument(
+        "FaultScript: flaky_drop_permille outside [0, 1000]");
+  }
+  fs.events.reserve(script.events.size());
+  for (const auto& ev : script.events) {
+    if (ev.cycle < 0) {
+      throw std::invalid_argument("FaultScript: negative event cycle");
+    }
+    fs.events.push_back(PreparedFault{ev.cycle, resolve(ev.u, ev.v),
+                                      ev.type == FaultType::kLinkDown});
+  }
+  std::stable_sort(fs.events.begin(), fs.events.end(),
+                   [](const PreparedFault& a, const PreparedFault& b) {
+                     return a.cycle < b.cycle;
+                   });
+  if (!script.flaky_links.empty() && script.flaky_drop_permille > 0) {
+    fs.dlink_flaky.assign(static_cast<std::size_t>(2 * topology.num_edges()),
+                          0);
+    fs.dlink_sent.assign(static_cast<std::size_t>(2 * topology.num_edges()),
+                         0);
+    for (const auto& [u, v] : script.flaky_links) {
+      const int eid = resolve(u, v);
+      fs.dlink_flaky[static_cast<std::size_t>(2 * eid)] = 1;
+      fs.dlink_flaky[static_cast<std::size_t>(2 * eid + 1)] = 1;
+    }
+    fs.flaky = true;
+  } else {
+    for (const auto& [u, v] : script.flaky_links) {
+      static_cast<void>(resolve(u, v));  // validate even when permille == 0
+    }
+  }
+  fs.active = !fs.events.empty() || fs.flaky;
+  return fs;
+}
+
 // One virtual channel: the unidirectional, per-tree, per-phase logical
 // datapath on a physical link, with its own receiver buffer and credits
 // (Section 5.1's "VCs have disjoint resources").
@@ -53,6 +157,10 @@ struct VcState {
   int credits = 0;
   std::deque<std::pair<long long, Packet>> data_inflight;
   std::deque<long long> credit_inflight;
+  // A packet destined for this VC was lost, so its stream has a sequence
+  // gap: the VC stops presenting data (consuming past the gap would feed
+  // wrong operands into a reduction). Cleared only by tree cancellation.
+  bool poisoned = false;
 };
 
 // Per-(router, tree) state: reduction engine inputs/outputs and the
@@ -174,6 +282,10 @@ Fabric build_fabric(const graph::Graph& topology,
   result.link_flits.assign(static_cast<std::size_t>(f.num_dlinks), 0);
   result.tree_finish_cycle.assign(static_cast<std::size_t>(f.num_trees), 0);
   result.tree_first_delivery.assign(static_cast<std::size_t>(f.num_trees), -1);
+  result.tree_failed.assign(static_cast<std::size_t>(f.num_trees), 0);
+  result.tree_fail_cycle.assign(static_cast<std::size_t>(f.num_trees), -1);
+  result.tree_completed.assign(static_cast<std::size_t>(f.num_trees), 0);
+  result.link_dropped_flits.assign(static_cast<std::size_t>(f.num_dlinks), 0);
   result.values_correct = true;
   return f;
 }
@@ -188,12 +300,16 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
                              const std::vector<long long>& elements_per_tree,
                              SimResult& result,
                              std::vector<long long>& tree_remaining,
-                             long long total_target) {
+                             long long total_target, FaultState& fault) {
   const int n = f.n;
   const int num_trees = f.num_trees;
   const Collective mode = config.collective;
   const bool want_bcast = mode != Collective::kReduce;
   auto& vcs = f.vcs;
+  const bool faults_active = fault.active;
+  const long long timeout = config.progress_timeout;
+  std::vector<char> tree_canceled(static_cast<std::size_t>(num_trees), 0);
+  std::vector<long long> tree_progress(static_cast<std::size_t>(num_trees), 0);
 
   const auto expected_value = [&](int tree, long long k) {
     return mode == Collective::kBroadcast
@@ -216,11 +332,25 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
     if (vc.phase == Phase::kReduce) {
       if (s.injected >= elements_per_tree[static_cast<std::size_t>(vc.tree)]) return false;
       for (int cvc : s.child_reduce_vc) {
-        if (vcs[static_cast<std::size_t>(cvc)].recv.empty()) return false;
+        const VcState& child = vcs[static_cast<std::size_t>(cvc)];
+        if (child.poisoned || child.recv.empty()) return false;
       }
       return true;
     }
     return !s.fork_stage[static_cast<std::size_t>(vc.fork_index)].empty();
+  };
+
+  // Returns a consumed packet's credit to the child VC's sender. Normally
+  // the credit travels back over the link (landing after link_latency);
+  // while the link is down it cannot, so it is restored immediately —
+  // conservation must hold through an outage, and a later drop_edge on
+  // this link must not double-restore it.
+  const auto return_credit = [&](VcState& child) {
+    if (faults_active && !fault.edge_ok(child.dlink)) {
+      ++child.credits;
+    } else {
+      child.credit_inflight.push_back(now + config.link_latency);
+    }
   };
 
   // Assembles the next reduction packet at node `src` for tree `tree`:
@@ -244,7 +374,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       const Packet& head = vcs[static_cast<std::size_t>(cvc)].recv.front();
       for (long long i = 0; i < size; ++i) packet[static_cast<std::size_t>(i)] += head[static_cast<std::size_t>(i)];
       vcs[static_cast<std::size_t>(cvc)].recv.pop_front();
-      vcs[static_cast<std::size_t>(cvc)].credit_inflight.push_back(now + config.link_latency);
+      return_credit(vcs[static_cast<std::size_t>(cvc)]);
     }
     return packet;
   };
@@ -263,6 +393,90 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       if (--tree_remaining[static_cast<std::size_t>(tree)] == 0) result.tree_finish_cycle[static_cast<std::size_t>(tree)] = now;
     }
     last_progress = now;
+    tree_progress[static_cast<std::size_t>(tree)] = now;
+  };
+
+  // Kills an edge: every packet in flight on either directed half is lost
+  // (counted in dropped_*, the sender's credit reclaimed immediately, the
+  // receiving VC poisoned) and every credit in flight is restored. Credit
+  // conservation is checked across the event.
+  const auto drop_edge = [&](int eid) {
+    for (int d : {2 * eid, 2 * eid + 1}) {
+      for (int id : f.link_vcs[static_cast<std::size_t>(d)]) {
+        VcState& vc = vcs[static_cast<std::size_t>(id)];
+        PFAR_ENSURE(vc.credits +
+                            static_cast<int>(vc.credit_inflight.size() +
+                                             vc.data_inflight.size() +
+                                             vc.recv.size()) ==
+                        config.vc_credits,
+                    vc.tree, vc.src, vc.dst, vc.credits);
+        for (const auto& [when, packet] : vc.data_inflight) {
+          static_cast<void>(when);
+          ++result.dropped_packets;
+          const long long flits =
+              static_cast<long long>(packet.size()) + header;
+          result.dropped_flits += flits;
+          result.link_dropped_flits[static_cast<std::size_t>(d)] += flits;
+          ++vc.credits;
+          vc.poisoned = true;
+        }
+        vc.data_inflight.clear();
+        vc.credits += static_cast<int>(vc.credit_inflight.size());
+        vc.credit_inflight.clear();
+        PFAR_ENSURE(vc.credits + static_cast<int>(vc.recv.size()) ==
+                        config.vc_credits,
+                    vc.tree, vc.src, vc.dst, vc.credits, vc.recv.size());
+      }
+    }
+  };
+
+  // Declares tree t failed: record the detection cycle and the complete
+  // element prefix, then retract every queued/in-flight packet of the tree
+  // (counted in canceled_*) and reset its VCs to empty-with-full-credits so
+  // the quiesce contracts still hold for the surviving run.
+  const auto cancel_tree = [&](int t) {
+    tree_canceled[static_cast<std::size_t>(t)] = 1;
+    result.tree_failed[static_cast<std::size_t>(t)] = 1;
+    result.tree_fail_cycle[static_cast<std::size_t>(t)] = now;
+    result.tree_finish_cycle[static_cast<std::size_t>(t)] = -1;
+    long long prefix = LLONG_MAX;
+    if (mode == Collective::kReduce) {
+      prefix = f.st(f.roots[static_cast<std::size_t>(t)], t).delivered;
+    } else {
+      for (int v = 0; v < n; ++v) {
+        prefix = std::min(prefix, f.st(v, t).delivered);
+      }
+    }
+    result.tree_completed[static_cast<std::size_t>(t)] = prefix;
+    const auto retract = [&](const Packet& p) {
+      ++result.canceled_packets;
+      result.canceled_flits += static_cast<long long>(p.size()) + header;
+    };
+    for (auto& vc : vcs) {
+      if (vc.tree != t) continue;
+      for (const auto& p : vc.recv) retract(p);
+      for (const auto& [when, p] : vc.data_inflight) {
+        static_cast<void>(when);
+        retract(p);
+      }
+      vc.recv.clear();
+      vc.data_inflight.clear();
+      vc.credit_inflight.clear();
+      vc.credits = config.vc_credits;
+      vc.poisoned = false;
+    }
+    for (int v = 0; v < n; ++v) {
+      NodeTreeState& s = f.st(v, t);
+      for (const auto& p : s.root_queue) retract(p);
+      s.root_queue.clear();
+      for (auto& stage : s.fork_stage) {
+        for (const auto& p : stage) retract(p);
+        stage.clear();
+      }
+    }
+    total_target -= tree_remaining[static_cast<std::size_t>(t)];
+    tree_remaining[static_cast<std::size_t>(t)] = 0;
+    last_progress = now;
   };
 
   while (delivered_total < total_target) {
@@ -273,6 +487,37 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       throw std::runtime_error(
           "AllreduceSimulator: deadlock detected at cycle " +
           std::to_string(now));
+    }
+
+    // 0a. Scripted fault events scheduled for this cycle, before anything
+    // else moves (a packet landing this very cycle is still in flight at
+    // the down instant and is lost).
+    if (faults_active) {
+      while (fault.next < fault.events.size() &&
+             fault.events[fault.next].cycle <= now) {
+        const PreparedFault& ev = fault.events[fault.next++];
+        if (ev.down) {
+          if (!fault.edge_down[static_cast<std::size_t>(ev.edge)]) {
+            fault.edge_down[static_cast<std::size_t>(ev.edge)] = 1;
+            drop_edge(ev.edge);
+          }
+        } else {
+          fault.edge_down[static_cast<std::size_t>(ev.edge)] = 0;
+        }
+      }
+    }
+
+    // 0b. Per-tree loss detection: a tree with work remaining that has
+    // delivered nothing for more than `progress_timeout` cycles is failed
+    // and canceled so the surviving trees can quiesce.
+    if (timeout > 0) {
+      for (int t = 0; t < num_trees; ++t) {
+        if (!tree_canceled[static_cast<std::size_t>(t)] &&
+            tree_remaining[static_cast<std::size_t>(t)] > 0 &&
+            now - tree_progress[static_cast<std::size_t>(t)] > timeout) {
+          cancel_tree(t);
+        }
+      }
     }
 
     // 1. Arrivals: land in-flight packets and returned credits.
@@ -296,6 +541,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
     // root (into the turnaround queue or straight to local delivery).
     // Broadcast: the root sources its own stream into the queue.
     for (int t = 0; t < num_trees; ++t) {
+      if (tree_canceled[static_cast<std::size_t>(t)]) continue;
       NodeTreeState& s = f.st(f.roots[static_cast<std::size_t>(t)], t);
       for (int fire = 0; fire < config.link_bandwidth; ++fire) {
         if (s.injected >= elements_per_tree[static_cast<std::size_t>(t)]) break;
@@ -316,7 +562,8 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
         } else {
           bool inputs_ready = true;
           for (int cvc : s.child_reduce_vc) {
-            if (vcs[static_cast<std::size_t>(cvc)].recv.empty()) {
+            const VcState& child = vcs[static_cast<std::size_t>(cvc)];
+            if (child.poisoned || child.recv.empty()) {
               inputs_ready = false;
               break;
             }
@@ -338,6 +585,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
     // children, which bounds buffering and stays deadlock-free.
     if (want_bcast) {
       for (int t = 0; t < num_trees; ++t) {
+        if (tree_canceled[static_cast<std::size_t>(t)]) continue;
         for (int v = 0; v < n; ++v) {
           NodeTreeState& s = f.st(v, t);
           const bool is_root = (v == f.roots[static_cast<std::size_t>(t)]);
@@ -358,10 +606,10 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
               s.root_queue.pop_front();
             } else {
               VcState& pvc = vcs[static_cast<std::size_t>(s.parent_bcast_vc)];
-              if (pvc.recv.empty()) break;
+              if (pvc.poisoned || pvc.recv.empty()) break;
               packet = std::move(pvc.recv.front());
               pvc.recv.pop_front();
-              pvc.credit_inflight.push_back(now + config.link_latency);
+              return_credit(pvc);
             }
             deliver(v, t, packet);
             const std::size_t forks = s.fork_stage.size();
@@ -385,12 +633,16 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
           tokens[static_cast<std::size_t>(dl)] + config.link_bandwidth,
           static_cast<long long>(config.link_bandwidth) *
               (config.packet_payload + header));
+      // Tokens accumulate on a down link (the bucket models the physical
+      // pipe, which recharges regardless), but nothing is granted on it.
+      if (faults_active && !fault.edge_ok(dl)) continue;
       const int count = static_cast<int>(ids.size());
       const int probes = count * config.link_bandwidth;
       const int base = rr[static_cast<std::size_t>(dl)];
       for (int probe = 0; probe < probes && tokens[static_cast<std::size_t>(dl)] > 0; ++probe) {
         const int slot = (base + probe) % count;
         VcState& vc = vcs[static_cast<std::size_t>(ids[static_cast<std::size_t>(slot)])];
+        if (tree_canceled[static_cast<std::size_t>(vc.tree)]) continue;
         if (vc.credits <= 0 || !vc_ready(vc)) continue;
         // True round-robin: rotate past the granted VC so competing trees
         // alternate even when packets occupy the link for several cycles.
@@ -408,8 +660,19 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
         tokens[static_cast<std::size_t>(dl)] -= flits;
         result.link_flits[static_cast<std::size_t>(dl)] += flits;
         --vc.credits;
-        vc.data_inflight.emplace_back(now + config.link_latency,
-                                      std::move(packet));
+        if (faults_active && fault.drop_now(dl)) {
+          // Flaky link ate the packet: flits crossed (accounted above) but
+          // nothing lands. The credit still returns normally; the gap
+          // poisons the receiver.
+          ++result.dropped_packets;
+          result.dropped_flits += flits;
+          result.link_dropped_flits[static_cast<std::size_t>(dl)] += flits;
+          vc.poisoned = true;
+          vc.credit_inflight.push_back(now + config.link_latency);
+        } else {
+          vc.data_inflight.emplace_back(now + config.link_latency,
+                                        std::move(packet));
+        }
         last_progress = now;
       }
     }
@@ -467,7 +730,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
                         const std::vector<long long>& elements_per_tree,
                         SimResult& result,
                         std::vector<long long>& tree_remaining,
-                        long long total_target) {
+                        long long total_target, FaultState& fault) {
   const int n = f.n;
   const int num_trees = f.num_trees;
   const int num_vcs = static_cast<int>(f.vcs.size());
@@ -533,6 +796,19 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   // --- Per-VC metadata flattened out of VcState for the hot paths.
   std::vector<char> vc_is_reduce(static_cast<std::size_t>(num_vcs));
   std::vector<std::int32_t> vc_src_state(static_cast<std::size_t>(num_vcs)), vc_dst_state(static_cast<std::size_t>(num_vcs));
+  std::vector<std::int32_t> vc_dlink(static_cast<std::size_t>(num_vcs));
+
+  // --- Fault bookkeeping, mirroring the reference loop's VcState::poisoned
+  // and per-tree cancel/progress tracking onto flat arrays.
+  const bool faults_active = fault.active;
+  const long long timeout = config.progress_timeout;
+  std::vector<char> vc_poisoned(static_cast<std::size_t>(num_vcs), 0);
+  std::vector<char> tree_canceled(static_cast<std::size_t>(num_trees), 0);
+  std::vector<long long> tree_progress(static_cast<std::size_t>(num_trees), 0);
+  // Elements delivered per (node, tree), to compute a canceled tree's
+  // complete prefix (the reference loop reads NodeTreeState::delivered,
+  // which this engine does not maintain).
+  std::vector<long long> eng_delivered(f.state.size(), 0);
 
   // --- Per-(node, tree) engine state: ready-children counter plus flat
   // fork-stage rings (global stage id = stage_base[state] + child slot).
@@ -558,6 +834,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     vc_is_reduce[static_cast<std::size_t>(id)] = vc.phase == Phase::kReduce ? 1 : 0;
     vc_src_state[static_cast<std::size_t>(id)] = vc.tree * n + vc.src;
     vc_dst_state[static_cast<std::size_t>(id)] = vc.tree * n + vc.dst;
+    vc_dlink[static_cast<std::size_t>(id)] = vc.dlink;
     if (vc.phase == Phase::kBcast) {
       vc_stage[static_cast<std::size_t>(id)] =
           stage_base[static_cast<std::size_t>(
@@ -620,6 +897,34 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   // (which the jump replays in closed form) — cleared at each cycle top.
   bool progressed = false;
 
+  // Returns a consumed packet's credit to VC `id`'s sender — immediately if
+  // the link is down (mirrors the reference loop's return_credit), else via
+  // the credit-return ring after link_latency.
+  const auto return_credit = [&](int id) {
+    if (faults_active && !fault.edge_ok(vc_dlink[static_cast<std::size_t>(id)])) {
+      ++credits[static_cast<std::size_t>(id)];
+    } else {
+      credit_time[static_cast<unsigned>(id) * pcap +
+                  ((chead[static_cast<std::size_t>(id)] + ccount[static_cast<std::size_t>(id)]) & pmask)] =
+          now + latency;
+      ++ccount[static_cast<std::size_t>(id)];
+      schedule_wakeup(id);
+    }
+  };
+
+  // Marks VC `id` poisoned, withdrawing it from its consumer's ready count
+  // (the reference loop's vc_ready/inputs_ready treat a poisoned VC as
+  // never ready).
+  const auto poison_vc = [&](int id) {
+    if (vc_poisoned[static_cast<std::size_t>(id)]) return;
+    vc_poisoned[static_cast<std::size_t>(id)] = 1;
+    if (vc_is_reduce[static_cast<std::size_t>(id)] &&
+        rready[static_cast<std::size_t>(id)] > 0) {
+      --eng_ready[static_cast<std::size_t>(
+          vc_dst_state[static_cast<std::size_t>(id)])];
+    }
+  };
+
   // Pops the ready head packet of a reduce child VC and schedules its
   // credit return; keeps the consumer's ready-children counter in sync.
   const auto pop_child = [&](int cvc, std::int32_t consumer_state) -> Ref {
@@ -627,10 +932,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     rhead[static_cast<std::size_t>(cvc)] = (rhead[static_cast<std::size_t>(cvc)] + 1) & pmask;
     --rtotal[static_cast<std::size_t>(cvc)];
     if (--rready[static_cast<std::size_t>(cvc)] == 0) --eng_ready[static_cast<std::size_t>(consumer_state)];
-    credit_time[static_cast<unsigned>(cvc) * pcap + ((chead[static_cast<std::size_t>(cvc)] + ccount[static_cast<std::size_t>(cvc)]) & pmask)] =
-        now + latency;
-    ++ccount[static_cast<std::size_t>(cvc)];
-    schedule_wakeup(cvc);
+    return_credit(cvc);
     return head;
   };
 
@@ -675,6 +977,104 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       if (--tree_remaining[static_cast<std::size_t>(tree)] == 0) result.tree_finish_cycle[static_cast<std::size_t>(tree)] = now;
     }
     exp_next[static_cast<std::size_t>(state_idx)] = expected;
+    eng_delivered[static_cast<std::size_t>(state_idx)] += packet.size;
+    last_progress = now;
+    tree_progress[static_cast<std::size_t>(tree)] = now;
+    progressed = true;
+  };
+
+  // Fault handlers, mirroring the reference loop's drop_edge/cancel_tree
+  // onto the flat rings. Retraction counts are order-independent, so both
+  // engines account identical totals.
+  const auto drop_edge = [&](int eid) {
+    for (int d : {2 * eid, 2 * eid + 1}) {
+      for (int id : f.link_vcs[static_cast<std::size_t>(d)]) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        const std::size_t base = i * pcap;
+        PFAR_ENSURE(credits[i] + static_cast<std::int32_t>(ccount[i]) +
+                            static_cast<std::int32_t>(rtotal[i]) ==
+                        config.vc_credits,
+                    id, credits[i], ccount[i], rtotal[i]);
+        const std::uint32_t inflight = rtotal[i] - rready[i];
+        if (inflight > 0) {
+          for (std::uint32_t k = rready[i]; k < rtotal[i]; ++k) {
+            const Ref r = ring_ref[base + ((rhead[i] + k) & pmask)];
+            ++result.dropped_packets;
+            const long long flits = r.size + header;
+            result.dropped_flits += flits;
+            result.link_dropped_flits[static_cast<std::size_t>(d)] += flits;
+            free_slabs.push_back(r.slab);
+          }
+          rtotal[i] = rready[i];
+          credits[i] += static_cast<std::int32_t>(inflight);
+          poison_vc(id);
+        }
+        credits[i] += static_cast<std::int32_t>(ccount[i]);
+        ccount[i] = 0;
+        PFAR_ENSURE(credits[i] + static_cast<std::int32_t>(rready[i]) ==
+                        config.vc_credits,
+                    id, credits[i], rready[i]);
+      }
+    }
+  };
+
+  const auto cancel_tree = [&](int t) {
+    tree_canceled[static_cast<std::size_t>(t)] = 1;
+    result.tree_failed[static_cast<std::size_t>(t)] = 1;
+    result.tree_fail_cycle[static_cast<std::size_t>(t)] = now;
+    result.tree_finish_cycle[static_cast<std::size_t>(t)] = -1;
+    long long prefix = LLONG_MAX;
+    if (mode == Collective::kReduce) {
+      prefix = eng_delivered[static_cast<std::size_t>(
+          t * n + f.roots[static_cast<std::size_t>(t)])];
+    } else {
+      for (int v = 0; v < n; ++v) {
+        prefix =
+            std::min(prefix, eng_delivered[static_cast<std::size_t>(t * n + v)]);
+      }
+    }
+    result.tree_completed[static_cast<std::size_t>(t)] = prefix;
+    const auto retract = [&](Ref r) {
+      ++result.canceled_packets;
+      result.canceled_flits += static_cast<long long>(r.size) + header;
+      free_slabs.push_back(r.slab);
+    };
+    for (int id = 0; id < num_vcs; ++id) {
+      if (vc_src_state[static_cast<std::size_t>(id)] / n != t) continue;
+      const std::size_t i = static_cast<std::size_t>(id);
+      const std::size_t base = i * pcap;
+      for (std::uint32_t k = 0; k < rtotal[i]; ++k) {
+        retract(ring_ref[base + ((rhead[i] + k) & pmask)]);
+      }
+      // Withdraw from the consumer's ready count before clearing, exactly
+      // once, matching the poisoned/ready bookkeeping.
+      if (vc_is_reduce[i] && rready[i] > 0 && !vc_poisoned[i]) {
+        --eng_ready[static_cast<std::size_t>(vc_dst_state[i])];
+      }
+      rtotal[i] = 0;
+      rready[i] = 0;
+      ccount[i] = 0;
+      credits[i] = config.vc_credits;
+      vc_poisoned[i] = 0;
+    }
+    for (int v = 0; v < n; ++v) {
+      const std::size_t si = static_cast<std::size_t>(t * n + v);
+      const std::int32_t sb = stage_base[si];
+      for (std::int32_t c = 0; c < eng_nchild[si]; ++c) {
+        const std::size_t sid = static_cast<std::size_t>(sb + c);
+        for (std::uint32_t k = 0; k < fcount[sid]; ++k) {
+          retract(fork_ring[sid * fcap + ((fhead[sid] + k) & fmask)]);
+        }
+        fcount[sid] = 0;
+      }
+    }
+    const std::size_t ti = static_cast<std::size_t>(t);
+    for (std::uint32_t k = 0; k < rq_count[ti]; ++k) {
+      retract(root_ring[ti * pcap + ((rq_head[ti] + k) & pmask)]);
+    }
+    rq_count[ti] = 0;
+    total_target -= tree_remaining[ti];
+    tree_remaining[ti] = 0;
     last_progress = now;
     progressed = true;
   };
@@ -691,6 +1091,34 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
 
     progressed = false;
     sched_bucket = &wheel[static_cast<std::size_t>((now + latency) & wmask)];
+
+    // 0a/0b. Fault events and per-tree loss detection, in the same order
+    // and at the same point in the cycle as the reference loop. Either one
+    // counts as progress so the idle-jump below never skips its effects.
+    if (faults_active) {
+      while (fault.next < fault.events.size() &&
+             fault.events[fault.next].cycle <= now) {
+        const PreparedFault& ev = fault.events[fault.next++];
+        if (ev.down) {
+          if (!fault.edge_down[static_cast<std::size_t>(ev.edge)]) {
+            fault.edge_down[static_cast<std::size_t>(ev.edge)] = 1;
+            drop_edge(ev.edge);
+          }
+        } else {
+          fault.edge_down[static_cast<std::size_t>(ev.edge)] = 0;
+        }
+        progressed = true;
+      }
+    }
+    if (timeout > 0) {
+      for (int t = 0; t < num_trees; ++t) {
+        if (!tree_canceled[static_cast<std::size_t>(t)] &&
+            tree_remaining[static_cast<std::size_t>(t)] > 0 &&
+            now - tree_progress[static_cast<std::size_t>(t)] > timeout) {
+          cancel_tree(t);
+        }
+      }
+    }
 
     // 1. Arrivals: only VCs with a wake-up scheduled for this cycle. A
     // landing advances the ready boundary of the combined ring; a matured
@@ -713,12 +1141,14 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
                          static_cast<int>(rready[static_cast<std::size_t>(id)]));
             last_progress = now;
             progressed = true;
+            // A poisoned VC's landings still occupy the buffer (occupancy
+            // above) but never make it ready (its consumer must not fire).
             if (vc_is_reduce[static_cast<std::size_t>(id)]) {
-              if (before == 0) {
+              if (before == 0 && !vc_poisoned[static_cast<std::size_t>(id)]) {
               ++eng_ready[static_cast<std::size_t>(
                   vc_dst_state[static_cast<std::size_t>(id)])];
             }
-            } else {
+            } else if (!vc_poisoned[static_cast<std::size_t>(id)]) {
               activate_bcast(vc_dst_state[static_cast<std::size_t>(id)]);
             }
           }
@@ -736,6 +1166,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
 
     // 2. Root engines (O(num_trees), cheap enough to visit every cycle).
     for (int t = 0; t < num_trees; ++t) {
+      if (tree_canceled[static_cast<std::size_t>(t)]) continue;
       const std::int32_t si = t * n + f.roots[static_cast<std::size_t>(t)];
       NodeTreeState& s = f.state[static_cast<std::size_t>(si)];
       for (int fire = 0; fire < bw; ++fire) {
@@ -787,6 +1218,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       for (std::int32_t idx : bcast_current) bcast_active[static_cast<std::size_t>(idx)] = 0;
       for (std::int32_t idx : bcast_current) {
         const int t = idx / n;
+        if (tree_canceled[static_cast<std::size_t>(t)]) continue;
         const int v = idx % n;
         NodeTreeState& s = f.state[static_cast<std::size_t>(idx)];
         const bool is_root = (v == f.roots[static_cast<std::size_t>(t)]);
@@ -818,7 +1250,8 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             --rq_count[static_cast<std::size_t>(t)];
           } else {
             const int pvc = s.parent_bcast_vc;
-            if (rready[static_cast<std::size_t>(pvc)] == 0) {
+            if (vc_poisoned[static_cast<std::size_t>(pvc)] ||
+                rready[static_cast<std::size_t>(pvc)] == 0) {
               blocked = true;  // re-armed by the next arrival
               break;
             }
@@ -826,11 +1259,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             rhead[static_cast<std::size_t>(pvc)] = (rhead[static_cast<std::size_t>(pvc)] + 1) & pmask;
             --rtotal[static_cast<std::size_t>(pvc)];
             --rready[static_cast<std::size_t>(pvc)];
-            credit_time[static_cast<unsigned>(pvc) * pcap +
-                        ((chead[static_cast<std::size_t>(pvc)] + ccount[static_cast<std::size_t>(pvc)]) & pmask)] =
-                now + latency;
-            ++ccount[static_cast<std::size_t>(pvc)];
-            schedule_wakeup(pvc);
+            return_credit(pvc);
           }
           deliver(t, idx, packet);
           if (forks == 0) {
@@ -867,6 +1296,10 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       const auto& ids = f.link_vcs[static_cast<std::size_t>(dl)];
       if (ids.empty()) continue;
       tokens[static_cast<std::size_t>(dl)] = std::min<long long>(tokens[static_cast<std::size_t>(dl)] + bw, token_cap);
+      // Down link: tokens recharge (reference loop ditto) but no grants,
+      // and it contributes nothing to the recharge horizon — resumption is
+      // driven by the link_up fault event, which is its own wake point.
+      if (faults_active && !fault.edge_ok(dl)) continue;
       if (tokens[static_cast<std::size_t>(dl)] <= 0) {
         // Cycles until the bucket is positive again: smallest k >= 1 with
         // tokens + k * bw >= 1.
@@ -880,6 +1313,10 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       for (int probe = 0; probe < probes && tokens[static_cast<std::size_t>(dl)] > 0;
            ++probe, slot = slot + 1 == count ? 0 : slot + 1) {
         const int id = ids[static_cast<std::size_t>(slot)];
+        if (tree_canceled[static_cast<std::size_t>(
+                vc_src_state[static_cast<std::size_t>(id)] / n)]) {
+          continue;
+        }
         if (credits[static_cast<std::size_t>(id)] <= 0) continue;
         Ref packet;
         if (vc_is_reduce[static_cast<std::size_t>(id)]) {
@@ -903,11 +1340,27 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
         tokens[static_cast<std::size_t>(dl)] -= flits;
         result.link_flits[static_cast<std::size_t>(dl)] += flits;
         --credits[static_cast<std::size_t>(id)];
-        ring_time[static_cast<unsigned>(id) * pcap + ((rhead[static_cast<std::size_t>(id)] + rtotal[static_cast<std::size_t>(id)]) & pmask)] =
-            now + latency;
-        ring_ref[static_cast<unsigned>(id) * pcap + ((rhead[static_cast<std::size_t>(id)] + rtotal[static_cast<std::size_t>(id)]) & pmask)] = packet;
-        ++rtotal[static_cast<std::size_t>(id)];
-        schedule_wakeup(id);
+        if (faults_active && fault.drop_now(dl)) {
+          // Flaky link ate the packet (same decision sequence as the
+          // reference loop): account the loss, poison the receiver, and
+          // schedule the normal credit return.
+          ++result.dropped_packets;
+          result.dropped_flits += flits;
+          result.link_dropped_flits[static_cast<std::size_t>(dl)] += flits;
+          free_slabs.push_back(packet.slab);
+          poison_vc(id);
+          credit_time[static_cast<unsigned>(id) * pcap +
+                      ((chead[static_cast<std::size_t>(id)] + ccount[static_cast<std::size_t>(id)]) & pmask)] =
+              now + latency;
+          ++ccount[static_cast<std::size_t>(id)];
+          schedule_wakeup(id);
+        } else {
+          ring_time[static_cast<unsigned>(id) * pcap + ((rhead[static_cast<std::size_t>(id)] + rtotal[static_cast<std::size_t>(id)]) & pmask)] =
+              now + latency;
+          ring_ref[static_cast<unsigned>(id) * pcap + ((rhead[static_cast<std::size_t>(id)] + rtotal[static_cast<std::size_t>(id)]) & pmask)] = packet;
+          ++rtotal[static_cast<std::size_t>(id)];
+          schedule_wakeup(id);
+        }
         last_progress = now;
         progressed = true;
       }
@@ -931,6 +1384,21 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     }
     if (recharge_offset != LLONG_MAX) {
       target = std::min(target, now + recharge_offset);
+    }
+    // Fault cycles are wake points: the jump may never skip a scheduled
+    // event or a per-tree timeout expiry (both checked at cycle tops, so
+    // the expiry cycle progress + timeout + 1 must be visited).
+    if (faults_active && fault.next < fault.events.size()) {
+      target = std::min(target, fault.events[fault.next].cycle);
+    }
+    if (timeout > 0) {
+      for (int t = 0; t < num_trees; ++t) {
+        if (!tree_canceled[static_cast<std::size_t>(t)] &&
+            tree_remaining[static_cast<std::size_t>(t)] > 0) {
+          target = std::min(
+              target, tree_progress[static_cast<std::size_t>(t)] + timeout + 1);
+        }
+      }
     }
     target = std::min(target, last_progress + config.stall_limit + 1);
     target = std::min(target, config.max_cycles + 1);
@@ -979,6 +1447,19 @@ AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
       config_.packet_payload < 1 || config_.packet_header_flits < 0) {
     throw std::invalid_argument("AllreduceSimulator: bad config");
   }
+  if (config_.progress_timeout < 0) {
+    throw std::invalid_argument(
+        "AllreduceSimulator: negative progress_timeout");
+  }
+  if (config_.progress_timeout > 0 &&
+      config_.progress_timeout >= config_.stall_limit) {
+    throw std::invalid_argument(
+        "AllreduceSimulator: progress_timeout must be below stall_limit so "
+        "per-tree detection fires before the global deadlock check");
+  }
+  // Validate the fault script eagerly (edge existence, cycle/permille
+  // ranges) so a bad script fails at construction, not mid-run.
+  static_cast<void>(prepare_faults(topology_, config_.faults));
   const int n = topology_.num_vertices();
   for (const auto& tree : trees_) {
     if (static_cast<int>(tree.parent.size()) != n) {
@@ -1026,16 +1507,30 @@ SimResult AllreduceSimulator::run(
   }
   if (total_target == 0) return result;
 
+  FaultState fault = prepare_faults(topology_, config_.faults);
   const long long cycles =
       config_.engine == SimEngine::kReference
           ? run_reference_loop(fabric, config_, elements_per_tree, result,
-                               tree_remaining, total_target)
+                               tree_remaining, total_target, fault)
           : run_fast_loop(fabric, config_, elements_per_tree, result,
-                          tree_remaining, total_target);
+                          tree_remaining, total_target, fault);
 
   result.cycles = cycles;
   result.aggregate_bandwidth = static_cast<double>(result.total_elements) /
                                static_cast<double>(cycles);
+  // Healthy trees completed their whole assignment; failed trees recorded
+  // their complete prefix at cancel time.
+  for (int t = 0; t < num_trees; ++t) {
+    if (!result.tree_failed[static_cast<std::size_t>(t)]) {
+      result.tree_completed[static_cast<std::size_t>(t)] =
+          elements_per_tree[static_cast<std::size_t>(t)];
+    }
+  }
+  // Links still down at run end: the set recovery must replan around.
+  const auto& edges = topology_.edges();
+  for (std::size_t e = 0; e < fault.edge_down.size(); ++e) {
+    if (fault.edge_down[e]) result.links_down.push_back(edges[e]);
+  }
   return result;
 }
 

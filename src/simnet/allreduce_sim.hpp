@@ -51,6 +51,35 @@ struct SimResult {
   /// Flits moved per directed link (utilization diagnostics), including
   /// packet header flits.
   std::vector<long long> link_flits;
+
+  // --- Fault / recovery observability (all zero on a healthy run) ---------
+
+  /// Per tree: 1 iff the tree was declared failed by the per-tree progress
+  /// timeout and canceled mid-collective.
+  std::vector<char> tree_failed;
+  /// Per tree: cycle at which the failure was detected, -1 if healthy.
+  std::vector<long long> tree_fail_cycle;
+  /// Per tree: the complete element prefix — elements delivered at every
+  /// receiver (at the root for Collective::kReduce). For healthy trees
+  /// this equals the tree's element count; for failed trees it is the
+  /// high-water mark recovery must replay beyond.
+  std::vector<long long> tree_completed;
+  /// Packets lost on the wire (in flight at a link_down, or eaten by a
+  /// flaky link) and their flits (payload + header), total and per
+  /// directed link. These flits appear in link_flits (they did cross the
+  /// link) but were never delivered.
+  long long dropped_packets = 0;
+  long long dropped_flits = 0;
+  std::vector<long long> link_dropped_flits;
+  /// Packets retracted when a failed tree was canceled (receiver buffers,
+  /// fork stages, root queues and in-flight pipelines drained), and their
+  /// flits. Together with dropped_*, every non-delivered packet is
+  /// accounted — nothing vanishes silently.
+  long long canceled_packets = 0;
+  long long canceled_flits = 0;
+  /// Links still down when the run ended (the set recovery must replan
+  /// around), as topology edges.
+  std::vector<graph::Edge> links_down;
 };
 
 /// Cycle-accurate simulator of pipelined in-network Allreduce over a set

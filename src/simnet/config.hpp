@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace pfar::simnet {
 
 /// Which collective dataflow the embedded trees execute (Section 4.3:
@@ -23,6 +27,50 @@ enum class SimEngine {
   /// The original cycle-by-cycle loop: every VC, engine and link is scanned
   /// on every cycle. Kept as the behavioural oracle.
   kReference,
+};
+
+/// What a scripted fault does to a physical link.
+enum class FaultType {
+  kLinkDown,  // both directions of the link stop moving flits
+  kLinkUp,    // the link resumes service
+};
+
+/// One scheduled fault event, applied at the top of `cycle` before any
+/// arrival, engine or arbitration step of that cycle runs. `u`/`v` name
+/// the endpoints of a physical link of the simulated topology.
+struct FaultEvent {
+  long long cycle = 0;
+  int u = 0;
+  int v = 0;
+  FaultType type = FaultType::kLinkDown;
+};
+
+/// Deterministic fault-injection script for the Allreduce simulator.
+///
+/// Semantics (identical in both engines, see docs/resilience.md):
+///  * `kLinkDown` kills both directed halves of the link. Packets and
+///    credits in flight on the link at that cycle are lost; lost packets
+///    are counted in SimResult::dropped_* and the sender's credits are
+///    reclaimed immediately, so credit conservation holds through the
+///    failure. A loss leaves a sequence gap, so the receiving VC is
+///    poisoned: it stops presenting data and its tree can only finish via
+///    recovery. A down link moves no flits until a matching `kLinkUp`.
+///  * `kLinkUp` restores the link. Traffic that merely stalled (nothing
+///    was in flight at the down instant) resumes loss-free.
+///  * Flaky mode: every packet crossing a link in `flaky_links` is
+///    dropped iff a hash of (flaky_seed, directed link, per-link packet
+///    ordinal) lands below `flaky_drop_permille` — a deterministic subset
+///    independent of engine choice.
+struct FaultScript {
+  std::vector<FaultEvent> events;
+  /// Links (by endpoints) whose packets are dropped pseudo-randomly.
+  std::vector<std::pair<int, int>> flaky_links;
+  /// Seed of the deterministic drop decision.
+  std::uint64_t flaky_seed = 0;
+  /// Drop probability in 1/1000 units, in [0, 1000].
+  int flaky_drop_permille = 0;
+
+  bool empty() const { return events.empty() && flaky_links.empty(); }
 };
 
 /// Parameters of the cycle-level router/link model (Section 4.4). The
@@ -56,6 +104,16 @@ struct SimConfig {
   long long max_cycles = 500'000'000;
   /// Cycles without any flit movement before declaring deadlock.
   long long stall_limit = 100'000;
+  /// Scheduled faults (empty = healthy network, the default).
+  FaultScript faults;
+  /// Per-tree loss detection: if > 0, a tree that delivers nothing for
+  /// this many cycles while work remains is declared failed and canceled —
+  /// its undelivered suffix is retracted so the surviving trees finish and
+  /// the caller (collectives::run_resilient_allreduce) can replay the lost
+  /// chunks on a degraded plan. Must stay below stall_limit so per-tree
+  /// detection fires before the global deadlock check. 0 disables
+  /// detection: an unrecovered loss then ends in the deadlock exception.
+  long long progress_timeout = 0;
 };
 
 }  // namespace pfar::simnet

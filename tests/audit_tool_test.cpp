@@ -4,6 +4,8 @@
 //
 // The binary path is injected by CMake as PFAR_AUDIT_BINARY.
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -22,7 +24,11 @@ namespace {
 class AuditToolTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "pfar_audit_tool_test";
+    // Per-process directory: ctest runs each test case as its own process
+    // (gtest_discover_tests), and concurrent cases must not remove_all each
+    // other's files.
+    dir_ = fs::path(::testing::TempDir()) /
+           ("pfar_audit_tool_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -4,13 +4,18 @@
 
 #include "util/contracts.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "collectives/innetwork.hpp"
+#include "collectives/resilient.hpp"
 #include "core/planner.hpp"
 #include "core/serialize.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
 
 namespace contracts = pfar::util::contracts;
 using contracts::ContractViolation;
@@ -155,6 +160,117 @@ TEST(Contracts, SerializeUnbuiltPlanViolatesPrecondition) {
   }
 }
 #endif
+
+#if PFAR_CHECKS_LEVEL >= 1
+// Conservation at the moment a link dies: drop_edge asserts (PFAR_ENSURE)
+// that credits + in-flight credits + in-flight data + queued flits equal the
+// VC budget immediately before the drop, and that credits + queued flits
+// equal it immediately after. Running a faulted simulation under the
+// throwing handler exercises those seams on every killed link; a violation
+// would surface here as a ContractViolation instead of silent flit loss.
+TEST(Contracts, LinkDeathPreservesCreditConservation) {
+  ScopedThrowHandler guard;
+  const auto plan = pfar::core::AllreducePlanner(7).build();
+
+  // An uplink each victim tree actually uses, so the drop happens with data
+  // genuinely in flight.
+  const auto uplink = [&plan](int tree_index) {
+    const auto& parents =
+        plan.trees()[static_cast<std::size_t>(tree_index)].parents();
+    for (int v = 0; v < static_cast<int>(parents.size()); ++v) {
+      const int p = parents[static_cast<std::size_t>(v)];
+      if (p >= 0) return pfar::graph::Edge(v, p);
+    }
+    throw std::logic_error("tree has no edges");
+  };
+
+  pfar::simnet::SimConfig cfg;
+  cfg.progress_timeout = 800;
+  // Kill a used link plus run a flaky one, mid-collective, so both the
+  // scripted-drop and the grant-time-drop paths run their conservation
+  // checks (drop_edge's pre/post PFAR_ENSUREs) with queues occupied.
+  const pfar::graph::Edge victim = uplink(0);
+  cfg.faults.events.push_back(
+      {200, victim.u, victim.v, pfar::simnet::FaultType::kLinkDown});
+  const pfar::graph::Edge flaky = uplink(1);
+  cfg.faults.flaky_links.push_back({flaky.u, flaky.v});
+  cfg.faults.flaky_seed = 99;
+  cfg.faults.flaky_drop_permille = 25;
+
+  for (const auto engine : {pfar::simnet::SimEngine::kReference,
+                            pfar::simnet::SimEngine::kFastForward}) {
+    cfg.engine = engine;
+    pfar::simnet::AllreduceSimulator sim(
+        plan.topology(), pfar::collectives::to_embeddings(plan.trees()), cfg);
+    pfar::simnet::SimResult res;
+    EXPECT_NO_THROW(res = sim.run(plan.split(2000)))
+        << "engine " << static_cast<int>(engine);
+
+    // The modeled in-flight losses are accounted, not vanished: every
+    // dropped flit is attributed to a specific directed link.
+    long long per_link = 0;
+    for (const long long d : res.link_dropped_flits) {
+      EXPECT_GE(d, 0);
+      per_link += d;
+    }
+    EXPECT_EQ(per_link, res.dropped_flits);
+    EXPECT_GT(res.dropped_flits, 0);
+    EXPECT_GE(res.dropped_packets, 1);
+    EXPECT_GE(res.canceled_flits, 0);
+    // Nothing corrupt ever reached a root: losses degrade progress, never
+    // correctness.
+    EXPECT_TRUE(res.values_correct);
+  }
+}
+
+// The resilient driver must surface those same in-flight losses in its
+// RecoveryStats: chunks replayed on the degraded plan are exactly the
+// elements the faulted attempts failed to finish, and the per-attempt log
+// reconciles with the totals.
+TEST(Contracts, RecoveryStatsAccountForInFlightLosses) {
+  ScopedThrowHandler guard;
+  const auto plan = pfar::core::AllreducePlanner(7).build();
+
+  const auto& parents = plan.trees()[0].parents();
+  pfar::graph::Edge victim(0, 0);
+  for (int v = 0; v < static_cast<int>(parents.size()); ++v) {
+    const int p = parents[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      victim = pfar::graph::Edge(v, p);
+      break;
+    }
+  }
+
+  pfar::simnet::SimConfig cfg;
+  cfg.progress_timeout = 800;
+  cfg.faults.events.push_back(
+      {200, victim.u, victim.v, pfar::simnet::FaultType::kLinkDown});
+
+  const auto stats = pfar::collectives::run_resilient_allreduce(
+      plan.topology(), plan.trees(), 1500, cfg);
+  ASSERT_TRUE(stats.recovered);
+  EXPECT_TRUE(stats.values_correct);
+  ASSERT_GE(stats.attempt_log.size(), 2u);
+
+  long long lost = 0;
+  long long cycles = 0;
+  for (const auto& attempt : stats.attempt_log) {
+    EXPECT_GE(attempt.elements_lost, 0);
+    lost += attempt.elements_lost;
+    cycles += attempt.cycles;
+  }
+  // Every lost element was replayed exactly once per failing attempt...
+  EXPECT_EQ(stats.chunks_replayed, lost);
+  EXPECT_GT(stats.chunks_replayed, 0);
+  // ...and the final attempt lost nothing.
+  EXPECT_EQ(stats.attempt_log.back().elements_lost, 0);
+  // Total cycles cover all attempts (plus backoff between them).
+  EXPECT_GE(stats.total_cycles, cycles);
+  EXPECT_GE(stats.detection_cycle, 200);
+  ASSERT_EQ(stats.failed_links.size(), 1u);
+  EXPECT_EQ(stats.failed_links[0], victim);
+}
+#endif  // PFAR_CHECKS_LEVEL >= 1
 
 #if PFAR_AUDIT_ENABLED
 // Audit-level sweep: building every solution for a small design point runs

@@ -1,0 +1,319 @@
+// Differential fault-injection harness (the pin for docs/resilience.md):
+//
+//  * every fault script in the matrix — permanent link down, transient
+//    down/up, seeded flaky link, double failure — must be honored
+//    bit-identically by the fast-forward and reference engines across
+//    q in {5, 7, 11}: cycles, per-link flit counts, occupancy maxima,
+//    drop/cancel accounting, failure detection cycles;
+//  * collectives::run_resilient_allreduce must recover a mid-collective
+//    single-link failure (values_correct == true end to end) and its
+//    RecoveryStats are pinned against golden values per q;
+//  * fault-script validation and accounting identities are exercised at
+//    the simulator boundary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "collectives/innetwork.hpp"
+#include "collectives/resilient.hpp"
+#include "core/planner.hpp"
+#include "graph/graph.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
+
+namespace {
+
+using namespace pfar;
+
+// A link the plan actually uses: the tree-0 uplink of the smallest
+// non-root vertex. Downing it is guaranteed to hurt at least one tree.
+graph::Edge used_link(const core::AllreducePlan& plan, int tree_index = 0) {
+  const auto& tree = plan.trees()[static_cast<std::size_t>(tree_index)];
+  const auto& parents = tree.parents();
+  for (int v = 0; v < static_cast<int>(parents.size()); ++v) {
+    if (parents[static_cast<std::size_t>(v)] >= 0) {
+      return graph::Edge(v, parents[static_cast<std::size_t>(v)]);
+    }
+  }
+  throw std::logic_error("tree has no edges");
+}
+
+simnet::SimResult run_engine(const core::AllreducePlan& plan,
+                             simnet::SimConfig cfg, long long m,
+                             simnet::SimEngine engine) {
+  cfg.engine = engine;
+  simnet::AllreduceSimulator sim(
+      plan.topology(), collectives::to_embeddings(plan.trees()), cfg);
+  return sim.run(plan.split(m));
+}
+
+// Every SimResult field, including the fault-observability ones, must be
+// bit-identical between the engines.
+void expect_identical(const core::AllreducePlan& plan,
+                      const simnet::SimConfig& cfg, long long m,
+                      const char* label) {
+  const auto fast =
+      run_engine(plan, cfg, m, simnet::SimEngine::kFastForward);
+  const auto ref = run_engine(plan, cfg, m, simnet::SimEngine::kReference);
+  EXPECT_EQ(fast.cycles, ref.cycles) << label;
+  EXPECT_EQ(fast.total_elements, ref.total_elements) << label;
+  EXPECT_EQ(fast.values_correct, ref.values_correct) << label;
+  EXPECT_EQ(fast.max_vc_occupancy, ref.max_vc_occupancy) << label;
+  EXPECT_EQ(fast.link_flits, ref.link_flits) << label;
+  EXPECT_EQ(fast.tree_finish_cycle, ref.tree_finish_cycle) << label;
+  EXPECT_EQ(fast.tree_first_delivery, ref.tree_first_delivery) << label;
+  EXPECT_EQ(fast.tree_failed, ref.tree_failed) << label;
+  EXPECT_EQ(fast.tree_fail_cycle, ref.tree_fail_cycle) << label;
+  EXPECT_EQ(fast.tree_completed, ref.tree_completed) << label;
+  EXPECT_EQ(fast.dropped_packets, ref.dropped_packets) << label;
+  EXPECT_EQ(fast.dropped_flits, ref.dropped_flits) << label;
+  EXPECT_EQ(fast.link_dropped_flits, ref.link_dropped_flits) << label;
+  EXPECT_EQ(fast.canceled_packets, ref.canceled_packets) << label;
+  EXPECT_EQ(fast.canceled_flits, ref.canceled_flits) << label;
+  ASSERT_EQ(fast.links_down.size(), ref.links_down.size()) << label;
+  for (std::size_t i = 0; i < fast.links_down.size(); ++i) {
+    EXPECT_EQ(fast.links_down[i], ref.links_down[i]) << label;
+  }
+  EXPECT_DOUBLE_EQ(fast.aggregate_bandwidth, ref.aggregate_bandwidth)
+      << label;
+}
+
+class FaultDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultDifferential, EnginesBitIdenticalAcrossScriptMatrix) {
+  const int q = GetParam();
+  const auto plan = core::AllreducePlanner(q).build();
+  const graph::Edge a = used_link(plan, 0);
+  const graph::Edge b =
+      used_link(plan, static_cast<int>(plan.trees().size()) - 1);
+  const long long m = 2000;
+
+  simnet::SimConfig base;
+  base.progress_timeout = 1500;
+
+  {
+    simnet::SimConfig cfg = base;  // permanent single-link failure
+    cfg.faults.events.push_back(
+        {200, a.u, a.v, simnet::FaultType::kLinkDown});
+    expect_identical(plan, cfg, m, "permanent_down");
+  }
+  {
+    simnet::SimConfig cfg = base;  // transient outage, link comes back
+    cfg.faults.events.push_back(
+        {150, a.u, a.v, simnet::FaultType::kLinkDown});
+    cfg.faults.events.push_back({400, a.u, a.v, simnet::FaultType::kLinkUp});
+    expect_identical(plan, cfg, m, "transient_down_up");
+  }
+  {
+    simnet::SimConfig cfg = base;  // seeded flaky link
+    cfg.faults.flaky_links.emplace_back(a.u, a.v);
+    cfg.faults.flaky_seed = 7;
+    cfg.faults.flaky_drop_permille = 30;
+    expect_identical(plan, cfg, m, "flaky_link");
+  }
+  {
+    simnet::SimConfig cfg = base;  // staggered double failure
+    cfg.faults.events.push_back(
+        {100, a.u, a.v, simnet::FaultType::kLinkDown});
+    cfg.faults.events.push_back(
+        {250, b.u, b.v, simnet::FaultType::kLinkDown});
+    expect_identical(plan, cfg, m, "double_down");
+  }
+  {
+    // No detection configured: a transient hiccup early enough to lose
+    // nothing (before any packet is in flight) must still match and stay
+    // healthy.
+    simnet::SimConfig cfg;
+    cfg.faults.events.push_back({0, b.u, b.v, simnet::FaultType::kLinkDown});
+    cfg.faults.events.push_back({1, b.u, b.v, simnet::FaultType::kLinkUp});
+    expect_identical(plan, cfg, m, "instant_blip");
+  }
+}
+
+TEST_P(FaultDifferential, FaultedRunAccountingIsConsistent) {
+  const int q = GetParam();
+  const auto plan = core::AllreducePlanner(q).build();
+  const graph::Edge a = used_link(plan, 0);
+
+  simnet::SimConfig cfg;
+  cfg.progress_timeout = 1500;
+  cfg.faults.events.push_back({200, a.u, a.v, simnet::FaultType::kLinkDown});
+  const auto res =
+      run_engine(plan, cfg, 2000, simnet::SimEngine::kFastForward);
+
+  // The downed link is still down at run end; no values were corrupted
+  // (losses freeze streams, they never misalign them).
+  ASSERT_EQ(res.links_down.size(), 1u);
+  EXPECT_EQ(res.links_down[0], graph::Edge(a.u, a.v));
+  EXPECT_TRUE(res.values_correct);
+
+  // At least one tree failed, with a sane detection cycle and a complete
+  // prefix strictly below its assignment.
+  const auto split = plan.split(2000);
+  long long failures = 0;
+  for (std::size_t t = 0; t < res.tree_failed.size(); ++t) {
+    if (!res.tree_failed[t]) {
+      EXPECT_EQ(res.tree_completed[t], split[t]);
+      EXPECT_EQ(res.tree_fail_cycle[t], -1);
+      continue;
+    }
+    ++failures;
+    EXPECT_GT(res.tree_fail_cycle[t], 200);
+    EXPECT_LE(res.tree_fail_cycle[t], res.cycles);
+    EXPECT_LT(res.tree_completed[t], split[t]);
+    EXPECT_GE(res.tree_completed[t], 0);
+  }
+  EXPECT_GE(failures, 1);
+
+  // Per-link drop counts sum to the totals, and dropped flits are a subset
+  // of the flits that crossed each link.
+  long long dropped = 0;
+  for (std::size_t d = 0; d < res.link_dropped_flits.size(); ++d) {
+    dropped += res.link_dropped_flits[d];
+    EXPECT_LE(res.link_dropped_flits[d], res.link_flits[d]);
+  }
+  EXPECT_EQ(dropped, res.dropped_flits);
+  EXPECT_GE(res.canceled_packets, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quadrics, FaultDifferential,
+                         ::testing::Values(5, 7, 11));
+
+// --- Resilient driver: recovery + golden RecoveryStats --------------------
+
+struct GoldenRecovery {
+  int q;
+  long long detection_cycle;
+  long long chunks_replayed;
+  long long total_cycles;
+  int attempts;
+};
+
+TEST(ResilientAllreduce, RecoversSingleLinkFailureWithGoldenStats) {
+  // One scripted mid-collective single-link failure per q; the stats are
+  // pinned so recovery-path behavior cannot drift silently.
+  const GoldenRecovery goldens[] = {
+      {5, 1023, 420, 1734, 2},
+      {7, 1027, 249, 1799, 2},
+      {11, 1027, 93, 2303, 2},
+  };
+  for (const auto& g : goldens) {
+    const auto plan = core::AllreducePlanner(g.q).build();
+    const graph::Edge a = used_link(plan, 0);
+
+    simnet::SimConfig cfg;
+    cfg.progress_timeout = 800;
+    cfg.faults.events.push_back(
+        {200, a.u, a.v, simnet::FaultType::kLinkDown});
+
+    collectives::ResilienceConfig rc;
+    rc.policy = collectives::RecoveryPolicy::kRepack;
+
+    const auto stats = collectives::run_resilient_allreduce(
+        plan.topology(), plan.trees(), 1500, cfg, rc);
+
+    EXPECT_TRUE(stats.recovered) << "q=" << g.q;
+    EXPECT_TRUE(stats.values_correct) << "q=" << g.q;
+    EXPECT_TRUE(stats.final_sim.values_correct) << "q=" << g.q;
+    EXPECT_EQ(stats.attempts, g.attempts) << "q=" << g.q;
+    EXPECT_EQ(stats.detection_cycle, g.detection_cycle) << "q=" << g.q;
+    EXPECT_EQ(stats.chunks_replayed, g.chunks_replayed) << "q=" << g.q;
+    EXPECT_EQ(stats.total_cycles, g.total_cycles) << "q=" << g.q;
+    ASSERT_EQ(stats.failed_links.size(), 1u) << "q=" << g.q;
+    EXPECT_EQ(stats.failed_links[0], graph::Edge(a.u, a.v)) << "q=" << g.q;
+    EXPECT_GT(stats.degraded_aggregate_bandwidth, 0.0) << "q=" << g.q;
+    ASSERT_EQ(stats.attempt_log.size(), 2u) << "q=" << g.q;
+    EXPECT_GT(stats.attempt_log[0].elements_lost, 0) << "q=" << g.q;
+    EXPECT_EQ(stats.attempt_log[1].elements_lost, 0) << "q=" << g.q;
+    EXPECT_EQ(stats.attempt_log[1].elements, g.chunks_replayed)
+        << "q=" << g.q;
+  }
+}
+
+TEST(ResilientAllreduce, KeepSurvivingPolicyAlsoRecovers) {
+  const auto plan = core::AllreducePlanner(7).build();
+  const graph::Edge a = used_link(plan, 0);
+
+  simnet::SimConfig cfg;
+  cfg.progress_timeout = 800;
+  cfg.faults.events.push_back({200, a.u, a.v, simnet::FaultType::kLinkDown});
+
+  collectives::ResilienceConfig rc;
+  rc.policy = collectives::RecoveryPolicy::kKeepSurviving;
+  const auto stats = collectives::run_resilient_allreduce(
+      plan.topology(), plan.trees(), 1500, cfg, rc);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_TRUE(stats.values_correct);
+  // Keep-surviving drops whole trees: strictly fewer trees in the replay.
+  ASSERT_EQ(stats.attempt_log.size(), 2u);
+  EXPECT_LT(stats.attempt_log[1].trees, stats.attempt_log[0].trees);
+  EXPECT_LT(stats.attempt_log[1].model_bandwidth,
+            stats.attempt_log[0].model_bandwidth);
+}
+
+TEST(ResilientAllreduce, HealthyRunIsZeroOverhead) {
+  const auto plan = core::AllreducePlanner(5).build();
+  simnet::SimConfig cfg;
+  cfg.progress_timeout = 800;
+  const auto stats = collectives::run_resilient_allreduce(
+      plan.topology(), plan.trees(), 1000, cfg);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_TRUE(stats.values_correct);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.detection_cycle, -1);
+  EXPECT_EQ(stats.chunks_replayed, 0);
+  EXPECT_TRUE(stats.failed_links.empty());
+  // Identical to the plain simulation: the fault layer is inert.
+  const auto res = run_engine(plan, cfg, 1000, simnet::SimEngine::kFastForward);
+  EXPECT_EQ(stats.total_cycles, res.cycles);
+}
+
+// --- Script validation at the simulator boundary --------------------------
+
+TEST(FaultScriptValidation, RejectsBadScripts) {
+  const auto plan = core::AllreducePlanner(5).build();
+  const auto embeddings = collectives::to_embeddings(plan.trees());
+
+  {
+    simnet::SimConfig cfg;  // non-link event
+    cfg.faults.events.push_back({10, 0, 0, simnet::FaultType::kLinkDown});
+    EXPECT_THROW(
+        simnet::AllreduceSimulator(plan.topology(), embeddings, cfg),
+        std::invalid_argument);
+  }
+  {
+    simnet::SimConfig cfg;  // negative cycle
+    const graph::Edge a = used_link(plan);
+    cfg.faults.events.push_back({-1, a.u, a.v, simnet::FaultType::kLinkDown});
+    EXPECT_THROW(
+        simnet::AllreduceSimulator(plan.topology(), embeddings, cfg),
+        std::invalid_argument);
+  }
+  {
+    simnet::SimConfig cfg;  // permille out of range
+    const graph::Edge a = used_link(plan);
+    cfg.faults.flaky_links.emplace_back(a.u, a.v);
+    cfg.faults.flaky_drop_permille = 1001;
+    EXPECT_THROW(
+        simnet::AllreduceSimulator(plan.topology(), embeddings, cfg),
+        std::invalid_argument);
+  }
+  {
+    simnet::SimConfig cfg;  // timeout must stay below the stall limit
+    cfg.progress_timeout = cfg.stall_limit;
+    EXPECT_THROW(
+        simnet::AllreduceSimulator(plan.topology(), embeddings, cfg),
+        std::invalid_argument);
+  }
+  {
+    simnet::SimConfig cfg;  // detection disabled is rejected by the driver
+    EXPECT_THROW(static_cast<void>(collectives::run_resilient_allreduce(
+                     plan.topology(), plan.trees(), 100, cfg)),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace

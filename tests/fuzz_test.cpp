@@ -1,16 +1,23 @@
 // Randomized cross-validation of the graph substrate against brute-force
 // reference implementations on small random graphs, plus property checks
-// on the performance model and host algorithms over randomized parameters.
+// on the performance model and host algorithms over randomized parameters,
+// plus seeded random fault scripts against the resilient collective driver.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "collectives/host_allreduce.hpp"
+#include "collectives/innetwork.hpp"
+#include "collectives/resilient.hpp"
+#include "core/planner.hpp"
 #include "graph/graph.hpp"
 #include "graph/matching.hpp"
 #include "model/congestion_model.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "util/contracts.hpp"
 #include "util/numeric.hpp"
 #include "util/rng.hpp"
 
@@ -167,6 +174,114 @@ TEST(FuzzHostAlgorithms, RandomSizesStayCorrect) {
       EXPECT_TRUE(exec.verify())
           << "algo " << static_cast<int>(algo) << " p=" << p << " m=" << m;
     }
+  }
+}
+
+TEST(FuzzFaults, RandomRecoverableScriptsAlwaysEndCorrect) {
+  // Seeded random fault scripts that leave the quadric connected (ER_q has
+  // min degree q; dropping <= 2 links never disconnects it): the resilient
+  // driver must always finish with every value exact, whatever the timing.
+  const auto plan = core::AllreducePlanner(5).build();
+  const auto& edges = plan.topology().edges();
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 12; ++iter) {
+    simnet::SimConfig cfg;
+    cfg.progress_timeout = 400;
+    cfg.max_cycles = 200000;
+    const int downs = 1 + static_cast<int>(rng.next_below(2));
+    for (int d = 0; d < downs; ++d) {
+      const auto& e = edges[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(edges.size())))];
+      const long long at = 50 + static_cast<long long>(rng.next_below(600));
+      cfg.faults.events.push_back(
+          {at, e.u, e.v, simnet::FaultType::kLinkDown});
+      if (rng.next_below(2) == 0) {
+        // Transient: link comes back later; losses (if any) still force a
+        // replay, but the link is only excluded if it ate packets.
+        cfg.faults.events.push_back(
+            {at + 100 + static_cast<long long>(rng.next_below(400)), e.u,
+             e.v, simnet::FaultType::kLinkUp});
+      }
+    }
+    if (rng.next_below(3) == 0) {
+      const auto& e = edges[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(edges.size())))];
+      cfg.faults.flaky_links.emplace_back(e.u, e.v);
+      cfg.faults.flaky_seed = rng.next();
+      cfg.faults.flaky_drop_permille =
+          5 + static_cast<int>(rng.next_below(40));
+    }
+    const long long m = 500 + static_cast<long long>(rng.next_below(1500));
+
+    collectives::ResilienceConfig rc;
+    rc.max_retries = 6;
+    const auto stats = collectives::run_resilient_allreduce(
+        plan.topology(), plan.trees(), m, cfg, rc);
+    EXPECT_TRUE(stats.recovered) << "iter " << iter;
+    EXPECT_TRUE(stats.values_correct) << "iter " << iter;
+    EXPECT_LE(stats.attempts, 1 + rc.max_retries) << "iter " << iter;
+  }
+}
+
+TEST(FuzzFaults, DisconnectingScriptFailsLoudlyAndBounded) {
+  // Cut every link of one vertex: no degraded plan exists. The driver must
+  // fail with the structured contract error (a runtime_error when contracts
+  // are compiled out), well before max_cycles — never hang.
+  const auto plan = core::AllreducePlanner(5).build();
+  const graph::Graph& g = plan.topology();
+  util::Rng rng(4096);
+  for (int iter = 0; iter < 3; ++iter) {
+    const int victim =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+            g.num_vertices())));
+    simnet::SimConfig cfg;
+    cfg.progress_timeout = 400;
+    cfg.max_cycles = 100000;
+    for (int w : g.neighbors(victim)) {
+      cfg.faults.events.push_back(
+          {100, victim, w, simnet::FaultType::kLinkDown});
+    }
+    const auto run = [&] {
+      static_cast<void>(collectives::run_resilient_allreduce(
+          g, plan.trees(), 800, cfg));
+    };
+#if PFAR_CHECKS_LEVEL >= 1
+    pfar::util::contracts::ScopedThrowHandler guard;
+    try {
+      run();
+      FAIL() << "unrecoverable script did not fail, iter " << iter;
+    } catch (const pfar::util::contracts::ContractViolation& v) {
+      EXPECT_EQ(v.kind(), "REQUIRE") << "iter " << iter;
+      EXPECT_NE(std::string(v.what()).find("unrecoverable"),
+                std::string::npos)
+          << v.what();
+    }
+#else
+    EXPECT_THROW(run(), std::runtime_error) << "iter " << iter;
+#endif
+  }
+}
+
+TEST(FuzzFaults, UndetectedLossDeadlocksInsteadOfHanging) {
+  // Detection disabled (progress_timeout == 0): a lost packet must surface
+  // as the simulator's deadlock exception at stall_limit, not as a hang or
+  // a silent wrong answer.
+  const auto plan = core::AllreducePlanner(5).build();
+  const auto& tree0 = plan.trees()[0];
+  int v = 0;
+  while (tree0.parents()[static_cast<std::size_t>(v)] < 0) ++v;
+  simnet::SimConfig cfg;
+  cfg.stall_limit = 2000;
+  cfg.faults.events.push_back(
+      {200, v, tree0.parents()[static_cast<std::size_t>(v)],
+       simnet::FaultType::kLinkDown});
+  for (const auto engine :
+       {simnet::SimEngine::kFastForward, simnet::SimEngine::kReference}) {
+    cfg.engine = engine;
+    simnet::AllreduceSimulator sim(
+        plan.topology(), collectives::to_embeddings(plan.trees()), cfg);
+    EXPECT_THROW(static_cast<void>(sim.run(plan.split(1000))),
+                 std::runtime_error);
   }
 }
 

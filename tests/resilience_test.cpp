@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "collectives/innetwork.hpp"
 #include "core/planner.hpp"
 #include "core/resilience.hpp"
@@ -71,6 +74,27 @@ TEST(ResilienceTest, RepackHonorsMaxTrees) {
   const auto degraded =
       degrade_repack(plan.topology(), {plan.topology().edge(3)}, 2);
   EXPECT_EQ(degraded.trees.size(), 2u);
+}
+
+TEST(ResilienceTest, RepackBandwidthDegradesMonotonically) {
+  // As failures accumulate (each failed set a superset of the previous),
+  // the repacked aggregate bandwidth must never increase: fewer links can
+  // only pack fewer/worse trees. This is the degradation curve the fault
+  // benches plot.
+  const auto plan = AllreducePlanner(7).build();
+  const graph::Graph& g = plan.topology();
+  std::vector<graph::Edge> failed;
+  double prev = plan.aggregate_bandwidth();
+  for (int i = 0; i < 8; ++i) {
+    failed.push_back(g.edge((i * 23 + 5) % g.num_edges()));
+    std::sort(failed.begin(), failed.end());
+    failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+    const auto degraded = degrade_repack(g, failed);
+    EXPECT_LE(degraded.bandwidths.aggregate, prev + 1e-9)
+        << "after " << failed.size() << " failures";
+    EXPECT_GT(degraded.bandwidths.aggregate, 0.0);
+    prev = degraded.bandwidths.aggregate;
+  }
 }
 
 TEST(ResilienceTest, ManyFailuresStayConnected) {

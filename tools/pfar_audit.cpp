@@ -14,6 +14,7 @@
 // Exit status: 0 = every check passed, 1 = at least one violation,
 // 2 = usage or I/O error.
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -25,9 +26,14 @@
 #include <utility>
 #include <vector>
 
+#include "collectives/innetwork.hpp"
+#include "collectives/resilient.hpp"
 #include "core/planner.hpp"
+#include "core/resilience.hpp"
 #include "core/serialize.hpp"
 #include "model/congestion_model.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
 #include "polarfly/erq.hpp"
 #include "polarfly/layout.hpp"
 #include "singer/difference_set.hpp"
@@ -348,6 +354,131 @@ void check_plan(std::vector<Check>& out, const AllreducePlan& plan,
 }
 
 // ---------------------------------------------------------------------------
+// Fault-resilience checks (--faults): the runtime fault-injection layer and
+// the recovery driver, audited on the low-depth plan for this q. These
+// mirror tests/fault_injection_test.cpp so a deployed binary can re-verify
+// the resilience claims without the test tree.
+// ---------------------------------------------------------------------------
+
+void check_faults(std::vector<Check>& out, const AllreducePlan& plan) {
+  const auto& g = plan.topology();
+
+  // An uplink tree 0 actually uses: downing it is guaranteed to hurt.
+  const auto victim = [&plan]() -> pfar::graph::Edge {
+    const auto& parents = plan.trees()[0].parents();
+    for (int v = 0; v < static_cast<int>(parents.size()); ++v) {
+      const int p = parents[static_cast<std::size_t>(v)];
+      if (p >= 0) return pfar::graph::Edge(v, p);
+    }
+    throw Violation("tree 0 has no edges");
+  }();
+
+  const auto faulted_config = [&victim] {
+    pfar::simnet::SimConfig cfg;
+    cfg.progress_timeout = 800;
+    cfg.faults.events.push_back(
+        {200, victim.u, victim.v, pfar::simnet::FaultType::kLinkDown});
+    return cfg;
+  };
+
+  const auto run_engine = [&](pfar::simnet::SimEngine engine) {
+    pfar::simnet::SimConfig cfg = faulted_config();
+    cfg.engine = engine;
+    pfar::simnet::AllreduceSimulator sim(
+        g, pfar::collectives::to_embeddings(plan.trees()), cfg);
+    return sim.run(plan.split(1500));
+  };
+
+  run_check(out, "faults.differential", [&] {
+    const auto fast = run_engine(pfar::simnet::SimEngine::kFastForward);
+    const auto ref = run_engine(pfar::simnet::SimEngine::kReference);
+    require(fast.cycles == ref.cycles,
+            "cycles diverge: fast " + str(fast.cycles) + " vs reference " +
+                str(ref.cycles));
+    require(fast.link_flits == ref.link_flits, "per-link flit counts diverge");
+    require(fast.tree_failed == ref.tree_failed, "failed-tree sets diverge");
+    require(fast.tree_fail_cycle == ref.tree_fail_cycle,
+            "failure detection cycles diverge");
+    require(fast.tree_completed == ref.tree_completed,
+            "completed prefixes diverge");
+    require(fast.dropped_flits == ref.dropped_flits &&
+                fast.link_dropped_flits == ref.link_dropped_flits,
+            "drop accounting diverges");
+    require(fast.canceled_flits == ref.canceled_flits &&
+                fast.canceled_packets == ref.canceled_packets,
+            "cancel accounting diverges");
+    return "fault-injected run bit-identical across engines, " +
+           str(ref.cycles) + " cycles";
+  });
+
+  run_check(out, "faults.drop_accounting", [&] {
+    const auto res = run_engine(pfar::simnet::SimEngine::kFastForward);
+    long long per_link = 0;
+    for (const long long d : res.link_dropped_flits) {
+      require(d >= 0, "negative per-link drop count");
+      per_link += d;
+    }
+    require(per_link == res.dropped_flits,
+            "per-link drops " + str(per_link) + " != total " +
+                str(res.dropped_flits));
+    require(res.values_correct, "a corrupt value reached a root");
+    int failed_trees = 0;
+    for (const char f : res.tree_failed) failed_trees += f ? 1 : 0;
+    require(failed_trees >= 1, "no tree detected the scripted failure");
+    require(res.links_down.size() == 1 && res.links_down[0] == victim,
+            "links_down does not record the scripted failure");
+    return str(res.dropped_flits) + " in-flight flits dropped, " +
+           str(failed_trees) + " trees failed, all accounted";
+  });
+
+  run_check(out, "faults.recovery_single_link", [&] {
+    pfar::collectives::ResilienceConfig rc;
+    rc.policy = pfar::collectives::RecoveryPolicy::kRepack;
+    const auto stats = pfar::collectives::run_resilient_allreduce(
+        g, plan.trees(), 1500, faulted_config(), rc);
+    require(stats.recovered, "driver did not recover");
+    require(stats.values_correct, "recovered values are not exact");
+    require(stats.attempts >= 2, "no replay attempt was needed?");
+    require(stats.detection_cycle >= 200,
+            "detection cycle " + str(stats.detection_cycle) +
+                " precedes the fault");
+    require(stats.chunks_replayed > 0, "nothing was replayed");
+    require(stats.failed_links.size() == 1 && stats.failed_links[0] == victim,
+            "failed-link attribution is wrong");
+    require(stats.degraded_aggregate_bandwidth > 0.0 &&
+                stats.degraded_aggregate_bandwidth <=
+                    plan.aggregate_bandwidth(),
+            "degraded bandwidth outside (0, healthy]");
+    return "recovered in " + str(stats.attempts) + " attempts, " +
+           str(stats.chunks_replayed) + " chunks replayed, detected at cycle " +
+           str(stats.detection_cycle);
+  });
+
+  run_check(out, "faults.degradation_bounded", [&] {
+    // Greedy repack is not strictly monotone in the failure count (removing
+    // an edge can redirect the greedy packing to a better solution), but it
+    // must stay within (0, healthy] on every accumulated failure set.
+    const double healthy = plan.aggregate_bandwidth();
+    std::vector<pfar::graph::Edge> failed;
+    double floor = healthy;
+    for (int i = 0; i < 4; ++i) {
+      failed.push_back(g.edge((i * 23 + 5) % g.num_edges()));
+      std::sort(failed.begin(), failed.end());
+      failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+      const auto degraded = pfar::core::degrade_repack(g, failed);
+      require(degraded.bandwidths.aggregate <= healthy + 1e-9,
+              "repack bandwidth exceeds the healthy aggregate after failure " +
+                  str(i));
+      require(degraded.bandwidths.aggregate > 0.0,
+              "repack bandwidth collapsed to zero");
+      floor = std::min(floor, degraded.bandwidths.aggregate);
+    }
+    return "repack aggregate within (0, " + str(healthy) + "] over " +
+           str(failed.size()) + " accumulated failures, floor " + str(floor);
+  });
+}
+
+// ---------------------------------------------------------------------------
 // JSON report.
 // ---------------------------------------------------------------------------
 
@@ -413,7 +544,7 @@ void usage() {
       << "pfar_audit: invariant audit for PolarFly Allreduce plans\n\n"
          "  pfar_audit --q N [--solution low-depth|edge-disjoint|"
          "single-tree|all]\n"
-         "             [--starter I] [--threads T] [--out FILE]\n"
+         "             [--starter I] [--threads T] [--faults] [--out FILE]\n"
          "  pfar_audit --plan FILE [--out FILE]\n\n"
          "Exit status: 0 all checks passed, 1 violations found, "
          "2 usage/IO error.\n";
@@ -510,6 +641,26 @@ int main(int argc, char** argv) {
         return str(plan.num_trees()) + " trees built";
       });
       if (built) check_plan(r.checks, plan, starter);
+      reports.push_back(std::move(r));
+    }
+
+    if (args.has("faults")) {
+      // Runtime fault-injection + recovery audit on the low-depth plan.
+      Report r;
+      r.solution = "faults";
+      r.q = q;
+      r.starter = starter;
+      bool built = false;
+      AllreducePlan plan;
+      run_check(r.checks, "planner.build", [&] {
+        plan = pfar::core::AllreducePlanner(q)
+                   .starter_quadric(starter)
+                   .threads(threads)
+                   .build();
+        built = true;
+        return str(plan.num_trees()) + " trees built";
+      });
+      if (built) check_faults(r.checks, plan);
       reports.push_back(std::move(r));
     }
   } else {
