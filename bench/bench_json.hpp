@@ -1,0 +1,58 @@
+// Shared provenance stamp for the BENCH_*.json artifacts. Every bench
+// binary opens its JSON with write_meta(json, kSchemaVersion) so a stored
+// result identifies the commit, schema and time it came from — the CI
+// bench-regression gate and ad-hoc archaeology both lean on this.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+namespace pfar::bench {
+
+/// Best-effort commit id of the tree the benchmark ran in: $GITHUB_SHA if
+/// set (CI), else `git rev-parse HEAD`, else "unknown". Sanitized to a
+/// 40-char hex string so it can be embedded in JSON verbatim.
+inline std::string git_sha() {
+  std::string sha;
+  if (const char* env = std::getenv("GITHUB_SHA")) {
+    sha = env;
+  } else if (FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  if (sha.size() != 40) return "unknown";
+  for (char c : sha) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return "unknown";
+  }
+  return sha;
+}
+
+/// Current UTC time as ISO 8601 (e.g. "2026-08-07T12:34:56Z").
+inline std::string utc_timestamp() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Writes the `"_meta"` member (with trailing comma) right after the
+/// opening `{` of a BENCH_*.json. The underscore prefix keeps it visually
+/// apart from the measured payload; tools/check_bench_regression.py
+/// ignores it when diffing against baselines.
+inline void write_meta(FILE* json, int schema_version) {
+  std::fprintf(json,
+               "  \"_meta\": {\"schema_version\": %d, \"git_sha\": \"%s\", "
+               "\"timestamp\": \"%s\"},\n",
+               schema_version, git_sha().c_str(), utc_timestamp().c_str());
+}
+
+}  // namespace pfar::bench

@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "collectives/resilient.hpp"
 #include "core/planner.hpp"
 #include "core/resilience.hpp"
@@ -160,7 +161,9 @@ int main(int argc, char** argv) {
   const std::string json_path =
       args.get_string("json", "BENCH_fault_degradation.json");
   if (FILE* json = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(json, "{\n  \"threads\": %d,\n  \"m\": %lld,\n", threads, m);
+    std::fprintf(json, "{\n");
+    bench::write_meta(json, 1);
+    std::fprintf(json, "  \"threads\": %d,\n  \"m\": %lld,\n", threads, m);
     std::fprintf(json, "  \"total_wall_ms\": %.1f,\n  \"points\": [\n",
                  total_ms);
     for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/plan_cache.hpp"
 #include "core/planner.hpp"
 #include "gf/field.hpp"
@@ -226,7 +227,9 @@ int main(int argc, char** argv) {
   const std::string json_path =
       args.get_string("json", "BENCH_construction.json");
   if (FILE* json = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(json, "{\n  \"threads\": %d,\n  \"reps\": %d,\n", threads,
+    std::fprintf(json, "{\n");
+    bench::write_meta(json, 1);
+    std::fprintf(json, "  \"threads\": %d,\n  \"reps\": %d,\n", threads,
                  reps);
     std::fprintf(json,
                  "  \"cache\": {\"memory_hits\": %llu, \"disk_hits\": %llu, "

@@ -7,14 +7,23 @@
 // The grid fans out across a core::SweepRunner (--threads N /
 // PFAR_THREADS), and per-point results land in BENCH_sim_allreduce.json so
 // the perf trajectory of the simulator is tracked release over release.
+//
+// Observability (PFAR_TRACE=on builds): --trace/--metrics/--report PATH
+// re-run the largest design point with a Recorder attached and write the
+// trace JSON, metrics JSONL and rendered run report (docs/observability.md).
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "core/sweep_runner.hpp"
+#include "obsv/recorder.hpp"
+#include "obsv/report.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -50,8 +59,10 @@ int main(int argc, char** argv) {
   std::printf("Simulated vs analytic Allreduce bandwidth (elements/cycle, "
               "link B = 1)\n\n");
 
+  const int max_q = static_cast<int>(args.get_int("max-q", 11));
   std::vector<Point> grid;
   for (int q : {3, 5, 7, 9, 11}) {
+    if (q > max_q) continue;
     for (const auto solution :
          {core::Solution::kLowDepth, core::Solution::kEdgeDisjoint}) {
       for (long long m : {2000LL, 20000LL}) {
@@ -94,7 +105,9 @@ int main(int argc, char** argv) {
   const std::string json_path =
       args.get_string("json", "BENCH_sim_allreduce.json");
   if (FILE* json = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(json, "{\n  \"threads\": %d,\n  \"total_wall_ms\": %.1f,\n",
+    std::fprintf(json, "{\n");
+    bench::write_meta(json, 1);
+    std::fprintf(json, "  \"threads\": %d,\n  \"total_wall_ms\": %.1f,\n",
                  threads, total_ms);
     std::fprintf(json, "  \"points\": [\n");
     for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -115,6 +128,44 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "warning: could not open %s for writing\n",
                  json_path.c_str());
+  }
+
+  // Observability artifacts: re-run the largest design point of the grid
+  // with a Recorder attached (planner phase timers + full simulation
+  // trace/metrics). No-op unless one of the flags is given; in a
+  // PFAR_TRACE=off build the artifacts come out empty by design.
+  if (args.has("trace") || args.has("metrics") || args.has("report")) {
+    const Point& p = grid.back();
+    obsv::Recorder recorder(1u << 20);
+    const auto plan = core::AllreducePlanner(p.q)
+                          .solution(p.solution)
+                          .observer(&recorder)
+                          .build();
+    simnet::SimConfig config;
+    config.recorder = &recorder;
+    plan.simulate(p.m, config);
+    recorder.write_files(args.get_string("trace", ""),
+                         args.get_string("metrics", ""));
+    std::fprintf(stderr, "observability: q=%d %s m=%lld -> %zu trace "
+                 "events, %zu metrics\n",
+                 p.q, core::to_string(p.solution).c_str(), p.m,
+                 recorder.trace.size(), recorder.metrics.size());
+    if (args.has("report")) {
+      std::ostringstream trace_json, metrics_jsonl;
+      recorder.trace.write_chrome_json(trace_json);
+      recorder.metrics.write_jsonl(metrics_jsonl);
+      const auto report =
+          obsv::build_report(trace_json.str(), metrics_jsonl.str());
+      const std::string report_path = args.get_string("report", "");
+      std::ofstream out(report_path);
+      if (out) {
+        obsv::render_report(report, out);
+        std::fprintf(stderr, "wrote %s\n", report_path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not open %s for writing\n",
+                     report_path.c_str());
+      }
+    }
   }
   return 0;
 }

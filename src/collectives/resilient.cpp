@@ -10,6 +10,7 @@
 #include "collectives/innetwork.hpp"
 #include "core/resilience.hpp"
 #include "model/congestion_model.hpp"
+#include "obsv/recorder.hpp"
 #include "util/contracts.hpp"
 
 namespace pfar::collectives {
@@ -88,6 +89,17 @@ RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
   RecoveryStats stats;
   stats.values_correct = true;
 
+  // Observability: the recorder travels to each attempt's simulator via the
+  // copied config; the driver adds its own global-timeline events. Folds to
+  // null when PFAR_TRACE=off.
+  obsv::Recorder* rec = obsv::kTraceCompiled ? config.recorder : nullptr;
+  std::uint32_t n_attempt = 0, n_replan = 0;
+  if (rec != nullptr) {
+    n_attempt = rec->trace.intern("attempt");
+    n_replan = rec->trace.intern("replan");
+    rec->trace.name_track(obsv::kTrackRecovery, "recovery");
+  }
+
   // Current plan: starts as the caller's, replaced by degraded plans. The
   // shared_ptr keeps a residual topology alive across loop iterations.
   std::shared_ptr<graph::Graph> residual;
@@ -109,11 +121,16 @@ RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
     attempt_config.faults = shift_script(config.faults, stats.total_cycles,
                                          *cur_topology, attempt);
 
+    // Place this attempt's simulation events on the global recovery
+    // timeline (cycle 0 of the attempt = total_cycles so far).
+    if (rec != nullptr) rec->trace.set_time_offset(stats.total_cycles);
+
     simnet::AllreduceSimulator sim(*cur_topology, to_embeddings(cur_trees),
                                    attempt_config);
     simnet::SimResult res = sim.run(split);
 
     ++stats.attempts;
+    if (rec != nullptr) rec->metrics.add("recovery.attempts");
     if (!res.values_correct) stats.values_correct = false;
 
     AttemptStats log;
@@ -122,7 +139,12 @@ RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
     log.trees = static_cast<int>(cur_trees.size());
     log.elements = remaining;
     log.model_bandwidth = bw.aggregate;
-    if (attempt > 0) stats.chunks_replayed += remaining;
+    if (attempt > 0) {
+      stats.chunks_replayed += remaining;
+      if (rec != nullptr) {
+        rec->metrics.add("recovery.chunks_replayed", remaining);
+      }
+    }
 
     // Tally what the failed trees did not finish and when the first
     // failure of this attempt was detected.
@@ -143,10 +165,23 @@ RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
     }
     stats.total_cycles += res.cycles;
 
+    if (rec != nullptr) {
+      rec->trace.set_time_offset(0);
+      rec->trace.complete(log.start_cycle, res.cycles, n_attempt,
+                          obsv::kTrackRecovery, {"attempt", attempt},
+                          {"lost", lost});
+    }
+
     if (lost == 0) {
       stats.recovered = true;
       stats.degraded_aggregate_bandwidth = bw.aggregate;
       stats.final_sim = std::move(res);
+      if (rec != nullptr) {
+        rec->metrics.hwm("recovery.total_cycles", stats.total_cycles);
+        if (stats.detection_cycle >= 0) {
+          rec->metrics.hwm("recovery.detection_cycle", stats.detection_cycle);
+        }
+      }
       return stats;
     }
 
@@ -191,6 +226,13 @@ RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
     cur_topology = residual.get();
     remaining = lost;
     stats.failed_links = accumulated_failed;
+    if (rec != nullptr) {
+      rec->trace.instant(
+          stats.total_cycles, n_replan, obsv::kTrackRecovery,
+          {"failed_links",
+           static_cast<long long>(accumulated_failed.size())},
+          {"trees", static_cast<long long>(cur_trees.size())});
+    }
     stats.total_cycles += backoff;
     backoff *= 2;
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obsv/recorder.hpp"
 #include "singer/disjoint.hpp"
 #include "trees/hamiltonian.hpp"
 #include "trees/low_depth.hpp"
@@ -44,16 +45,31 @@ AllreducePlan AllreducePlanner::build() const {
   plan.q_ = q_;
   plan.solution_ = solution_;
 
+  // Phase timers land in the recorder's metrics only (wall-clock values
+  // must never enter a trace, which is pinned byte-deterministic).
+  obsv::Metrics* pm = obsv::kTraceCompiled && observer_ != nullptr
+                          ? &observer_->metrics
+                          : nullptr;
+
   switch (solution_) {
     case Solution::kLowDepth: {
-      auto pf = std::make_shared<polarfly::PolarFly>(q_);
-      if (q_ % 2 == 1) {
-        const auto layout = polarfly::build_layout(*pf, starter_);
-        plan.trees_ = trees::build_low_depth_trees(*pf, layout, threads_);
-      } else {
-        // Even q: the paper's unpublished analogue, reconstructed in
-        // build_low_depth_trees_even (q-1 trees, depth <= 3, congestion 2).
-        plan.trees_ = trees::build_low_depth_trees_even(*pf, starter_, threads_);
+      std::shared_ptr<polarfly::PolarFly> pf;
+      {
+        obsv::ScopedTimerMs timer(pm, "planner.topology_ms");
+        pf = std::make_shared<polarfly::PolarFly>(q_);
+      }
+      {
+        obsv::ScopedTimerMs timer(pm, "planner.trees_ms");
+        if (q_ % 2 == 1) {
+          const auto layout = polarfly::build_layout(*pf, starter_);
+          plan.trees_ = trees::build_low_depth_trees(*pf, layout, threads_);
+        } else {
+          // Even q: the paper's unpublished analogue, reconstructed in
+          // build_low_depth_trees_even (q-1 trees, depth <= 3,
+          // congestion 2).
+          plan.trees_ =
+              trees::build_low_depth_trees_even(*pf, starter_, threads_);
+        }
       }
       plan.topology_ =
           std::shared_ptr<const graph::Graph>(pf, &pf->graph());
@@ -61,26 +77,43 @@ AllreducePlan AllreducePlanner::build() const {
       break;
     }
     case Solution::kSingleTree: {
-      auto pf = std::make_shared<polarfly::PolarFly>(q_);
-      plan.trees_.push_back(collectives::bfs_tree(pf->graph(), 0));
+      std::shared_ptr<polarfly::PolarFly> pf;
+      {
+        obsv::ScopedTimerMs timer(pm, "planner.topology_ms");
+        pf = std::make_shared<polarfly::PolarFly>(q_);
+      }
+      {
+        obsv::ScopedTimerMs timer(pm, "planner.trees_ms");
+        plan.trees_.push_back(collectives::bfs_tree(pf->graph(), 0));
+      }
       plan.topology_ =
           std::shared_ptr<const graph::Graph>(pf, &pf->graph());
       plan.owner_ = pf;
       break;
     }
     case Solution::kEdgeDisjoint: {
-      auto sg = std::make_shared<singer::SingerGraph>(q_);
-      const auto set =
-          singer::find_disjoint_hamiltonians(sg->difference_set(), threads_);
-      plan.trees_ = trees::hamiltonian_trees(set, threads_);
+      std::shared_ptr<singer::SingerGraph> sg;
+      {
+        obsv::ScopedTimerMs timer(pm, "planner.topology_ms");
+        sg = std::make_shared<singer::SingerGraph>(q_);
+      }
+      {
+        obsv::ScopedTimerMs timer(pm, "planner.trees_ms");
+        const auto set = singer::find_disjoint_hamiltonians(
+            sg->difference_set(), threads_);
+        plan.trees_ = trees::hamiltonian_trees(set, threads_);
+      }
       plan.topology_ =
           std::shared_ptr<const graph::Graph>(sg, &sg->graph());
       plan.owner_ = sg;
       break;
     }
   }
-  plan.bandwidths_ =
-      model::compute_tree_bandwidths(*plan.topology_, plan.trees_, 1.0);
+  {
+    obsv::ScopedTimerMs timer(pm, "planner.bandwidths_ms");
+    plan.bandwidths_ =
+        model::compute_tree_bandwidths(*plan.topology_, plan.trees_, 1.0);
+  }
 
   // Every built plan ships the same shape regardless of solution: a
   // topology on q^2+q+1 vertices, >= 1 tree and one bandwidth per tree.

@@ -11,6 +11,10 @@
 #include "singer/singer_graph.hpp"
 #include "trees/spanning_tree.hpp"
 
+namespace pfar::obsv {
+struct Recorder;
+}
+
 namespace pfar::core {
 
 /// Which of the paper's two Allreduce solutions to build (Section 7).
@@ -89,6 +93,14 @@ class AllreducePlanner {
     threads_ = t;
     return *this;
   }
+  /// Observability sink: build() records per-phase wall-clock timers
+  /// (planner.*_ms histograms) into the recorder's metrics. Null (the
+  /// default) records nothing; plans are identical either way. Ignored
+  /// entirely in a PFAR_TRACE=off build.
+  AllreducePlanner& observer(obsv::Recorder* rec) {
+    observer_ = rec;
+    return *this;
+  }
 
   AllreducePlan build() const;
 
@@ -97,6 +109,7 @@ class AllreducePlanner {
   Solution solution_ = Solution::kLowDepth;
   int starter_ = 0;
   int threads_ = 0;
+  obsv::Recorder* observer_ = nullptr;
 };
 
 /// Human-readable name of a solution.

@@ -1,0 +1,28 @@
+#include "obsv/recorder.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pfar::obsv {
+
+void Recorder::write_files(const std::string& trace_path,
+                           const std::string& metrics_path) const {
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      throw std::runtime_error("obsv: cannot open trace output '" +
+                               trace_path + "'");
+    }
+    trace.write_chrome_json(os);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      throw std::runtime_error("obsv: cannot open metrics output '" +
+                               metrics_path + "'");
+    }
+    metrics.write_jsonl(os);
+  }
+}
+
+}  // namespace pfar::obsv

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// Observability compile-time gate, mirroring PFAR_CHECKS_LEVEL (see
+/// src/util/contracts.hpp): -DPFAR_TRACE_LEVEL=<0|1>, driven by the CMake
+/// cache variable PFAR_TRACE=off|on.
+///
+///   0 (off) - every instrumentation call site in simnet/collectives/core
+///             is compiled out; the hot paths carry no tracing code at all
+///             (the CI bench-regression gate runs against this build).
+///   1 (on)  - instrumentation is compiled in but dormant: it costs one
+///             null-pointer test per hook until a Recorder is attached to
+///             the run (SimConfig::recorder / AllreducePlanner::observer).
+///
+/// The obsv library itself (Tracer, Metrics, report machinery) always
+/// compiles at both levels; only the call sites threaded through the
+/// simulator and planner are gated.
+#ifndef PFAR_TRACE_LEVEL
+#define PFAR_TRACE_LEVEL 1
+#endif
+
+namespace pfar::obsv {
+
+/// True when instrumentation call sites are compiled in.
+inline constexpr bool kTraceCompiled = PFAR_TRACE_LEVEL >= 1;
+
+/// Track (Chrome "tid") layout of the traces this repo emits. Perfetto
+/// renders one horizontal track per tid; the constants keep the layout
+/// stable so pfar_report can classify events without string matching.
+inline constexpr std::uint32_t kTrackSim = 0;       // run-wide instants
+inline constexpr std::uint32_t kTrackRecovery = 1;  // resilient driver
+inline constexpr std::uint32_t kTrackPlanner = 2;   // planner phases
+inline constexpr std::uint32_t kTrackTreeBase = 10;       // + tree id
+inline constexpr std::uint32_t kTrackLinkBase = 100000;   // + directed link
+
+/// One named integer argument attached to a trace event.
+struct TraceArg {
+  const char* key = nullptr;
+  long long value = 0;
+};
+
+/// Bounded-memory event tracer emitting Chrome trace_event JSON.
+///
+/// Design constraints (see docs/observability.md):
+///  * deterministic: timestamps are virtual simulation cycles, never wall
+///    clock, and export order is insertion order — two runs of the same
+///    deterministic simulation serialize byte-identical traces;
+///  * bounded: events land in a fixed-capacity buffer; once full, new
+///    events are counted in dropped() and discarded (the timeline prefix
+///    stays coherent, which Perfetto handles better than a hole at the
+///    start);
+///  * cheap: event names are interned once and events are 64-byte PODs, so
+///    recording is an id lookup plus a vector append.
+///
+/// A Tracer is single-writer: one simulation run (itself single-threaded)
+/// owns it for the duration of the run. Concurrent sweeps must use one
+/// Recorder per task or none.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1u << 16);
+
+  /// Interns `s`, returning a stable id. Id 0 is reserved (empty name).
+  std::uint32_t intern(std::string_view s);
+
+  /// Added to every subsequently recorded timestamp. The resilient driver
+  /// uses this to place each retry attempt's (0-based) simulation on the
+  /// global recovery timeline.
+  void set_time_offset(long long offset) { time_offset_ = offset; }
+  long long time_offset() const { return time_offset_; }
+
+  /// Complete event ("ph":"X"): a span [ts, ts + dur) on `track`.
+  void complete(long long ts, long long dur, std::uint32_t name,
+                std::uint32_t track, TraceArg a = {}, TraceArg b = {});
+  /// Instant event ("ph":"i").
+  void instant(long long ts, std::uint32_t name, std::uint32_t track,
+               TraceArg a = {}, TraceArg b = {});
+
+  /// Names a track; exported as "thread_name" metadata, sorted by track id.
+  void name_track(std::uint32_t track, std::string_view name);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dropped() const { return dropped_; }
+
+  /// Serializes the buffer as Chrome trace_event JSON ("JSON Object
+  /// Format": traceEvents array plus otherData). Deterministic: metadata
+  /// sorted by track id, events in insertion order, integers only.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Drops every event, track name and interned string (ids invalidate).
+  void clear();
+
+ private:
+  struct Event {
+    long long ts = 0;
+    long long dur = 0;
+    long long a_value = 0;
+    long long b_value = 0;
+    std::uint32_t name = 0;
+    std::uint32_t track = 0;
+    std::uint32_t a_key = 0;
+    std::uint32_t b_key = 0;
+    char ph = 'X';
+  };
+
+  void push(const Event& ev);
+  std::uint32_t intern_key(const char* key);
+
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  long long time_offset_ = 0;
+  std::vector<Event> events_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> track_names_;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace pfar::obsv

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "obsv/recorder.hpp"
 #include "util/contracts.hpp"
 
 namespace pfar::simnet {
@@ -291,6 +292,207 @@ Fabric build_fabric(const graph::Graph& topology,
 }
 
 // ---------------------------------------------------------------------------
+// Observability (PFAR_TRACE, see src/obsv and docs/observability.md). One
+// SimObserver drives a single run when SimConfig::recorder is attached;
+// both engines call the same hooks at the same per-cycle points, so the
+// virtual-time trace a run emits is a pure function of the (deterministic)
+// simulation. The observer only reads simulation state — attaching it can
+// never perturb results, which the determinism goldens pin under
+// PFAR_TRACE=on. With PFAR_TRACE=off every hook call site below is
+// compiled out (obs is a constant nullptr).
+//
+// Trace vocabulary: per-directed-link "busy" complete-events (maximal runs
+// of consecutive cycles with at least one grant), per-tree "reduce" /
+// "broadcast" phase spans, and instant events on the sim track for fault
+// down/up and tree cancellation. Metrics vocabulary: see the catalog in
+// docs/observability.md; drop/cancel accounting is accumulated at the hook
+// sites so the obsv tests can cross-check conservation against SimResult.
+// ---------------------------------------------------------------------------
+struct SimObserver {
+  obsv::Recorder* rec = nullptr;
+  const graph::Graph* topo = nullptr;
+  Collective mode = Collective::kAllreduce;
+  int n = 0;
+  int num_trees = 0;
+  int num_dlinks = 0;
+
+  std::vector<long long> busy_start;   // open busy span start, -1 if none
+  std::vector<long long> busy_last;    // last cycle with a grant, -1 if none
+  std::vector<long long> queue_hwm;    // receiver-buffer high water per dlink
+  std::vector<long long> link_dropped; // dropped flits per dlink
+  std::vector<long long> reduce_first; // first reduce packet per tree
+  std::vector<long long> reduce_done;  // root consumed its last element
+  long long credit_stalls = 0;
+  long long dropped_packets = 0;
+  long long dropped_flits = 0;
+  long long canceled_packets = 0;
+  long long canceled_flits = 0;
+  long long fault_events = 0;
+
+  std::uint32_t n_busy = 0, n_reduce = 0, n_bcast = 0;
+  std::uint32_t n_fault_down = 0, n_fault_up = 0, n_canceled = 0;
+
+  void init(obsv::Recorder* recorder, const graph::Graph& topology,
+            const Fabric& f, Collective m) {
+    rec = recorder;
+    topo = &topology;
+    mode = m;
+    n = f.n;
+    num_trees = f.num_trees;
+    num_dlinks = f.num_dlinks;
+    busy_start.assign(static_cast<std::size_t>(num_dlinks), -1);
+    busy_last.assign(static_cast<std::size_t>(num_dlinks), -1);
+    queue_hwm.assign(static_cast<std::size_t>(num_dlinks), 0);
+    link_dropped.assign(static_cast<std::size_t>(num_dlinks), 0);
+    reduce_first.assign(static_cast<std::size_t>(num_trees), -1);
+    reduce_done.assign(static_cast<std::size_t>(num_trees), -1);
+    n_busy = rec->trace.intern("busy");
+    n_reduce = rec->trace.intern("reduce");
+    n_bcast = rec->trace.intern("broadcast");
+    n_fault_down = rec->trace.intern("link_down");
+    n_fault_up = rec->trace.intern("link_up");
+    n_canceled = rec->trace.intern("tree_canceled");
+  }
+
+  // "u->v" of a directed link (dlink 2e runs low->high endpoint).
+  std::string dlink_name(int dlink) const {
+    const graph::Edge e = topo->edges()[static_cast<std::size_t>(dlink / 2)];
+    const int src = (dlink & 1) != 0 ? e.v : e.u;
+    const int dst = (dlink & 1) != 0 ? e.u : e.v;
+    return std::to_string(src) + "->" + std::to_string(dst);
+  }
+
+  void close_busy_span(int dlink) {
+    const std::size_t d = static_cast<std::size_t>(dlink);
+    if (busy_start[d] < 0) return;
+    rec->trace.complete(busy_start[d], busy_last[d] - busy_start[d] + 1,
+                        n_busy,
+                        obsv::kTrackLinkBase + static_cast<std::uint32_t>(dlink));
+    busy_start[d] = -1;
+  }
+
+  void on_grant(int dlink, long long now) {
+    const std::size_t d = static_cast<std::size_t>(dlink);
+    if (busy_last[d] == now) return;  // several grants in one cycle
+    if (busy_start[d] >= 0 && now != busy_last[d] + 1) close_busy_span(dlink);
+    if (busy_start[d] < 0) busy_start[d] = now;
+    busy_last[d] = now;
+  }
+
+  void on_queue_depth(int dlink, int depth) {
+    const std::size_t d = static_cast<std::size_t>(dlink);
+    if (depth > queue_hwm[d]) queue_hwm[d] = depth;
+  }
+
+  // The `ready` argument lets call sites evaluate readiness lazily inside
+  // the hook expansion (only when an observer is attached).
+  void on_credit_stall_if(bool ready) {
+    if (ready) ++credit_stalls;
+  }
+
+  void on_reduce_packet(int tree, bool root_done, long long now) {
+    const std::size_t t = static_cast<std::size_t>(tree);
+    if (reduce_first[t] < 0) reduce_first[t] = now;
+    if (root_done) reduce_done[t] = now;
+  }
+
+  void on_fault(long long now, int edge, bool down) {
+    ++fault_events;
+    const graph::Edge e = topo->edges()[static_cast<std::size_t>(edge)];
+    rec->trace.instant(now, down ? n_fault_down : n_fault_up,
+                       obsv::kTrackSim, {"u", e.u}, {"v", e.v});
+  }
+
+  void on_drop(int dlink, long long flits) {
+    ++dropped_packets;
+    dropped_flits += flits;
+    link_dropped[static_cast<std::size_t>(dlink)] += flits;
+  }
+
+  void on_cancel(int tree, long long now, long long completed) {
+    rec->trace.instant(now, n_canceled, obsv::kTrackSim, {"tree", tree},
+                       {"completed", completed});
+  }
+
+  void on_retract(long long flits) {
+    ++canceled_packets;
+    canceled_flits += flits;
+  }
+
+  // Emits the deferred spans, track names and the metrics snapshot. Called
+  // once per run; when one Recorder spans several runs (the resilient
+  // driver's attempts), counters accumulate and gauges keep their maxima.
+  void finalize(long long cycles, const SimResult& result) {
+    for (int d = 0; d < num_dlinks; ++d) close_busy_span(d);
+    rec->trace.name_track(obsv::kTrackSim, "sim");
+    obsv::Metrics& m = rec->metrics;
+    m.hwm("sim.cycles", cycles);
+    m.add("sim.total_elements", result.total_elements);
+    m.hwm("sim.max_vc_occupancy", result.max_vc_occupancy);
+    m.add("sim.credit_stalls", credit_stalls);
+    m.add("sim.fault_events", fault_events);
+    if (dropped_packets > 0) {
+      m.add("sim.dropped_packets", dropped_packets);
+      m.add("sim.dropped_flits", dropped_flits);
+    }
+    if (canceled_packets > 0) {
+      m.add("sim.canceled_packets", canceled_packets);
+      m.add("sim.canceled_flits", canceled_flits);
+    }
+    for (int t = 0; t < num_trees; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      const std::uint32_t track =
+          obsv::kTrackTreeBase + static_cast<std::uint32_t>(t);
+      rec->trace.name_track(track, "tree " + std::to_string(t));
+      if (reduce_first[ti] >= 0 && reduce_done[ti] >= reduce_first[ti]) {
+        rec->trace.complete(reduce_first[ti],
+                            reduce_done[ti] - reduce_first[ti] + 1, n_reduce,
+                            track);
+      }
+      const long long first = result.tree_first_delivery[ti];
+      const long long last = result.tree_failed[ti] != 0
+                                 ? result.tree_fail_cycle[ti]
+                                 : result.tree_finish_cycle[ti];
+      if (mode != Collective::kReduce && first >= 0 && last >= first) {
+        rec->trace.complete(first, last - first + 1, n_bcast, track);
+      }
+      const std::string prefix = "tree." + std::to_string(t);
+      if (result.tree_finish_cycle[ti] >= 0) {
+        m.hwm(prefix + ".finish_cycle", result.tree_finish_cycle[ti]);
+      }
+      if (first >= 0) m.hwm(prefix + ".first_delivery", first);
+      m.add(prefix + ".completed", result.tree_completed[ti]);
+      if (result.tree_failed[ti] != 0) m.add(prefix + ".failed");
+    }
+    for (int d = 0; d < num_dlinks; ++d) {
+      const std::size_t di = static_cast<std::size_t>(d);
+      if (result.link_flits[di] == 0 && link_dropped[di] == 0) continue;
+      const std::string name = dlink_name(d);
+      rec->trace.name_track(
+          obsv::kTrackLinkBase + static_cast<std::uint32_t>(d),
+          "link " + name);
+      const std::string prefix = "link." + name;
+      m.add(prefix + ".flits", result.link_flits[di]);
+      m.hwm(prefix + ".queue_hwm", queue_hwm[di]);
+      if (link_dropped[di] > 0) {
+        m.add(prefix + ".dropped_flits", link_dropped[di]);
+      }
+    }
+  }
+};
+
+// Hook call site: one null test when PFAR_TRACE=on, nothing at all when
+// off (the expansion still names `obs` so the parameter stays used).
+#if PFAR_TRACE_LEVEL
+#define PFAR_OBS(call)             \
+  do {                             \
+    if (obs != nullptr) obs->call; \
+  } while (0)
+#else
+#define PFAR_OBS(call) static_cast<void>(obs)
+#endif
+
+// ---------------------------------------------------------------------------
 // Reference engine: the original cycle-by-cycle loop. Every VC is scanned
 // for arrivals, every (node, tree) broadcast engine is visited and every
 // link arbitrated on every cycle. Kept verbatim as the oracle the
@@ -300,7 +502,8 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
                              const std::vector<long long>& elements_per_tree,
                              SimResult& result,
                              std::vector<long long>& tree_remaining,
-                             long long total_target, FaultState& fault) {
+                             long long total_target, FaultState& fault,
+                             SimObserver* obs) {
   const int n = f.n;
   const int num_trees = f.num_trees;
   const Collective mode = config.collective;
@@ -376,6 +579,11 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       vcs[static_cast<std::size_t>(cvc)].recv.pop_front();
       return_credit(vcs[static_cast<std::size_t>(cvc)]);
     }
+    PFAR_OBS(on_reduce_packet(
+        tree,
+        src == f.roots[static_cast<std::size_t>(tree)] &&
+            s.injected >= elements_per_tree[static_cast<std::size_t>(tree)],
+        now));
     return packet;
   };
 
@@ -417,6 +625,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
               static_cast<long long>(packet.size()) + header;
           result.dropped_flits += flits;
           result.link_dropped_flits[static_cast<std::size_t>(d)] += flits;
+          PFAR_OBS(on_drop(d, flits));
           ++vc.credits;
           vc.poisoned = true;
         }
@@ -448,9 +657,11 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
       }
     }
     result.tree_completed[static_cast<std::size_t>(t)] = prefix;
+    PFAR_OBS(on_cancel(t, now, prefix));
     const auto retract = [&](const Packet& p) {
       ++result.canceled_packets;
       result.canceled_flits += static_cast<long long>(p.size()) + header;
+      PFAR_OBS(on_retract(static_cast<long long>(p.size()) + header));
     };
     for (auto& vc : vcs) {
       if (vc.tree != t) continue;
@@ -504,6 +715,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
         } else {
           fault.edge_down[static_cast<std::size_t>(ev.edge)] = 0;
         }
+        PFAR_OBS(on_fault(now, ev.edge, ev.down));
       }
     }
 
@@ -528,6 +740,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
         vc.data_inflight.pop_front();
         result.max_vc_occupancy = std::max(
             result.max_vc_occupancy, static_cast<int>(vc.recv.size()));
+        PFAR_OBS(on_queue_depth(vc.dlink, static_cast<int>(vc.recv.size())));
         last_progress = now;
       }
       while (!vc.credit_inflight.empty() &&
@@ -643,7 +856,14 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
         const int slot = (base + probe) % count;
         VcState& vc = vcs[static_cast<std::size_t>(ids[static_cast<std::size_t>(slot)])];
         if (tree_canceled[static_cast<std::size_t>(vc.tree)]) continue;
-        if (vc.credits <= 0 || !vc_ready(vc)) continue;
+        if (vc.credits <= 0) {
+          // Credit stall: data is ready but flow control blocks the grant.
+          // vc_ready is side-effect-free, so probing it here cannot change
+          // the simulation.
+          PFAR_OBS(on_credit_stall_if(vc_ready(vc)));
+          continue;
+        }
+        if (!vc_ready(vc)) continue;
         // True round-robin: rotate past the granted VC so competing trees
         // alternate even when packets occupy the link for several cycles.
         rr[static_cast<std::size_t>(dl)] = (slot + 1) % count;
@@ -659,6 +879,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
             static_cast<long long>(packet.size()) + header;
         tokens[static_cast<std::size_t>(dl)] -= flits;
         result.link_flits[static_cast<std::size_t>(dl)] += flits;
+        PFAR_OBS(on_grant(dl, now));
         --vc.credits;
         if (faults_active && fault.drop_now(dl)) {
           // Flaky link ate the packet: flits crossed (accounted above) but
@@ -667,6 +888,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
           ++result.dropped_packets;
           result.dropped_flits += flits;
           result.link_dropped_flits[static_cast<std::size_t>(dl)] += flits;
+          PFAR_OBS(on_drop(dl, flits));
           vc.poisoned = true;
           vc.credit_inflight.push_back(now + config.link_latency);
         } else {
@@ -730,7 +952,8 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
                         const std::vector<long long>& elements_per_tree,
                         SimResult& result,
                         std::vector<long long>& tree_remaining,
-                        long long total_target, FaultState& fault) {
+                        long long total_target, FaultState& fault,
+                        SimObserver* obs) {
   const int n = f.n;
   const int num_trees = f.num_trees;
   const int num_vcs = static_cast<int>(f.vcs.size());
@@ -912,6 +1135,19 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     }
   };
 
+  // Readiness of VC `id` exactly as the grant path below tests it. Used
+  // only by the credit-stall observability probe, so it must stay
+  // side-effect-free.
+  [[maybe_unused]] const auto fast_vc_ready = [&](int id) -> bool {
+    const std::size_t i = static_cast<std::size_t>(id);
+    if (vc_is_reduce[i]) {
+      const std::size_t si = static_cast<std::size_t>(vc_src_state[i]);
+      return f.state[si].injected < eng_target[si] &&
+             eng_ready[si] == eng_nchild[si];
+    }
+    return fcount[static_cast<std::size_t>(vc_stage[i])] > 0;
+  };
+
   // Marks VC `id` poisoned, withdrawing it from its consumer's ready count
   // (the reference loop's vc_ready/inputs_ready treat a poisoned VC as
   // never ready).
@@ -960,6 +1196,11 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       for (long long i = 0; i < size; ++i) out[i] += in[i];
       free_slabs.push_back(head.slab);
     }
+    PFAR_OBS(on_reduce_packet(
+        state_idx / n,
+        state_idx % n == f.roots[static_cast<std::size_t>(state_idx / n)] &&
+            s.injected >= eng_target[static_cast<std::size_t>(state_idx)],
+        now));
     return Ref{slab, static_cast<std::int32_t>(size)};
   };
 
@@ -1003,6 +1244,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             const long long flits = r.size + header;
             result.dropped_flits += flits;
             result.link_dropped_flits[static_cast<std::size_t>(d)] += flits;
+            PFAR_OBS(on_drop(d, flits));
             free_slabs.push_back(r.slab);
           }
           rtotal[i] = rready[i];
@@ -1034,9 +1276,11 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       }
     }
     result.tree_completed[static_cast<std::size_t>(t)] = prefix;
+    PFAR_OBS(on_cancel(t, now, prefix));
     const auto retract = [&](Ref r) {
       ++result.canceled_packets;
       result.canceled_flits += static_cast<long long>(r.size) + header;
+      PFAR_OBS(on_retract(static_cast<long long>(r.size) + header));
       free_slabs.push_back(r.slab);
     };
     for (int id = 0; id < num_vcs; ++id) {
@@ -1107,6 +1351,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
         } else {
           fault.edge_down[static_cast<std::size_t>(ev.edge)] = 0;
         }
+        PFAR_OBS(on_fault(now, ev.edge, ev.down));
         progressed = true;
       }
     }
@@ -1139,6 +1384,9 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             result.max_vc_occupancy =
                 std::max(result.max_vc_occupancy,
                          static_cast<int>(rready[static_cast<std::size_t>(id)]));
+            PFAR_OBS(on_queue_depth(
+                vc_dlink[static_cast<std::size_t>(id)],
+                static_cast<int>(rready[static_cast<std::size_t>(id)])));
             last_progress = now;
             progressed = true;
             // A poisoned VC's landings still occupy the buffer (occupancy
@@ -1317,7 +1565,13 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
                 vc_src_state[static_cast<std::size_t>(id)] / n)]) {
           continue;
         }
-        if (credits[static_cast<std::size_t>(id)] <= 0) continue;
+        if (credits[static_cast<std::size_t>(id)] <= 0) {
+          // Credit stall, counted at the same probe point as the reference
+          // loop. Stall totals are engine-relative: this engine never
+          // probes the cycles it fast-forwards over.
+          PFAR_OBS(on_credit_stall_if(fast_vc_ready(id)));
+          continue;
+        }
         Ref packet;
         if (vc_is_reduce[static_cast<std::size_t>(id)]) {
           const std::int32_t si = vc_src_state[static_cast<std::size_t>(id)];
@@ -1339,6 +1593,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
         const long long flits = packet.size + header;
         tokens[static_cast<std::size_t>(dl)] -= flits;
         result.link_flits[static_cast<std::size_t>(dl)] += flits;
+        PFAR_OBS(on_grant(dl, now));
         --credits[static_cast<std::size_t>(id)];
         if (faults_active && fault.drop_now(dl)) {
           // Flaky link ate the packet (same decision sequence as the
@@ -1347,6 +1602,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
           ++result.dropped_packets;
           result.dropped_flits += flits;
           result.link_dropped_flits[static_cast<std::size_t>(dl)] += flits;
+          PFAR_OBS(on_drop(dl, flits));
           free_slabs.push_back(packet.slab);
           poison_vc(id);
           credit_time[static_cast<unsigned>(id) * pcap +
@@ -1508,12 +1764,24 @@ SimResult AllreduceSimulator::run(
   if (total_target == 0) return result;
 
   FaultState fault = prepare_faults(topology_, config_.faults);
+
+  // Observability: attach only when compiled in and a Recorder is supplied;
+  // both engines then see the same (possibly null) observer pointer.
+  SimObserver observer;
+  SimObserver* obs = nullptr;
+  if constexpr (obsv::kTraceCompiled) {
+    if (config_.recorder != nullptr) {
+      observer.init(config_.recorder, topology_, fabric, mode);
+      obs = &observer;
+    }
+  }
+
   const long long cycles =
       config_.engine == SimEngine::kReference
           ? run_reference_loop(fabric, config_, elements_per_tree, result,
-                               tree_remaining, total_target, fault)
+                               tree_remaining, total_target, fault, obs)
           : run_fast_loop(fabric, config_, elements_per_tree, result,
-                          tree_remaining, total_target, fault);
+                          tree_remaining, total_target, fault, obs);
 
   result.cycles = cycles;
   result.aggregate_bandwidth = static_cast<double>(result.total_elements) /
@@ -1531,6 +1799,7 @@ SimResult AllreduceSimulator::run(
   for (std::size_t e = 0; e < fault.edge_down.size(); ++e) {
     if (fault.edge_down[e]) result.links_down.push_back(edges[e]);
   }
+  if (obs != nullptr) obs->finalize(cycles, result);
   return result;
 }
 

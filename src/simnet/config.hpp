@@ -4,6 +4,10 @@
 #include <utility>
 #include <vector>
 
+namespace pfar::obsv {
+struct Recorder;
+}
+
 namespace pfar::simnet {
 
 /// Which collective dataflow the embedded trees execute (Section 4.3:
@@ -114,6 +118,11 @@ struct SimConfig {
   /// detection fires before the global deadlock check. 0 disables
   /// detection: an unrecovered loss then ends in the deadlock exception.
   long long progress_timeout = 0;
+  /// Observability sink (see src/obsv, docs/observability.md). Null (the
+  /// default) records nothing; attaching a Recorder never perturbs the
+  /// simulation — the determinism goldens pin this. In a PFAR_TRACE=off
+  /// build the field is ignored entirely.
+  obsv::Recorder* recorder = nullptr;
 };
 
 }  // namespace pfar::simnet
