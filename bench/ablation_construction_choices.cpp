@@ -10,17 +10,22 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "collectives/innetwork.hpp"
 #include "model/congestion_model.hpp"
 #include "polarfly/layout.hpp"
 #include "singer/disjoint.hpp"
 #include "trees/low_depth.hpp"
+#include "util/args.hpp"
 #include "util/numeric.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfar;
+  const util::Args args(argc, argv);
+  simnet::SimConfig sim_config;
+  sim_config.engine = bench::engine_arg(args);
 
   std::printf("Ablation 1: random-MIS (paper Sec. 7.3) vs maximum matching\n\n");
   util::Table mis({"q", "bound", "matching", "random(1)", "random(5)",
@@ -73,9 +78,9 @@ int main() {
   util::Table split({"m", "optimal cycles", "uniform cycles", "penalty"});
   for (long long m : {6000LL, 24000LL}) {
     const auto opt = collectives::run_innetwork_allreduce(
-        g, ts, m, simnet::SimConfig{}, collectives::SplitPolicy::kOptimal);
+        g, ts, m, sim_config, collectives::SplitPolicy::kOptimal);
     const auto uni = collectives::run_innetwork_allreduce(
-        g, ts, m, simnet::SimConfig{}, collectives::SplitPolicy::kUniform);
+        g, ts, m, sim_config, collectives::SplitPolicy::kUniform);
     split.add(m, opt.sim.cycles, uni.sim.cycles,
               static_cast<double>(uni.sim.cycles) /
                   static_cast<double>(opt.sim.cycles));

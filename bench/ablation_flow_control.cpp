@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "core/sweep_runner.hpp"
 #include "util/args.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace pfar;
   const util::Args args(argc, argv);
+  const simnet::SimEngine engine = bench::engine_arg(args);
   const auto plan = core::AllreducePlanner(7).build();
   const long long m = 20000;
 
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
       static_cast<int>(grid.size()), [&](const core::SweepTask& task) {
         const Point& p = grid[static_cast<std::size_t>(task.index)];
         simnet::SimConfig cfg;
+        cfg.engine = engine;
         cfg.link_latency = p.latency;
         cfg.vc_credits = p.credits;
         const auto res = plan.simulate(m, cfg);

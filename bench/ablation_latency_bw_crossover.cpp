@@ -6,11 +6,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfar;
+  const util::Args args(argc, argv);
+  simnet::SimConfig sim_config;
+  sim_config.engine = bench::engine_arg(args);
   std::printf("Ablation: latency (depth) vs bandwidth (congestion) "
               "trade-off\n\n");
 
@@ -25,16 +30,16 @@ int main() {
                         .solution(core::Solution::kEdgeDisjoint)
                         .build();
     // Resource requirements come out of the simulator's VC accounting.
-    const auto ld_probe = ld.simulate(64);
-    const auto ed_probe = ed.simulate(64);
+    const auto ld_probe = ld.simulate(64, sim_config);
+    const auto ed_probe = ed.simulate(64, sim_config);
     res.add(q, "low-depth", ld.num_trees(), ld.max_depth(),
             ld_probe.sim.max_vcs_per_link, ld.aggregate_bandwidth());
     res.add(q, "edge-disjoint", ed.num_trees(), ed.max_depth(),
             ed_probe.sim.max_vcs_per_link, ed.aggregate_bandwidth());
 
     for (long long m : {64LL, 1024LL, 8192LL, 32768LL}) {
-      const auto a = ld.simulate(m);
-      const auto b = ed.simulate(m);
+      const auto a = ld.simulate(m, sim_config);
+      const auto b = ed.simulate(m, sim_config);
       cross.add(q, m, a.sim.cycles, b.sim.cycles,
                 a.sim.cycles <= b.sim.cycles ? "low-depth" : "edge-disjoint");
     }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "core/sweep_runner.hpp"
 #include "util/args.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace pfar;
   const util::Args args(argc, argv);
+  const simnet::SimEngine engine = bench::engine_arg(args);
   const int q = 7;
   const auto plan = core::AllreducePlanner(q).build();
   const auto single =
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
       static_cast<int>(payloads.size()) * 2,
       [&](const core::SweepTask& task) {
         simnet::SimConfig cfg;
+        cfg.engine = engine;
         cfg.packet_payload = payloads[static_cast<std::size_t>(task.index / 2)];
         cfg.packet_header_flits = 2;
         const auto& target = task.index % 2 == 0 ? plan : single;

@@ -8,12 +8,17 @@
 #include <iostream>
 #include <numeric>
 
+#include "bench_json.hpp"
 #include "collectives/host_allreduce.hpp"
 #include "core/planner.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfar;
+  const util::Args args(argc, argv);
+  simnet::SimConfig sim_config;
+  sim_config.engine = bench::engine_arg(args);
   const int q = 7;
   const auto low_depth =
       core::AllreducePlanner(q).solution(core::Solution::kLowDepth).build();
@@ -34,9 +39,9 @@ int main() {
                      "ring", "rec-dbl", "halv-dbl",
                      "multi/single speedup", "multi/ring speedup"});
   for (long long m : {100LL, 1000LL, 10000LL, 50000LL}) {
-    const auto ld = low_depth.simulate(m);
-    const auto ed = disjoint.simulate(m);
-    const auto st = single.simulate(m);
+    const auto ld = low_depth.simulate(m, sim_config);
+    const auto ed = disjoint.simulate(m, sim_config);
+    const auto st = single.simulate(m, sim_config);
     const auto ring = collectives::run_host_baseline(
         collectives::HostAlgorithm::kRing, routed, placement, m, alpha, 1.0);
     const auto rdbl = collectives::run_host_baseline(

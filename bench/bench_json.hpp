@@ -10,7 +10,20 @@
 #include <ctime>
 #include <string>
 
+#include "simnet/config.hpp"
+#include "util/args.hpp"
+
 namespace pfar::bench {
+
+/// Shared `--engine reference|horizon|flow` flag for the simulation
+/// benches (EXPERIMENTS.md): every bench that runs AllreduceSimulator
+/// resolves its engine here instead of hard-coding one. Defaults to the
+/// fast-forward (horizon) engine. Throws std::invalid_argument on an
+/// unknown name; benches whose scenario a tier cannot honor (e.g. fault
+/// injection on the flow tier) surface the simulator's own error.
+inline simnet::SimEngine engine_arg(const util::Args& args) {
+  return simnet::engine_from_string(args.get_string("engine", "horizon"));
+}
 
 /// Best-effort commit id of the tree the benchmark ran in: $GITHUB_SHA if
 /// set (CI), else `git rev-parse HEAD`, else "unknown". Sanitized to a

@@ -76,6 +76,9 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const int threads = args.threads();
   const long long m = args.get_int("m", 1500);
+  // Engine for the cycle-level runs. The flow tier rejects fault scripts,
+  // so --engine flow fails the runtime-recovery points by design.
+  const simnet::SimEngine engine = bench::engine_arg(args);
 
   std::printf("Fault degradation: static repack curve + runtime recovery "
               "(link B = 1)\n\n");
@@ -114,8 +117,11 @@ int main(int argc, char** argv) {
 
         // Runtime recovery cost of one mid-collective failure.
         if (p.failures == 1) {
-          out.healthy_cycles = plan.simulate(m).sim.cycles;
+          simnet::SimConfig healthy_cfg;
+          healthy_cfg.engine = engine;
+          out.healthy_cycles = plan.simulate(m, healthy_cfg).sim.cycles;
           simnet::SimConfig cfg;
+          cfg.engine = engine;
           cfg.progress_timeout = 800;
           // Down an uplink tree 0 actually uses, mid-collective.
           const auto& parents = plan.trees()[0].parents();

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/planner.hpp"
 #include "core/sweep_runner.hpp"
 #include "util/args.hpp"
@@ -33,6 +34,8 @@ struct PointResult {
 int main(int argc, char** argv) {
   using namespace pfar;
   const util::Args args(argc, argv);
+  simnet::SimConfig sim_config;
+  sim_config.engine = bench::engine_arg(args);
   std::printf("Radix scaling of simulated Allreduce bandwidth "
               "(m = 20000 elements)\n\n");
 
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
         const Point& p = grid[static_cast<std::size_t>(task.index)];
         const auto plan =
             core::AllreducePlanner(p.q).solution(p.solution).build();
-        const auto res = plan.simulate(m);
+        const auto res = plan.simulate(m, sim_config);
         return PointResult{plan.num_nodes(), res.sim.aggregate_bandwidth,
                            res.sim.values_correct};
       });

@@ -15,8 +15,10 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -55,9 +57,15 @@ int main(int argc, char** argv) {
   using namespace pfar;
   const util::Args args(argc, argv);
   const int threads = args.threads();
+  const simnet::SimEngine engine = bench::engine_arg(args);
+  const int shard_threads = static_cast<int>(args.get_int("shard-threads", 1));
+  simnet::SimConfig sim_config;
+  sim_config.engine = engine;
+  sim_config.shard_threads = shard_threads;
 
   std::printf("Simulated vs analytic Allreduce bandwidth (elements/cycle, "
-              "link B = 1)\n\n");
+              "link B = 1, engine = %s)\n\n",
+              simnet::to_string(engine));
 
   const int max_q = static_cast<int>(args.get_int("max-q", 11));
   std::vector<Point> grid;
@@ -70,6 +78,19 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // The flow tier never builds the per-VC fabric, so it scales to radices
+  // the cycle engines cannot reach. Extend the grid past the cycle-feasible
+  // range only on that tier; m grows with q so the fluid measure phase
+  // dominates warmup/drain (docs/simulation_engine.md).
+  if (engine == simnet::SimEngine::kFlow) {
+    for (const auto& [q, m] : std::initializer_list<std::pair<int, long long>>{
+             {27, 100'000'000LL},
+             {81, 300'000'000LL},
+             {243, 2'000'000'000LL}}) {
+      if (q > max_q) continue;
+      grid.push_back({q, core::Solution::kEdgeDisjoint, m});
+    }
+  }
 
   const auto sweep_start = std::chrono::steady_clock::now();
   core::SweepRunner runner(threads);
@@ -79,7 +100,7 @@ int main(int argc, char** argv) {
         const auto point_start = std::chrono::steady_clock::now();
         const auto plan =
             core::AllreducePlanner(p.q).solution(p.solution).build();
-        const auto res = plan.simulate(p.m);
+        const auto res = plan.simulate(p.m, sim_config);
         PointResult out;
         out.alg1_bw = plan.aggregate_bandwidth();
         out.sim_bw = res.sim.aggregate_bandwidth;
@@ -113,10 +134,12 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
       std::fprintf(
           json,
-          "    {\"q\": %d, \"solution\": \"%s\", \"m\": %lld, "
+          "    {\"engine\": \"%s\", \"q\": %d, \"solution\": \"%s\", "
+          "\"m\": %lld, "
           "\"alg1_bw\": %.4f, \"sim_bw\": %.4f, \"efficiency\": %.4f, "
           "\"correct\": %s, \"wall_ms\": %.1f}%s\n",
-          grid[i].q, core::to_string(grid[i].solution).c_str(), grid[i].m,
+          simnet::to_string(engine), grid[i].q,
+          core::to_string(grid[i].solution).c_str(), grid[i].m,
           results[i].alg1_bw, results[i].sim_bw, results[i].efficiency,
           results[i].correct ? "true" : "false", results[i].wall_ms,
           i + 1 < grid.size() ? "," : "");
@@ -141,7 +164,7 @@ int main(int argc, char** argv) {
                           .solution(p.solution)
                           .observer(&recorder)
                           .build();
-    simnet::SimConfig config;
+    simnet::SimConfig config = sim_config;
     config.recorder = &recorder;
     plan.simulate(p.m, config);
     recorder.write_files(args.get_string("trace", ""),

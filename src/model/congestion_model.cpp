@@ -243,6 +243,30 @@ double optimal_polarfly_bandwidth(int q, double link_bandwidth) {
   return (q + 1) * link_bandwidth / 2.0;
 }
 
+double allreduce_rate_upper_bound(const graph::Graph& g,
+                                  double link_bandwidth) {
+  const int n = g.num_vertices();
+  if (n < 2) {
+    throw std::invalid_argument(
+        "allreduce_rate_upper_bound: need at least 2 vertices");
+  }
+  if (link_bandwidth <= 0.0) {
+    throw std::invalid_argument(
+        "allreduce_rate_upper_bound: non-positive bandwidth");
+  }
+  int deg_min = std::numeric_limits<int>::max();
+  for (int v = 0; v < n; ++v) {
+    deg_min = std::min(deg_min, g.degree(v));
+  }
+  if (deg_min <= 0) {
+    throw std::invalid_argument(
+        "allreduce_rate_upper_bound: graph has an isolated vertex");
+  }
+  const double spanning =
+      static_cast<double>(g.num_edges()) / static_cast<double>(n - 1);
+  return link_bandwidth * std::min(static_cast<double>(deg_min), spanning);
+}
+
 double predicted_allreduce_time(long long m, double latency,
                                 const TreeBandwidths& bw) {
   if (bw.aggregate <= 0.0) {

@@ -47,6 +47,24 @@ std::vector<long long> optimal_split(long long m, const TreeBandwidths& bw);
 /// of PolarFly ER_q is (q + 1) * B / 2.
 double optimal_polarfly_bandwidth(int q, double link_bandwidth);
 
+/// Topology-generic Allreduce computation-rate upper bound in the style of
+/// Zhou & Sun ("On the Computation Rate of All-Reduce", PAPERS.md), for
+/// link-uniform bidirectional bandwidth B. Two cut arguments, the minimum
+/// of which bounds any in-network aggregation schedule:
+///  * per-node cut: node v's own operand stream must leave v at full rate
+///    and the reduced result must re-enter it, so the rate cannot exceed
+///    deg(v) * B for any v — in particular min-degree * B;
+///  * spanning-flow: every reduced-and-broadcast element crosses at least
+///    N - 1 directed links on the way up and N - 1 on the way down, while
+///    the fabric moves at most 2 * E * B flits per cycle, giving
+///    E * B / (N - 1).
+/// On PolarFly the second term is (q+1)/2 * N/(N-1) * B — Corollary 7.1's
+/// (q+1)B/2 asymptotically — and it upper-bounds Algorithm 1's aggregate
+/// on every topology (pfar_audit checks this). Reported next to
+/// alg1_bw/sim_bw for flow-tier runs as the optimality yardstick.
+double allreduce_rate_upper_bound(const graph::Graph& g,
+                                  double link_bandwidth);
+
 /// Theorem 5.1 execution-time model: t = L + m / sum(B_i), with per-tree
 /// latency L (a function of tree depth handled by the caller).
 double predicted_allreduce_time(long long m, double latency,

@@ -300,6 +300,8 @@ RunReport build_report(std::string_view trace_json,
       else if (field == "failed") tree.failed = value != 0;
     } else if (name.substr(0, 8) == "planner." && type == "histogram") {
       report.planner_ms[name.substr(8)] = m.num("sum");
+    } else if (name.substr(0, 5) == "flow." && type == "histogram") {
+      report.flow[name.substr(5)] = m.num("sum");
     } else if (name == "sim.cycles") {
       report.cycles = value;
     } else if (name == "sim.total_elements") {
@@ -355,6 +357,24 @@ void render_report(const RunReport& report, std::ostream& os, int top_k) {
                 report.cycles, report.total_elements, report.trace_events,
                 report.trace_dropped);
   os << buf;
+
+  if (!report.flow.empty()) {
+    os << "\n-- flow tier --\n";
+    for (const auto& [name, value] : report.flow) {
+      std::snprintf(buf, sizeof buf, "%-24s %12.4f\n", name.c_str(), value);
+      os << buf;
+    }
+    const auto bw = report.flow.find("sim_bw");
+    const auto bound = report.flow.find("rate_upper_bound");
+    if (bw != report.flow.end() && bound != report.flow.end() &&
+        bound->second > 0) {
+      std::snprintf(buf, sizeof buf,
+                    "sim_bw / rate upper bound = %.4f (Zhou & Sun "
+                    "aggregation ceiling)\n",
+                    bw->second / bound->second);
+      os << buf;
+    }
+  }
 
   if (!report.links.empty()) {
     os << "\n-- top " << top_k << " congested links (by flits) --\n";

@@ -73,6 +73,10 @@ struct RunReport {
   std::vector<ReportEvent> timeline;  // fault/recovery events, by ts
   std::map<std::string, double> planner_ms;  // phase -> total ms
   std::map<std::string, long long> counters;  // every counter metric
+  /// Flow-tier observations ("flow."-prefixed histograms): sim_bw and the
+  /// Zhou & Sun rate_upper_bound, rendered next to the cycle summary so a
+  /// flow run's bandwidth is read against its analytic ceiling.
+  std::map<std::string, double> flow;
 };
 
 /// Decodes a Chrome trace JSON document into events. thread_name metadata

@@ -10,7 +10,9 @@
 #include <utility>
 
 #include "obsv/recorder.hpp"
+#include "simnet/flow_sim.hpp"
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pfar::simnet {
 namespace {
@@ -186,6 +188,11 @@ struct Fabric {
   int num_trees = 0;
   int num_dlinks = 0;
   std::vector<int> roots;
+  // Global tree index per local tree. Identity in a whole-run fabric; a
+  // sharded sub-run (see link_disjoint_groups) carries the parent run's
+  // indices so operand/expected values — functions of the tree index —
+  // match the serial run bit-exactly.
+  std::vector<int> tree_gid;
   std::vector<VcState> vcs;
   std::vector<std::vector<int>> link_vcs;
   std::vector<NodeTreeState> state;
@@ -197,12 +204,18 @@ struct Fabric {
 
 Fabric build_fabric(const graph::Graph& topology,
                     const std::vector<TreeEmbedding>& trees,
-                    const SimConfig& config, SimResult& result) {
+                    const SimConfig& config, SimResult& result,
+                    const std::vector<int>* tree_gids = nullptr) {
   Fabric f;
   f.n = topology.num_vertices();
   f.num_trees = static_cast<int>(trees.size());
   f.num_dlinks = 2 * topology.num_edges();
   f.roots.resize(static_cast<std::size_t>(f.num_trees));
+  f.tree_gid.resize(static_cast<std::size_t>(f.num_trees));
+  for (int t = 0; t < f.num_trees; ++t) {
+    f.tree_gid[static_cast<std::size_t>(t)] =
+        tree_gids != nullptr ? (*tree_gids)[static_cast<std::size_t>(t)] : t;
+  }
   f.link_vcs.resize(static_cast<std::size_t>(f.num_dlinks));
   f.state.resize(static_cast<std::size_t>(f.n) * static_cast<std::size_t>(f.num_trees));
 
@@ -960,10 +973,13 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   const Collective mode = config.collective;
   const bool want_bcast = mode != Collective::kReduce;
 
+  // Values are functions of the GLOBAL tree index, so a sharded sub-run
+  // (tree_gid != identity) moves the very same integers as the serial run.
   const auto expected_value = [&](int tree, long long k) {
+    const int gid = f.tree_gid[static_cast<std::size_t>(tree)];
     return mode == Collective::kBroadcast
-               ? local_value(f.roots[static_cast<std::size_t>(tree)], tree, k)
-               : sum_over_nodes(n, tree, k);
+               ? local_value(f.roots[static_cast<std::size_t>(tree)], gid, k)
+               : sum_over_nodes(n, gid, k);
   };
 
   long long delivered_total = 0;
@@ -1046,6 +1062,48 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     stage_base[i + 1] = stage_base[i] + eng_nchild[i];
   }
   const int num_stages = stage_base[num_states];
+
+  // --- Remaining hot engine state flattened out of NodeTreeState: elements
+  // injected so far, the reduce-input VC ids (CSR, stage_base doubling as
+  // the per-state child base), the parent-side broadcast VC and each root's
+  // state index. After setup the loop below never touches f.state, f.vcs or
+  // f.link_vcs again — every per-cycle access is a flat array indexed by
+  // state, VC or directed-link id.
+  std::vector<long long> eng_injected(num_states, 0);
+  std::vector<std::int32_t> child_vcs(static_cast<std::size_t>(num_stages));
+  std::vector<std::int32_t> eng_parent_vc(num_states);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    eng_parent_vc[i] = f.state[i].parent_bcast_vc;
+    for (std::size_t c = 0; c < f.state[i].child_reduce_vc.size(); ++c) {
+      child_vcs[static_cast<std::size_t>(stage_base[i]) + c] =
+          f.state[i].child_reduce_vc[c];
+    }
+  }
+  std::vector<std::int32_t> root_state(static_cast<std::size_t>(num_trees));
+  for (int t = 0; t < num_trees; ++t) {
+    root_state[static_cast<std::size_t>(t)] =
+        t * n + f.roots[static_cast<std::size_t>(t)];
+  }
+
+  // --- Directed-link CSR plus the list of links carrying at least one VC:
+  // arbitration and the idle-jump token replay walk only populated links.
+  std::vector<std::int32_t> lv_base(static_cast<std::size_t>(f.num_dlinks) + 1,
+                                    0);
+  for (int dl = 0; dl < f.num_dlinks; ++dl) {
+    lv_base[static_cast<std::size_t>(dl) + 1] =
+        lv_base[static_cast<std::size_t>(dl)] +
+        static_cast<std::int32_t>(
+            f.link_vcs[static_cast<std::size_t>(dl)].size());
+  }
+  std::vector<std::int32_t> lv_ids(static_cast<std::size_t>(num_vcs));
+  std::vector<std::int32_t> active_dlinks;
+  for (int dl = 0; dl < f.num_dlinks; ++dl) {
+    const auto& ids = f.link_vcs[static_cast<std::size_t>(dl)];
+    if (ids.empty()) continue;
+    active_dlinks.push_back(dl);
+    std::int32_t out = lv_base[static_cast<std::size_t>(dl)];
+    for (int id : ids) lv_ids[static_cast<std::size_t>(out++)] = id;
+  }
   const std::uint32_t fcap =
       std::bit_ceil(static_cast<std::uint32_t>(config.fork_buffer));
   const std::uint32_t fmask = fcap - 1;
@@ -1101,7 +1159,8 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   std::vector<std::int64_t> inj_next(num_states), exp_next(num_states);
   for (std::size_t i = 0; i < num_states; ++i) {
     const int tree = static_cast<int>(i) / n;
-    inj_next[i] = local_value(static_cast<int>(i) % n, tree, 0);
+    inj_next[i] = local_value(static_cast<int>(i) % n,
+                              f.tree_gid[static_cast<std::size_t>(tree)], 0);
     exp_next[i] = expected_value(tree, 0);
   }
 
@@ -1142,7 +1201,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     const std::size_t i = static_cast<std::size_t>(id);
     if (vc_is_reduce[i]) {
       const std::size_t si = static_cast<std::size_t>(vc_src_state[i]);
-      return f.state[si].injected < eng_target[si] &&
+      return eng_injected[si] < eng_target[si] &&
              eng_ready[si] == eng_nchild[si];
     }
     return fcount[static_cast<std::size_t>(vc_stage[i])] > 0;
@@ -1173,20 +1232,22 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   };
 
   const auto make_reduce_packet = [&](std::int32_t state_idx) -> Ref {
-    NodeTreeState& s = f.state[static_cast<std::size_t>(state_idx)];
-    const long long remaining = eng_target[static_cast<std::size_t>(state_idx)] - s.injected;
+    const std::size_t si = static_cast<std::size_t>(state_idx);
+    const long long remaining = eng_target[si] - eng_injected[si];
     const long long size =
         std::min<long long>(config.packet_payload, remaining);
     const std::int32_t slab = alloc_slab();
     std::int64_t* out = &arena[static_cast<std::size_t>(slab) * static_cast<std::size_t>(stride)];
-    std::int64_t value = inj_next[static_cast<std::size_t>(state_idx)];
+    std::int64_t value = inj_next[si];
     for (long long i = 0; i < size; ++i) {
       out[i] = value;
       value += kElemStride;
     }
-    inj_next[static_cast<std::size_t>(state_idx)] = value;
-    s.injected += size;
-    for (int cvc : s.child_reduce_vc) {
+    inj_next[si] = value;
+    eng_injected[si] += size;
+    const std::int32_t cb = stage_base[si];
+    for (std::int32_t c = 0; c < eng_nchild[si]; ++c) {
+      const int cvc = child_vcs[static_cast<std::size_t>(cb + c)];
       const Ref head = pop_child(cvc, state_idx);
       if (head.size != size) {
         throw std::logic_error("reduce packet misalignment");
@@ -1198,8 +1259,8 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     }
     PFAR_OBS(on_reduce_packet(
         state_idx / n,
-        state_idx % n == f.roots[static_cast<std::size_t>(state_idx / n)] &&
-            s.injected >= eng_target[static_cast<std::size_t>(state_idx)],
+        state_idx == root_state[static_cast<std::size_t>(state_idx / n)] &&
+            eng_injected[si] >= eng_target[si],
         now));
     return Ref{slab, static_cast<std::int32_t>(size)};
   };
@@ -1229,7 +1290,9 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   // engines account identical totals.
   const auto drop_edge = [&](int eid) {
     for (int d : {2 * eid, 2 * eid + 1}) {
-      for (int id : f.link_vcs[static_cast<std::size_t>(d)]) {
+      for (std::int32_t lk = lv_base[static_cast<std::size_t>(d)];
+           lk < lv_base[static_cast<std::size_t>(d) + 1]; ++lk) {
+        const int id = lv_ids[static_cast<std::size_t>(lk)];
         const std::size_t i = static_cast<std::size_t>(id);
         const std::size_t base = i * pcap;
         PFAR_ENSURE(credits[i] + static_cast<std::int32_t>(ccount[i]) +
@@ -1415,17 +1478,21 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     // 2. Root engines (O(num_trees), cheap enough to visit every cycle).
     for (int t = 0; t < num_trees; ++t) {
       if (tree_canceled[static_cast<std::size_t>(t)]) continue;
-      const std::int32_t si = t * n + f.roots[static_cast<std::size_t>(t)];
-      NodeTreeState& s = f.state[static_cast<std::size_t>(si)];
+      const std::int32_t si = root_state[static_cast<std::size_t>(t)];
       for (int fire = 0; fire < bw; ++fire) {
-        if (s.injected >= eng_target[static_cast<std::size_t>(si)]) break;
+        if (eng_injected[static_cast<std::size_t>(si)] >=
+            eng_target[static_cast<std::size_t>(si)]) {
+          break;
+        }
         if (mode != Collective::kReduce &&
             static_cast<int>(rq_count[static_cast<std::size_t>(t)]) >= config.vc_credits) {
           break;
         }
         Ref packet;
         if (mode == Collective::kBroadcast) {
-          const long long remaining = eng_target[static_cast<std::size_t>(si)] - s.injected;
+          const long long remaining =
+              eng_target[static_cast<std::size_t>(si)] -
+              eng_injected[static_cast<std::size_t>(si)];
           const long long size =
               std::min<long long>(config.packet_payload, remaining);
           const std::int32_t slab = alloc_slab();
@@ -1437,7 +1504,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             value += kElemStride;
           }
           inj_next[static_cast<std::size_t>(si)] = value;
-          s.injected += size;
+          eng_injected[static_cast<std::size_t>(si)] += size;
           packet = Ref{slab, static_cast<std::int32_t>(size)};
         } else {
           if (eng_ready[static_cast<std::size_t>(si)] != eng_nchild[static_cast<std::size_t>(si)]) break;
@@ -1467,10 +1534,10 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       for (std::int32_t idx : bcast_current) {
         const int t = idx / n;
         if (tree_canceled[static_cast<std::size_t>(t)]) continue;
-        const int v = idx % n;
-        NodeTreeState& s = f.state[static_cast<std::size_t>(idx)];
-        const bool is_root = (v == f.roots[static_cast<std::size_t>(t)]);
-        if (!is_root && s.parent_bcast_vc < 0) continue;
+        const bool is_root = (idx == root_state[static_cast<std::size_t>(t)]);
+        if (!is_root && eng_parent_vc[static_cast<std::size_t>(idx)] < 0) {
+          continue;
+        }
         const std::int32_t sb = stage_base[static_cast<std::size_t>(idx)];
         const std::int32_t forks = eng_nchild[static_cast<std::size_t>(idx)];
         bool blocked = false;
@@ -1497,7 +1564,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             rq_head[static_cast<std::size_t>(t)] = (rq_head[static_cast<std::size_t>(t)] + 1) & pmask;
             --rq_count[static_cast<std::size_t>(t)];
           } else {
-            const int pvc = s.parent_bcast_vc;
+            const int pvc = eng_parent_vc[static_cast<std::size_t>(idx)];
             if (vc_poisoned[static_cast<std::size_t>(pvc)] ||
                 rready[static_cast<std::size_t>(pvc)] == 0) {
               blocked = true;  // re-armed by the next arrival
@@ -1540,9 +1607,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     // token-starved link contributes its recharge time to the event
     // horizon instead of being probed.
     long long recharge_offset = LLONG_MAX;
-    for (int dl = 0; dl < f.num_dlinks; ++dl) {
-      const auto& ids = f.link_vcs[static_cast<std::size_t>(dl)];
-      if (ids.empty()) continue;
+    for (const std::int32_t dl : active_dlinks) {
       tokens[static_cast<std::size_t>(dl)] = std::min<long long>(tokens[static_cast<std::size_t>(dl)] + bw, token_cap);
       // Down link: tokens recharge (reference loop ditto) but no grants,
       // and it contributes nothing to the recharge horizon — resumption is
@@ -1555,12 +1620,14 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             std::min(recharge_offset, (1 - tokens[static_cast<std::size_t>(dl)] + bw - 1) / bw);
         continue;
       }
-      const int count = static_cast<int>(ids.size());
+      const std::int32_t lb = lv_base[static_cast<std::size_t>(dl)];
+      const int count =
+          static_cast<int>(lv_base[static_cast<std::size_t>(dl) + 1] - lb);
       const int probes = count * bw;
       int slot = rr[static_cast<std::size_t>(dl)];
       for (int probe = 0; probe < probes && tokens[static_cast<std::size_t>(dl)] > 0;
            ++probe, slot = slot + 1 == count ? 0 : slot + 1) {
-        const int id = ids[static_cast<std::size_t>(slot)];
+        const int id = lv_ids[static_cast<std::size_t>(lb + slot)];
         if (tree_canceled[static_cast<std::size_t>(
                 vc_src_state[static_cast<std::size_t>(id)] / n)]) {
           continue;
@@ -1575,7 +1642,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
         Ref packet;
         if (vc_is_reduce[static_cast<std::size_t>(id)]) {
           const std::int32_t si = vc_src_state[static_cast<std::size_t>(id)];
-          if (f.state[static_cast<std::size_t>(si)].injected >= eng_target[static_cast<std::size_t>(si)] ||
+          if (eng_injected[static_cast<std::size_t>(si)] >= eng_target[static_cast<std::size_t>(si)] ||
               eng_ready[static_cast<std::size_t>(si)] != eng_nchild[static_cast<std::size_t>(si)]) {
             continue;
           }
@@ -1660,8 +1727,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
     target = std::min(target, config.max_cycles + 1);
     const long long skip = target - now - 1;
     if (skip > 0) {
-      for (int dl = 0; dl < f.num_dlinks; ++dl) {
-        if (f.link_vcs[static_cast<std::size_t>(dl)].empty()) continue;
+      for (const std::int32_t dl : active_dlinks) {
         tokens[static_cast<std::size_t>(dl)] = std::min<long long>(tokens[static_cast<std::size_t>(dl)] + skip * bw, token_cap);
       }
     }
@@ -1690,6 +1756,143 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
                 rq_count[static_cast<std::size_t>(t)]);
   }
   return now;
+}
+
+// ---------------------------------------------------------------------------
+// Intra-run sharding (SimConfig::shard_threads, fast-forward engine only).
+// Trees are grouped into link-disjoint components: trees sharing any
+// physical edge always land in the same group, so two groups never have a
+// VC on the same directed link and exchange no packets, credits, grants or
+// token-bucket state. Each group therefore runs in its own Fabric (built on
+// the FULL topology, preserving global directed-link ids and — via
+// Fabric::tree_gid — global packet values) and the per-group results merge
+// into exactly the serial run's: per-tree fields scatter by global index,
+// per-link counters add over disjoint supports, maxima/sums combine, and
+// the run's exit cycle is the max of the group exit cycles (each engine
+// exits at its last delivery cycle + 1). Bit-identity across every thread
+// count is pinned by tests/sharded_determinism_test.cpp. The one documented
+// divergence: a deadlock/cycle-limit *exception* reports the failing
+// group's own clock, which may differ from the serial cycle number.
+// ---------------------------------------------------------------------------
+std::vector<std::vector<int>> link_disjoint_groups(
+    const graph::Graph& topology, const std::vector<TreeEmbedding>& trees) {
+  const int num_trees = static_cast<int>(trees.size());
+  const int n = topology.num_vertices();
+  std::vector<int> uf(static_cast<std::size_t>(num_trees));
+  for (int t = 0; t < num_trees; ++t) uf[static_cast<std::size_t>(t)] = t;
+  const auto find = [&](int x) {
+    while (uf[static_cast<std::size_t>(x)] != x) {
+      uf[static_cast<std::size_t>(x)] =
+          uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+      x = uf[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  std::vector<int> edge_owner(static_cast<std::size_t>(topology.num_edges()),
+                              -1);
+  for (int t = 0; t < num_trees; ++t) {
+    const auto& parent = trees[static_cast<std::size_t>(t)].parent;
+    for (int v = 0; v < n; ++v) {
+      const int p = parent[static_cast<std::size_t>(v)];
+      if (p < 0) continue;
+      const std::size_t e =
+          static_cast<std::size_t>(topology.edge_id(v, p));
+      if (edge_owner[e] < 0) {
+        edge_owner[e] = t;
+      } else {
+        const int a = find(edge_owner[e]);
+        const int b = find(t);
+        if (a != b) uf[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+      }
+    }
+  }
+  std::vector<int> group_of(static_cast<std::size_t>(num_trees), -1);
+  std::vector<std::vector<int>> groups;
+  for (int t = 0; t < num_trees; ++t) {
+    const std::size_t r = static_cast<std::size_t>(find(t));
+    if (group_of[r] < 0) {
+      group_of[r] = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(group_of[r])].push_back(t);
+  }
+  return groups;
+}
+
+long long run_sharded(const graph::Graph& topology,
+                      const std::vector<TreeEmbedding>& trees,
+                      const SimConfig& config,
+                      const std::vector<long long>& elements_per_tree,
+                      const std::vector<std::vector<int>>& groups,
+                      SimResult& result) {
+  const int num_groups = static_cast<int>(groups.size());
+  std::vector<SimResult> sub(static_cast<std::size_t>(num_groups));
+  std::vector<long long> sub_cycles(static_cast<std::size_t>(num_groups), 0);
+  // Every group receives the FULL fault script: an event on another
+  // group's edge flips a link no local VC crosses, which is a no-op (the
+  // serial run behaves identically for that group's trees), and flaky-drop
+  // ordinals are per directed link, whose packets all belong to the one
+  // group owning that edge — so decisions match the serial sequence.
+  util::parallel_for(
+      config.shard_threads, num_groups, [&](int g) {
+        const std::vector<int>& gids =
+            groups[static_cast<std::size_t>(g)];
+        std::vector<TreeEmbedding> sub_trees;
+        std::vector<long long> sub_elements;
+        sub_trees.reserve(gids.size());
+        sub_elements.reserve(gids.size());
+        for (int t : gids) {
+          sub_trees.push_back(trees[static_cast<std::size_t>(t)]);
+          sub_elements.push_back(
+              elements_per_tree[static_cast<std::size_t>(t)]);
+        }
+        SimResult& r = sub[static_cast<std::size_t>(g)];
+        Fabric fabric = build_fabric(topology, sub_trees, config, r, &gids);
+        const long long receivers =
+            config.collective == Collective::kReduce ? 1 : fabric.n;
+        long long target = 0;
+        std::vector<long long> remaining(gids.size());
+        for (std::size_t i = 0; i < gids.size(); ++i) {
+          r.total_elements += sub_elements[i];
+          remaining[i] = sub_elements[i] * receivers;
+          target += remaining[i];
+        }
+        if (target == 0) return;
+        FaultState fault = prepare_faults(topology, config.faults);
+        sub_cycles[static_cast<std::size_t>(g)] = run_fast_loop(
+            fabric, config, sub_elements, r, remaining, target, fault,
+            nullptr);
+      });
+
+  // Deterministic merge, in group order (though every combiner below is
+  // order-independent: scatter to disjoint indices, sums, maxima, ANDs).
+  long long cycles = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    const std::size_t gi = static_cast<std::size_t>(g);
+    cycles = std::max(cycles, sub_cycles[gi]);
+    const SimResult& r = sub[gi];
+    const std::vector<int>& gids = groups[gi];
+    for (std::size_t i = 0; i < gids.size(); ++i) {
+      const std::size_t t = static_cast<std::size_t>(gids[i]);
+      result.tree_finish_cycle[t] = r.tree_finish_cycle[i];
+      result.tree_first_delivery[t] = r.tree_first_delivery[i];
+      result.tree_failed[t] = r.tree_failed[i];
+      result.tree_fail_cycle[t] = r.tree_fail_cycle[i];
+      result.tree_completed[t] = r.tree_completed[i];
+    }
+    result.max_vc_occupancy =
+        std::max(result.max_vc_occupancy, r.max_vc_occupancy);
+    result.values_correct = result.values_correct && r.values_correct;
+    result.dropped_packets += r.dropped_packets;
+    result.dropped_flits += r.dropped_flits;
+    result.canceled_packets += r.canceled_packets;
+    result.canceled_flits += r.canceled_flits;
+    for (std::size_t d = 0; d < r.link_flits.size(); ++d) {
+      result.link_flits[d] += r.link_flits[d];
+      result.link_dropped_flits[d] += r.link_dropped_flits[d];
+    }
+  }
+  return cycles;
 }
 
 }  // namespace
@@ -1743,6 +1946,12 @@ SimResult AllreduceSimulator::run(
     throw std::invalid_argument("run: elements_per_tree size mismatch");
   }
 
+  // The flow tier never builds the per-VC fabric — that is the point: its
+  // footprint is O(E + trees * N), which is what lets it reach q >= 243.
+  if (config_.engine == SimEngine::kFlow) {
+    return run_flow_allreduce(topology_, trees_, config_, elements_per_tree);
+  }
+
   SimResult result;
   Fabric fabric = build_fabric(topology_, trees_, config_, result);
 
@@ -1776,12 +1985,39 @@ SimResult AllreduceSimulator::run(
     }
   }
 
-  const long long cycles =
-      config_.engine == SimEngine::kReference
-          ? run_reference_loop(fabric, config_, elements_per_tree, result,
-                               tree_remaining, total_target, fault, obs)
-          : run_fast_loop(fabric, config_, elements_per_tree, result,
-                          tree_remaining, total_target, fault, obs);
+  // Intra-run sharding: fast-forward engine, more than one link-disjoint
+  // tree group, and no observer (the trace is single-writer; a run with a
+  // Recorder attached executes serially, still bit-identically).
+  long long cycles = 0;
+  bool sharded = false;
+  if (config_.engine == SimEngine::kFastForward &&
+      config_.shard_threads != 1 && num_trees > 1 && obs == nullptr) {
+    const auto groups = link_disjoint_groups(topology_, trees_);
+    if (groups.size() > 1) {
+      cycles = run_sharded(topology_, trees_, config_, elements_per_tree,
+                           groups, result);
+      sharded = true;
+      // Each group consumed its own FaultState copy up to its own exit
+      // cycle. The serial engines apply every scripted event with
+      // cycle <= exit - 1 (event cycles are wake points the idle jump
+      // never skips), so replaying those events here reproduces the
+      // serial run's final down set exactly.
+      for (const auto& ev : fault.events) {
+        if (ev.cycle < cycles) {
+          fault.edge_down[static_cast<std::size_t>(ev.edge)] =
+              ev.down ? 1 : 0;
+        }
+      }
+    }
+  }
+  if (!sharded) {
+    cycles = config_.engine == SimEngine::kReference
+                 ? run_reference_loop(fabric, config_, elements_per_tree,
+                                      result, tree_remaining, total_target,
+                                      fault, obs)
+                 : run_fast_loop(fabric, config_, elements_per_tree, result,
+                                 tree_remaining, total_target, fault, obs);
+  }
 
   result.cycles = cycles;
   result.aggregate_bandwidth = static_cast<double>(result.total_elements) /

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,19 +20,41 @@ enum class Collective {
   kBroadcast,  // root streams its vector down the tree (no reduction)
 };
 
-/// Which execution engine drives the cycle loop. Both produce bit-identical
-/// results (cycles, link_flits, occupancy maxima, correctness); the
-/// fast-forward engine is the default and the reference engine exists as the
-/// oracle the determinism test compares against.
+/// Which execution engine drives the simulation (docs/simulation_engine.md,
+/// "The three engine tiers"). The two cycle-accurate tiers produce
+/// bit-identical results (cycles, link_flits, occupancy maxima,
+/// correctness); the fast-forward engine is the default and the reference
+/// engine exists as the oracle the determinism test compares against. The
+/// flow tier trades cycle accuracy for two-orders-of-magnitude scale.
 enum class SimEngine {
   /// Event-horizon engine: arrivals/credits land via a time-indexed wheel,
-  /// broadcast engines run off active lists, and provably idle cycle ranges
-  /// are skipped in one jump (token buckets are advanced in closed form).
+  /// broadcast engines run off active lists, hot state lives in flat
+  /// structure-of-arrays form, and provably idle cycle ranges are skipped
+  /// in one jump (token buckets are advanced in closed form). With
+  /// SimConfig::shard_threads != 1 a single run additionally shards
+  /// link-disjoint tree groups across a thread pool, bit-identically.
   kFastForward,
   /// The original cycle-by-cycle loop: every VC, engine and link is scanned
   /// on every cycle. Kept as the behavioural oracle.
   kReference,
+  /// Flow-level fluid tier: per-tree max-min fair rates over the shared
+  /// directed links, integrated through warmup (pipeline fill), measure
+  /// (steady fluid timeline with trees retiring and freeing bandwidth) and
+  /// drain phases, in the spirit of booksim's warmup/measure/drain
+  /// methodology. Not cycle-accurate: sim_bw is validated against the
+  /// cycle tiers on small q within a pinned tolerance
+  /// (tests/flow_engine_test.cpp) and is the only tier that reaches
+  /// q >= 243 (N ~ 59k routers). Per-link flit totals are exact (the same
+  /// packets cross the same tree links); values_correct is vacuously true
+  /// (no payloads are simulated); fault scripts are rejected.
+  kFlow,
 };
+
+/// Canonical CLI/JSON names: "horizon" (kFastForward), "reference", "flow".
+const char* to_string(SimEngine engine);
+/// Parses to_string names plus the "fastforward" alias; throws
+/// std::invalid_argument on anything else.
+SimEngine engine_from_string(const std::string& name);
 
 /// What a scripted fault does to a physical link.
 enum class FaultType {
@@ -102,8 +125,20 @@ struct SimConfig {
   int packet_header_flits = 0;
   /// Which collective to execute.
   Collective collective = Collective::kAllreduce;
-  /// Which cycle-loop engine to use (results are identical either way).
+  /// Which engine to use. The two cycle tiers are bit-identical; the flow
+  /// tier is approximate (see SimEngine).
   SimEngine engine = SimEngine::kFastForward;
+  /// Intra-run parallel sharding for the fast-forward engine: the run is
+  /// partitioned into link-disjoint tree groups (trees sharing any
+  /// physical edge always land in the same shard) which are simulated
+  /// concurrently on a util::ThreadPool and merged deterministically.
+  /// 1 = serial (the default); 0 = util::default_threads(); N > 1 = at
+  /// most N workers. Results are bit-identical for every value — including
+  /// the serial engine — because shards are closed under link sharing and
+  /// therefore exchange no events (docs/simulation_engine.md). Ignored by
+  /// kReference and kFlow. Runs with a Recorder attached execute serially
+  /// (the trace is single-writer), still bit-identically.
+  int shard_threads = 1;
   /// Safety valve: abort if the collective has not completed by this cycle.
   long long max_cycles = 500'000'000;
   /// Cycles without any flit movement before declaring deadlock.

@@ -1,0 +1,27 @@
+#include <stdexcept>
+#include <string>
+
+#include "simnet/config.hpp"
+
+namespace pfar::simnet {
+
+const char* to_string(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kFastForward: return "horizon";
+    case SimEngine::kReference: return "reference";
+    case SimEngine::kFlow: return "flow";
+  }
+  return "?";
+}
+
+SimEngine engine_from_string(const std::string& name) {
+  if (name == "horizon" || name == "fastforward") {
+    return SimEngine::kFastForward;
+  }
+  if (name == "reference") return SimEngine::kReference;
+  if (name == "flow") return SimEngine::kFlow;
+  throw std::invalid_argument(
+      "unknown engine '" + name + "' (expected reference|horizon|flow)");
+}
+
+}  // namespace pfar::simnet

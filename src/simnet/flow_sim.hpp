@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
+
+namespace pfar::simnet {
+
+/// Flow-level fluid tier (SimEngine::kFlow, docs/simulation_engine.md).
+///
+/// Instead of moving flits, the run is integrated analytically in three
+/// phases, following the warmup/measure/drain methodology of booksim-style
+/// simulators:
+///  * warmup — the pipeline-fill latency of each tree (depth hops of link
+///    latency) before its stream reaches steady state;
+///  * measure — a fluid timeline in which every active tree streams at its
+///    max-min fair share of the directed links its VCs cross; whenever a
+///    tree exhausts its elements it retires and the remaining rates are
+///    recomputed on the freed capacity;
+///  * drain — the retired stream's tail still needs depth hops to reach the
+///    farthest receiver, which sets the per-tree finish cycle.
+///
+/// What is exact: per-directed-link flit totals (the same packets cross the
+/// same tree links as in the cycle engines), num_vcs and the per-link /
+/// per-port VC maxima, total_elements. What is approximate: cycles,
+/// per-tree finish/first-delivery cycles and therefore aggregate_bandwidth
+/// — validated against the cycle-accurate engines on small q within the
+/// tolerances pinned by tests/flow_engine_test.cpp. values_correct is
+/// vacuously true (no payloads are simulated). Fault scripts are rejected
+/// with std::invalid_argument: losses and recovery are cycle-level
+/// phenomena this tier cannot honor.
+///
+/// This tier never builds the per-VC fabric, so its memory footprint is
+/// O(E + trees * N) and it reaches q >= 243 (N ~ 59k routers) where the
+/// cycle engines are out of budget.
+SimResult run_flow_allreduce(const graph::Graph& topology,
+                             const std::vector<TreeEmbedding>& trees,
+                             const SimConfig& config,
+                             const std::vector<long long>& elements_per_tree);
+
+}  // namespace pfar::simnet

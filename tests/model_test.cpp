@@ -207,6 +207,50 @@ TEST(AlphaBetaTest, MultiTreeBeatsSingleTreeByAggregateFactor) {
   EXPECT_NEAR(single / multi, 6.0, 0.01);
 }
 
+TEST(RateUpperBoundTest, PathAndCliqueAndPolarFly) {
+  // Path 0-1-2: deg_min = 1 and E/(N-1) = 1, so the bound is B.
+  graph::Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.finalize();
+  EXPECT_DOUBLE_EQ(allreduce_rate_upper_bound(path, 2.0), 2.0);
+
+  // K4: deg_min = 3, E/(N-1) = 6/3 = 2 — the spanning term binds.
+  graph::Graph k4(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) k4.add_edge(i, j);
+  }
+  k4.finalize();
+  EXPECT_DOUBLE_EQ(allreduce_rate_upper_bound(k4, 1.0), 2.0);
+
+  // PolarFly q=7: the bound must dominate Algorithm 1's aggregate for
+  // both constructions (q/2 and (q+1)/2), and the spanning term
+  // (q+1)/2 * N/(N-1) is what binds.
+  const singer::SingerGraph sg(7);
+  const auto& g = sg.graph();
+  const double bound = allreduce_rate_upper_bound(g, 1.0);
+  EXPECT_GE(bound, (7 + 1) / 2.0);
+  EXPECT_DOUBLE_EQ(
+      bound, static_cast<double>(g.num_edges()) / (g.num_vertices() - 1));
+}
+
+TEST(RateUpperBoundTest, InputValidation) {
+  graph::Graph tiny(1);
+  tiny.finalize();
+  EXPECT_THROW(allreduce_rate_upper_bound(tiny, 1.0), std::invalid_argument);
+
+  graph::Graph isolated(3);
+  isolated.add_edge(0, 1);
+  isolated.finalize();  // vertex 2 has no edge
+  EXPECT_THROW(allreduce_rate_upper_bound(isolated, 1.0),
+               std::invalid_argument);
+
+  graph::Graph ok(2);
+  ok.add_edge(0, 1);
+  ok.finalize();
+  EXPECT_THROW(allreduce_rate_upper_bound(ok, 0.0), std::invalid_argument);
+}
+
 TEST(AlphaBetaTest, InputValidation) {
   const AlphaBeta c{1.0, 1.0};
   EXPECT_THROW(ring_allreduce_time(0, 1, c), std::invalid_argument);

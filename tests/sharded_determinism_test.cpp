@@ -1,0 +1,173 @@
+// Determinism of intra-run parallel sharding (SimConfig::shard_threads,
+// docs/simulation_engine.md): the fast-forward engine partitions the tree
+// set into link-disjoint groups and simulates them on a util::ThreadPool,
+// and the merged SimResult must be bit-identical to the serial run for
+// every thread count — healthy and under fault scripts alike. The suite
+// name contains "Determinism" on purpose: CI's TSan job runs it to prove
+// the sharded path is race-free.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collectives/innetwork.hpp"
+#include "core/planner.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
+
+namespace {
+
+using namespace pfar;
+
+simnet::SimResult run_sharded(int q, core::Solution sol, simnet::SimConfig cfg,
+                              long long m, int shard_threads) {
+  cfg.engine = simnet::SimEngine::kFastForward;
+  cfg.shard_threads = shard_threads;
+  const auto plan = core::AllreducePlanner(q).solution(sol).build();
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  return sim.run(plan.split(m));
+}
+
+void expect_result_eq(const simnet::SimResult& a, const simnet::SimResult& b,
+                      int threads) {
+  EXPECT_EQ(a.cycles, b.cycles) << "threads=" << threads;
+  EXPECT_EQ(a.total_elements, b.total_elements) << "threads=" << threads;
+  EXPECT_EQ(a.values_correct, b.values_correct) << "threads=" << threads;
+  EXPECT_EQ(a.max_vc_occupancy, b.max_vc_occupancy) << "threads=" << threads;
+  EXPECT_EQ(a.num_vcs, b.num_vcs) << "threads=" << threads;
+  EXPECT_EQ(a.max_vcs_per_link, b.max_vcs_per_link) << "threads=" << threads;
+  EXPECT_EQ(a.max_reductions_per_input_port, b.max_reductions_per_input_port)
+      << "threads=" << threads;
+  EXPECT_EQ(a.link_flits, b.link_flits) << "threads=" << threads;
+  EXPECT_EQ(a.tree_finish_cycle, b.tree_finish_cycle) << "threads=" << threads;
+  EXPECT_EQ(a.tree_first_delivery, b.tree_first_delivery)
+      << "threads=" << threads;
+  EXPECT_EQ(a.tree_completed, b.tree_completed) << "threads=" << threads;
+  EXPECT_EQ(a.tree_failed, b.tree_failed) << "threads=" << threads;
+  EXPECT_EQ(a.tree_fail_cycle, b.tree_fail_cycle) << "threads=" << threads;
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets) << "threads=" << threads;
+  EXPECT_EQ(a.dropped_flits, b.dropped_flits) << "threads=" << threads;
+  EXPECT_EQ(a.canceled_packets, b.canceled_packets) << "threads=" << threads;
+  EXPECT_EQ(a.canceled_flits, b.canceled_flits) << "threads=" << threads;
+  EXPECT_EQ(a.link_dropped_flits, b.link_dropped_flits)
+      << "threads=" << threads;
+  EXPECT_EQ(a.links_down, b.links_down) << "threads=" << threads;
+  EXPECT_DOUBLE_EQ(a.aggregate_bandwidth, b.aggregate_bandwidth)
+      << "threads=" << threads;
+}
+
+void expect_thread_invariant(int q, core::Solution sol,
+                             const simnet::SimConfig& cfg, long long m) {
+  const auto serial = run_sharded(q, sol, cfg, m, 1);
+  for (int threads : {2, 4, 8}) {
+    expect_result_eq(run_sharded(q, sol, cfg, m, threads), serial, threads);
+  }
+}
+
+// Edge-disjoint Hamiltonian trees share no physical link, so every tree is
+// its own shard group — the strongest fan-out the partitioner produces.
+TEST(ShardedDeterminism, EdgeDisjointHealthyBitIdentical) {
+  simnet::SimConfig cfg;
+  expect_thread_invariant(7, core::Solution::kEdgeDisjoint, cfg, 2000);
+  cfg.packet_payload = 4;
+  cfg.packet_header_flits = 1;
+  expect_thread_invariant(5, core::Solution::kEdgeDisjoint, cfg, 1000);
+}
+
+// Low-depth trees overlap (congestion 2); the union-find partitioner must
+// merge overlapping trees into one group and still reproduce the serial
+// run no matter how the remaining groups land on threads.
+TEST(ShardedDeterminism, LowDepthHealthyBitIdentical) {
+  simnet::SimConfig cfg;
+  expect_thread_invariant(5, core::Solution::kLowDepth, cfg, 1000);
+  cfg.collective = simnet::Collective::kBroadcast;
+  expect_thread_invariant(5, core::Solution::kLowDepth, cfg, 1000);
+}
+
+// Sharding must also reproduce the *unsharded* result, not just be
+// self-consistent, and match the reference engine's cycle count.
+TEST(ShardedDeterminism, MatchesUnshardedAndReference) {
+  simnet::SimConfig cfg;
+  const auto sharded = run_sharded(7, core::Solution::kEdgeDisjoint, cfg,
+                                   2000, 4);
+  const auto serial = run_sharded(7, core::Solution::kEdgeDisjoint, cfg,
+                                  2000, 1);
+  expect_result_eq(sharded, serial, 4);
+
+  simnet::SimConfig ref_cfg;
+  ref_cfg.engine = simnet::SimEngine::kReference;
+  const auto plan = core::AllreducePlanner(7)
+                        .solution(core::Solution::kEdgeDisjoint)
+                        .build();
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator ref_sim(plan.topology(), embeddings, ref_cfg);
+  const auto ref = ref_sim.run(plan.split(2000));
+  EXPECT_EQ(sharded.cycles, ref.cycles);
+  EXPECT_EQ(sharded.link_flits, ref.link_flits);
+  EXPECT_EQ(sharded.tree_finish_cycle, ref.tree_finish_cycle);
+}
+
+// Scripted link-down/link-up faults: every shard group receives the full
+// script (events on foreign links are no-ops for it), so losses, poisoned
+// VCs, per-tree failure flags and links_down must all merge back
+// bit-identically.
+TEST(ShardedDeterminism, FaultScriptBitIdentical) {
+  const auto plan =
+      core::AllreducePlanner(7).solution(core::Solution::kEdgeDisjoint).build();
+  simnet::SimConfig cfg;
+  cfg.progress_timeout = 1500;  // let trees severed by the fault fail fast
+  // Down an uplink tree 0 actually uses mid-collective, restore it later,
+  // and permanently kill a link used by a different tree.
+  const auto& t0 = plan.trees()[0].parents();
+  for (int v = 0; v < static_cast<int>(t0.size()); ++v) {
+    if (t0[static_cast<std::size_t>(v)] >= 0) {
+      cfg.faults.events.push_back(
+          {120, v, t0[static_cast<std::size_t>(v)], simnet::FaultType::kLinkDown});
+      cfg.faults.events.push_back(
+          {400, v, t0[static_cast<std::size_t>(v)], simnet::FaultType::kLinkUp});
+      break;
+    }
+  }
+  const auto& t1 = plan.trees()[1].parents();
+  for (int v = 0; v < static_cast<int>(t1.size()); ++v) {
+    if (t1[static_cast<std::size_t>(v)] >= 0) {
+      cfg.faults.events.push_back(
+          {200, v, t1[static_cast<std::size_t>(v)], simnet::FaultType::kLinkDown});
+      break;
+    }
+  }
+  expect_thread_invariant(7, core::Solution::kEdgeDisjoint, cfg, 2000);
+}
+
+// Flaky links: the drop decision hashes (seed, directed link, per-link
+// packet ordinal), and each directed link's packets all belong to one
+// shard group, so the dropped subset is shard-invariant.
+TEST(ShardedDeterminism, FlakyLinksBitIdentical) {
+  const auto plan =
+      core::AllreducePlanner(5).solution(core::Solution::kEdgeDisjoint).build();
+  simnet::SimConfig cfg;
+  cfg.progress_timeout = 1500;
+  const auto& t0 = plan.trees()[0].parents();
+  for (int v = 0; v < static_cast<int>(t0.size()); ++v) {
+    if (t0[static_cast<std::size_t>(v)] >= 0) {
+      cfg.faults.flaky_links.push_back({v, t0[static_cast<std::size_t>(v)]});
+      break;
+    }
+  }
+  cfg.faults.flaky_seed = 99;
+  cfg.faults.flaky_drop_permille = 40;
+  expect_thread_invariant(5, core::Solution::kEdgeDisjoint, cfg, 1000);
+}
+
+// shard_threads = 0 means "use the pool's default width"; it must take the
+// sharded path and still match serial.
+TEST(ShardedDeterminism, DefaultThreadWidthBitIdentical) {
+  simnet::SimConfig cfg;
+  const auto serial = run_sharded(5, core::Solution::kEdgeDisjoint, cfg,
+                                  1000, 1);
+  expect_result_eq(run_sharded(5, core::Solution::kEdgeDisjoint, cfg, 1000, 0),
+                   serial, 0);
+}
+
+}  // namespace

@@ -46,8 +46,16 @@ def fail(msg):
 
 
 def point_key(point):
-    """Identity of a bench point within its grid."""
-    return tuple(point.get(k) for k in ("q", "solution", "m") if k in point)
+    """Identity of a bench point within its grid.
+
+    The simulation engine is part of the identity: a flow-tier point and a
+    cycle-tier point at the same (q, solution, m) are different measurements
+    with different accuracy contracts, so they are never compared to each
+    other. Points without an "engine" field (pre-engine baselines, and
+    benches that do not run the simulator) key on the grid alone.
+    """
+    return tuple(point.get(k)
+                 for k in ("engine", "q", "solution", "m") if k in point)
 
 
 def match_points(base, cur):

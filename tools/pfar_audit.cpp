@@ -331,6 +331,56 @@ void check_plan(std::vector<Check>& out, const AllreducePlan& plan,
            str(ref.aggregate);
   });
 
+  run_check(out, "bandwidth.rate_upper_bound", [&] {
+    // Zhou & Sun style aggregation bound: no in-network schedule can beat
+    // B * min(deg_min, E/(N-1)) (per-node cut / spanning-flow argument).
+    // Algorithm 1's aggregate must sit at or below it.
+    const double bound = pfar::model::allreduce_rate_upper_bound(g, 1.0);
+    const double alg1 = plan.aggregate_bandwidth();
+    require(alg1 <= bound + 1e-9,
+            "Algorithm 1 aggregate " + str(alg1) +
+                " exceeds the rate upper bound " + str(bound));
+    return "aggregate " + str(alg1) + " <= upper bound " + str(bound);
+  });
+
+  run_check(out, "flow.crosscheck", [&] {
+    // The flow tier's structural accounting must agree with the cycle
+    // engine exactly, and its fluid bandwidth must respect both Algorithm 1
+    // and the rate upper bound (it models the same schedule).
+    const long long m = 20000;
+    const auto run_with = [&](pfar::simnet::SimEngine engine) {
+      pfar::simnet::SimConfig cfg;
+      cfg.engine = engine;
+      pfar::simnet::AllreduceSimulator sim(
+          g, pfar::collectives::to_embeddings(trees), cfg);
+      return sim.run(plan.split(m));
+    };
+    const auto flow = run_with(pfar::simnet::SimEngine::kFlow);
+    const auto fast = run_with(pfar::simnet::SimEngine::kFastForward);
+    require(flow.link_flits == fast.link_flits,
+            "flow tier per-link flit totals diverge from the cycle engine");
+    require(flow.num_vcs == fast.num_vcs &&
+                flow.max_vcs_per_link == fast.max_vcs_per_link,
+            "flow tier VC accounting diverges from the cycle engine");
+    const double bound = pfar::model::allreduce_rate_upper_bound(g, 1.0);
+    const double alg1 = plan.aggregate_bandwidth();
+    require(flow.aggregate_bandwidth > 0.0 &&
+                flow.aggregate_bandwidth <= alg1 + 1e-9 &&
+                flow.aggregate_bandwidth <= bound + 1e-9,
+            "flow sim_bw " + str(flow.aggregate_bandwidth) +
+                " outside (0, min(alg1 " + str(alg1) + ", bound " +
+                str(bound) + ")]");
+    const double rel = (fast.aggregate_bandwidth - flow.aggregate_bandwidth) /
+                       fast.aggregate_bandwidth;
+    require(rel > -0.02 && rel < 0.02,
+            "flow sim_bw " + str(flow.aggregate_bandwidth) +
+                " drifts >2% from cycle sim_bw " +
+                str(fast.aggregate_bandwidth));
+    return "flow sim_bw " + str(flow.aggregate_bandwidth) + " vs cycle " +
+           str(fast.aggregate_bandwidth) + ", alg1 " + str(alg1) +
+           ", upper bound " + str(bound);
+  });
+
   run_check(out, "serialize.roundtrip", [&] {
     const std::string text = pfar::core::serialize_plan(plan, starter);
     const auto parsed = pfar::core::parse_plan(text);
