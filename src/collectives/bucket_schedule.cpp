@@ -13,13 +13,27 @@ BucketScheduleResult run_bucketed_allreduce(
   if (bucket_sizes.empty()) {
     throw std::invalid_argument("run_bucketed_allreduce: no buckets");
   }
+  for (long long m : bucket_sizes) {
+    if (m < 0) {
+      throw std::invalid_argument("run_bucketed_allreduce: negative bucket");
+    }
+  }
+  const auto sum_flits = [](const simnet::SimResult& sim) {
+    return std::accumulate(sim.link_flits.begin(), sim.link_flits.end(), 0LL);
+  };
   BucketScheduleResult out;
   switch (strategy) {
     case BucketStrategy::kSerialized: {
       for (long long m : bucket_sizes) {
+        // A zero-length bucket moves nothing: no run, no cycles, no flits.
+        if (m == 0) {
+          out.bucket_finish.push_back(out.total_cycles);
+          continue;
+        }
         const auto res = run_innetwork_allreduce(topology, trees, m, config);
         out.total_cycles += res.sim.cycles;
         out.correct = out.correct && res.sim.values_correct;
+        out.total_flits += sum_flits(res.sim);
         out.bucket_finish.push_back(out.total_cycles);
       }
       break;
@@ -27,9 +41,14 @@ BucketScheduleResult run_bucketed_allreduce(
     case BucketStrategy::kFused: {
       const long long total = std::accumulate(bucket_sizes.begin(),
                                               bucket_sizes.end(), 0LL);
+      if (total == 0) {
+        out.bucket_finish.push_back(0);
+        break;
+      }
       const auto res = run_innetwork_allreduce(topology, trees, total, config);
       out.total_cycles = res.sim.cycles;
       out.correct = res.sim.values_correct;
+      out.total_flits = sum_flits(res.sim);
       out.bucket_finish.push_back(out.total_cycles);
       break;
     }

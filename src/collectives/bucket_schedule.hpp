@@ -26,10 +26,21 @@ struct BucketScheduleResult {
   /// Per-bucket completion cycle (cumulative). For kFused there is a
   /// single entry: everything lands together.
   std::vector<long long> bucket_finish;
+  /// Flits moved across all directed links over all runs (payload +
+  /// headers) — the fabric work the schedule cost. The service layer's
+  /// utilization accounting sums this over every run it issues.
+  long long total_flits = 0;
 };
 
 /// Executes a sequence of gradient-bucket Allreduces over one tree set and
 /// reports the end-to-end cycle count under the chosen strategy.
+///
+/// Zero-length buckets are legal and free: they consume no fabric time or
+/// flits (their finish cycle is wherever the schedule already stands), and
+/// a bucket list that is entirely zero completes at cycle 0. The bucket
+/// count is independent of the tree count — buckets are a time-axis
+/// partition of the stream, not a tree-axis one, so more buckets than
+/// trees is the common case for DL gradient schedules.
 BucketScheduleResult run_bucketed_allreduce(
     const graph::Graph& topology,
     const std::vector<trees::SpanningTree>& trees,

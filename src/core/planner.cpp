@@ -34,6 +34,11 @@ collectives::InNetworkResult AllreducePlan::simulate(
   return collectives::run_innetwork_allreduce(*topology_, trees_, m, config);
 }
 
+std::vector<std::vector<int>> AllreducePlan::link_disjoint_tree_groups() const {
+  return simnet::link_disjoint_tree_groups(*topology_,
+                                           collectives::to_embeddings(trees_));
+}
+
 AllreducePlanner::AllreducePlanner(int q) : q_(q) {
   if (!util::is_prime_power(q)) {
     throw std::invalid_argument("AllreducePlanner: q must be a prime power");

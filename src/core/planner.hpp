@@ -53,6 +53,14 @@ class AllreducePlan {
   /// Theorem 5.1 optimal split of an m-element vector.
   std::vector<long long> split(long long m) const;
 
+  /// Partition of this plan's trees into link-disjoint groups (tree indices;
+  /// simnet::link_disjoint_tree_groups). Edge-disjoint Hamiltonian plans
+  /// yield one singleton group per tree; low-depth plans (congestion 2)
+  /// typically collapse into fewer, larger groups. These groups are the
+  /// allocation unit of both intra-run sharding and the multi-tenant
+  /// service scheduler (docs/service_layer.md).
+  std::vector<std::vector<int>> link_disjoint_tree_groups() const;
+
   /// Cycle-level simulation of an m-element Allreduce on this plan.
   collectives::InNetworkResult simulate(
       long long m, const simnet::SimConfig& config = {}) const;

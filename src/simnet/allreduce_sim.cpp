@@ -1758,6 +1758,8 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   return now;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Intra-run sharding (SimConfig::shard_threads, fast-forward engine only).
 // Trees are grouped into link-disjoint components: trees sharing any
@@ -1773,8 +1775,13 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
 // count is pinned by tests/sharded_determinism_test.cpp. The one documented
 // divergence: a deadlock/cycle-limit *exception* reports the failing
 // group's own clock, which may differ from the serial cycle number.
+//
+// Public (docs/service_layer.md): the same partition is the allocation
+// unit of the multi-tenant service scheduler — two jobs on different
+// groups time nothing of each other, so the service may run them on
+// independent virtual timelines exactly.
 // ---------------------------------------------------------------------------
-std::vector<std::vector<int>> link_disjoint_groups(
+std::vector<std::vector<int>> link_disjoint_tree_groups(
     const graph::Graph& topology, const std::vector<TreeEmbedding>& trees) {
   const int num_trees = static_cast<int>(trees.size());
   const int n = topology.num_vertices();
@@ -1818,6 +1825,8 @@ std::vector<std::vector<int>> link_disjoint_groups(
   }
   return groups;
 }
+
+namespace {
 
 long long run_sharded(const graph::Graph& topology,
                       const std::vector<TreeEmbedding>& trees,
@@ -1992,7 +2001,7 @@ SimResult AllreduceSimulator::run(
   bool sharded = false;
   if (config_.engine == SimEngine::kFastForward &&
       config_.shard_threads != 1 && num_trees > 1 && obs == nullptr) {
-    const auto groups = link_disjoint_groups(topology_, trees_);
+    const auto groups = link_disjoint_tree_groups(topology_, trees_);
     if (groups.size() > 1) {
       cycles = run_sharded(topology_, trees_, config_, elements_per_tree,
                            groups, result);

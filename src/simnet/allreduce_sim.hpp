@@ -82,6 +82,18 @@ struct SimResult {
   std::vector<graph::Edge> links_down;
 };
 
+/// Partition of `trees` into link-disjoint groups: trees sharing any
+/// physical edge always land in the same group (union-find over edge
+/// ownership), so two groups never place a VC on the same directed link and
+/// exchange no packets, credits or arbitration grants. Groups are returned
+/// in order of their lowest tree index; every tree appears exactly once.
+/// This is both the intra-run sharding unit (SimConfig::shard_threads) and
+/// the allocation unit of the multi-tenant service scheduler
+/// (service::AllreduceService): runs on different groups are independent,
+/// so their virtual timelines compose exactly.
+std::vector<std::vector<int>> link_disjoint_tree_groups(
+    const graph::Graph& topology, const std::vector<TreeEmbedding>& trees);
+
 /// Cycle-accurate simulator of pipelined in-network Allreduce over a set
 /// of concurrently active tree embeddings sharing physical links.
 ///

@@ -56,6 +56,12 @@ const char* to_string(SimEngine engine);
 /// std::invalid_argument on anything else.
 SimEngine engine_from_string(const std::string& name);
 
+/// Default for SimConfig::shard_threads: the PFAR_THREADS environment
+/// variable if set to a positive integer (the same knob the sweep benches
+/// honor for sweep parallelism, so intra-run sharding matches), else 1
+/// (serial). Read on every call so tests can toggle the environment.
+int default_shard_threads();
+
 /// What a scripted fault does to a physical link.
 enum class FaultType {
   kLinkDown,  // both directions of the link stop moving flits
@@ -132,13 +138,14 @@ struct SimConfig {
   /// partitioned into link-disjoint tree groups (trees sharing any
   /// physical edge always land in the same shard) which are simulated
   /// concurrently on a util::ThreadPool and merged deterministically.
-  /// 1 = serial (the default); 0 = util::default_threads(); N > 1 = at
-  /// most N workers. Results are bit-identical for every value — including
+  /// 1 = serial; 0 = util::default_threads(); N > 1 = at most N workers.
+  /// Defaults to default_shard_threads(): PFAR_THREADS when set, else
+  /// serial. Results are bit-identical for every value — including
   /// the serial engine — because shards are closed under link sharing and
   /// therefore exchange no events (docs/simulation_engine.md). Ignored by
   /// kReference and kFlow. Runs with a Recorder attached execute serially
   /// (the trace is single-writer), still bit-identically.
-  int shard_threads = 1;
+  int shard_threads = default_shard_threads();
   /// Safety valve: abort if the collective has not completed by this cycle.
   long long max_cycles = 500'000'000;
   /// Cycles without any flit movement before declaring deadlock.

@@ -1,9 +1,18 @@
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 #include "simnet/config.hpp"
 
 namespace pfar::simnet {
+
+int default_shard_threads() {
+  if (const char* env = std::getenv("PFAR_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
 
 const char* to_string(SimEngine engine) {
   switch (engine) {

@@ -48,9 +48,27 @@ SimResult run_flow_allreduce(const graph::Graph& topology,
                              const SimConfig& config,
                              const std::vector<long long>& elements_per_tree) {
   if (!config.faults.empty()) {
+    // Contract message names every offending SimConfig::faults field so the
+    // caller knows exactly what to clear (tests/flow_engine_test.cpp).
+    std::string offending;
+    if (!config.faults.events.empty()) {
+      offending += "faults.events (" +
+                   std::to_string(config.faults.events.size()) +
+                   " scheduled link event" +
+                   (config.faults.events.size() == 1 ? "" : "s") + ")";
+    }
+    if (!config.faults.flaky_links.empty()) {
+      if (!offending.empty()) offending += ", ";
+      offending += "faults.flaky_links (" +
+                   std::to_string(config.faults.flaky_links.size()) +
+                   " link" + (config.faults.flaky_links.size() == 1 ? "" : "s") +
+                   ", flaky_drop_permille=" +
+                   std::to_string(config.faults.flaky_drop_permille) + ")";
+    }
     throw std::invalid_argument(
         "SimEngine::kFlow cannot honor fault scripts (faults are cycle-level "
-        "phenomena); use the reference or horizon engine");
+        "phenomena); offending SimConfig fields: " + offending +
+        "; clear them or use the reference or horizon engine");
   }
   const int n = topology.num_vertices();
   const int num_trees = static_cast<int>(trees.size());

@@ -66,6 +66,103 @@ TEST(BucketScheduleTest, RejectsEmptyBucketList) {
                std::invalid_argument);
 }
 
+TEST(BucketScheduleTest, RejectsNegativeBucket) {
+  const auto plan = core::AllreducePlanner(3).build();
+  EXPECT_THROW(run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                      {100, -1}, simnet::SimConfig{},
+                                      BucketStrategy::kSerialized),
+               std::invalid_argument);
+}
+
+TEST(BucketScheduleTest, ZeroLengthBucketsAreFree) {
+  // The service coalescer can emit zero-length buckets (e.g. a replayed
+  // job whose remainder vanished); they must cost no cycles and no flits.
+  const auto plan = core::AllreducePlanner(3).build();
+  const simnet::SimConfig cfg;
+  const auto with_zeros =
+      run_bucketed_allreduce(plan.topology(), plan.trees(), {0, 500, 0},
+                             cfg, BucketStrategy::kSerialized);
+  const auto just_payload = run_bucketed_allreduce(
+      plan.topology(), plan.trees(), {500}, cfg, BucketStrategy::kSerialized);
+  EXPECT_TRUE(with_zeros.correct);
+  EXPECT_EQ(with_zeros.total_cycles, just_payload.total_cycles);
+  EXPECT_EQ(with_zeros.total_flits, just_payload.total_flits);
+  ASSERT_EQ(with_zeros.bucket_finish.size(), 3u);
+  EXPECT_EQ(with_zeros.bucket_finish[0], 0);  // nothing ran yet
+  EXPECT_EQ(with_zeros.bucket_finish[1], with_zeros.bucket_finish[2]);
+}
+
+TEST(BucketScheduleTest, AllZeroBucketsCompleteInstantly) {
+  const auto plan = core::AllreducePlanner(3).build();
+  for (const auto strategy :
+       {BucketStrategy::kSerialized, BucketStrategy::kFused}) {
+    const auto r = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                          {0, 0, 0}, simnet::SimConfig{},
+                                          strategy);
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.total_cycles, 0);
+    EXPECT_EQ(r.total_flits, 0);
+    for (const long long finish : r.bucket_finish) EXPECT_EQ(finish, 0);
+  }
+}
+
+TEST(BucketScheduleTest, SingleTreeHandlesAnyBucketCount) {
+  // Buckets partition the time axis, not the tree axis: a single-tree
+  // (SHARP-like) plan takes any bucket count, including more buckets than
+  // trees by far.
+  const auto plan = core::AllreducePlanner(3)
+                        .solution(core::Solution::kSingleTree)
+                        .build();
+  ASSERT_EQ(plan.num_trees(), 1);
+  const std::vector<long long> buckets{50, 0, 120, 70, 200, 30, 90};
+  const auto r =
+      run_bucketed_allreduce(plan.topology(), plan.trees(), buckets,
+                             simnet::SimConfig{}, BucketStrategy::kSerialized);
+  EXPECT_TRUE(r.correct);
+  ASSERT_EQ(r.bucket_finish.size(), buckets.size());
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LE(r.bucket_finish[i - 1], r.bucket_finish[i]);
+  }
+  EXPECT_EQ(r.bucket_finish.back(), r.total_cycles);
+}
+
+TEST(BucketScheduleTest, MoreBucketsThanTreesFuseToOneRun) {
+  // 7 buckets over the 2 edge-disjoint trees of q=3: fused must equal one
+  // run of the summed vector, in both cycles and flits.
+  const auto plan = core::AllreducePlanner(3)
+                        .solution(core::Solution::kEdgeDisjoint)
+                        .build();
+  ASSERT_LT(plan.num_trees(), 7);
+  const std::vector<long long> buckets{100, 40, 0, 260, 10, 90, 500};
+  const simnet::SimConfig cfg;
+  const auto fused = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                            buckets, cfg,
+                                            BucketStrategy::kFused);
+  const auto one = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                          {1000}, cfg,
+                                          BucketStrategy::kFused);
+  EXPECT_TRUE(fused.correct);
+  EXPECT_EQ(fused.bucket_finish.size(), 1u);
+  EXPECT_EQ(fused.total_cycles, one.total_cycles);
+  EXPECT_EQ(fused.total_flits, one.total_flits);
+}
+
+TEST(BucketScheduleTest, SerializedFlitsAreSumOfPerBucketRuns) {
+  const auto plan = core::AllreducePlanner(3).build();
+  const simnet::SimConfig cfg;
+  const auto both = run_bucketed_allreduce(plan.topology(), plan.trees(),
+                                           {300, 700}, cfg,
+                                           BucketStrategy::kSerialized);
+  long long expected = 0;
+  for (const long long m : {300LL, 700LL}) {
+    expected += run_bucketed_allreduce(plan.topology(), plan.trees(), {m},
+                                       cfg, BucketStrategy::kSerialized)
+                    .total_flits;
+  }
+  EXPECT_GT(both.total_flits, 0);
+  EXPECT_EQ(both.total_flits, expected);
+}
+
 TEST(MultiJobTest, PartitionedTreesServeTwoJobsConcurrently) {
   // Tenancy: split the q low-depth trees between two jobs; both streams
   // run concurrently on disjoint tree subsets of the same fabric, and

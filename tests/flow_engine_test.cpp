@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "collectives/innetwork.hpp"
@@ -160,6 +161,57 @@ TEST(FlowEngine, RejectsFaultScripts) {
   flaky.faults.flaky_drop_permille = 10;
   simnet::AllreduceSimulator flaky_sim(plan.topology(), embeddings, flaky);
   EXPECT_THROW(flaky_sim.run(plan.split(600)), std::invalid_argument);
+}
+
+// The rejection names exactly the offending SimConfig fields — and only
+// the ones actually set — so a caller staring at a large config knows what
+// to clear.
+TEST(FlowEngine, RejectionNamesOffendingFaultFields) {
+  const auto plan = core::AllreducePlanner(3).build();
+  const auto link = plan.topology().edge(0);
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  const auto message_of = [&](const simnet::SimConfig& cfg) {
+    simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+    try {
+      sim.run(plan.split(600));
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  simnet::SimConfig events_only;
+  events_only.engine = simnet::SimEngine::kFlow;
+  events_only.faults.events.push_back(
+      {100, link.u, link.v, simnet::FaultType::kLinkDown});
+  events_only.faults.events.push_back(
+      {200, link.u, link.v, simnet::FaultType::kLinkUp});
+  const std::string ev_msg = message_of(events_only);
+  EXPECT_NE(ev_msg.find("faults.events (2 scheduled link events)"),
+            std::string::npos)
+      << ev_msg;
+  EXPECT_EQ(ev_msg.find("faults.flaky_links"), std::string::npos) << ev_msg;
+
+  simnet::SimConfig flaky_only;
+  flaky_only.engine = simnet::SimEngine::kFlow;
+  flaky_only.faults.flaky_links.push_back({link.u, link.v});
+  flaky_only.faults.flaky_drop_permille = 25;
+  const std::string fl_msg = message_of(flaky_only);
+  EXPECT_NE(
+      fl_msg.find("faults.flaky_links (1 link, flaky_drop_permille=25)"),
+      std::string::npos)
+      << fl_msg;
+  EXPECT_EQ(fl_msg.find("faults.events"), std::string::npos) << fl_msg;
+
+  simnet::SimConfig both = events_only;
+  both.faults.flaky_links = flaky_only.faults.flaky_links;
+  both.faults.flaky_drop_permille = 25;
+  const std::string both_msg = message_of(both);
+  EXPECT_NE(both_msg.find("faults.events"), std::string::npos) << both_msg;
+  EXPECT_NE(both_msg.find("faults.flaky_links"), std::string::npos)
+      << both_msg;
+  EXPECT_NE(both_msg.find("reference or horizon engine"), std::string::npos)
+      << both_msg;
 }
 
 // Engine names round-trip through the CLI parser; unknown names fail loud.

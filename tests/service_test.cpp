@@ -1,0 +1,399 @@
+// The multi-tenant allreduce service (src/service/, docs/service_layer.md):
+// lane construction against the plan's link-disjoint tree groups, the
+// tenant-fair scheduler, small-job coalescing, admission control, dynamic
+// membership (join replan charge / leave replay), the one-shot equivalence
+// of the serial policy, the tentpole throughput claim, and the determinism
+// guarantee across SimConfig::shard_threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "collectives/bucket_schedule.hpp"
+#include "obsv/recorder.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pfar;
+
+core::AllreducePlan make_plan(int q) {
+  return core::AllreducePlanner(q)
+      .solution(core::Solution::kEdgeDisjoint)
+      .build();
+}
+
+service::JobSpec job(int tenant, long long elements, long long arrival,
+                     int priority = 0,
+                     service::ReduceOp op = service::ReduceOp::kSum,
+                     int group = 0) {
+  service::JobSpec spec;
+  spec.tenant = tenant;
+  spec.group = group;
+  spec.elements = elements;
+  spec.op = op;
+  spec.priority = priority;
+  spec.arrival_cycle = arrival;
+  return spec;
+}
+
+TEST(ServiceTest, SerialSingleJobMatchesOneShotCost) {
+  const auto plan = make_plan(5);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kSerial;
+  const long long cost =
+      collectives::run_bucketed_allreduce(
+          plan.topology(), plan.trees(), {1234}, config.sim,
+          collectives::BucketStrategy::kFused)
+          .total_cycles;
+
+  service::AllreduceService svc(plan, config);
+  const int id = svc.submit(job(0, 1234, 100));
+  svc.drain();
+  const auto& r = svc.records()[static_cast<std::size_t>(id)];
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.admit_cycle, 100);
+  EXPECT_EQ(r.start_cycle, 100);
+  EXPECT_EQ(r.finish_cycle, 100 + cost);
+  EXPECT_EQ(r.lane, 0);
+  EXPECT_EQ(r.batch_jobs, 1);
+  EXPECT_TRUE(svc.stats().values_correct);
+}
+
+TEST(ServiceTest, LanesMatchLinkDisjointGroups) {
+  const auto plan = make_plan(7);
+  const auto groups = plan.link_disjoint_tree_groups();
+
+  service::ServiceConfig partitioned;
+  partitioned.policy = service::SchedulerPolicy::kPartitioned;
+  service::AllreduceService svc(plan, partitioned);
+  ASSERT_EQ(svc.num_lanes(), static_cast<int>(groups.size()));
+  for (int l = 0; l < svc.num_lanes(); ++l) {
+    EXPECT_EQ(svc.lane_trees(l), groups[static_cast<std::size_t>(l)]);
+  }
+
+  service::ServiceConfig serial;
+  serial.policy = service::SchedulerPolicy::kSerial;
+  service::AllreduceService one(plan, serial);
+  ASSERT_EQ(one.num_lanes(), 1);
+  EXPECT_EQ(static_cast<int>(one.lane_trees(0).size()), plan.num_trees());
+}
+
+TEST(ServiceTest, PartitionedRunsJobsConcurrently) {
+  const auto plan = make_plan(3);  // 2 edge-disjoint trees -> 2 lanes
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kPartitioned;
+  service::AllreduceService svc(plan, config);
+  ASSERT_EQ(svc.num_lanes(), 2);
+  const int a = svc.submit(job(0, 400, 0));
+  const int b = svc.submit(job(1, 400, 0));
+  svc.drain();
+  const auto& ra = svc.records()[static_cast<std::size_t>(a)];
+  const auto& rb = svc.records()[static_cast<std::size_t>(b)];
+  // Both dispatched at cycle 0 on distinct lanes: exact concurrency.
+  EXPECT_EQ(ra.start_cycle, 0);
+  EXPECT_EQ(rb.start_cycle, 0);
+  EXPECT_NE(ra.lane, rb.lane);
+}
+
+TEST(ServiceTest, BatchedCoalescesQueuedJobs) {
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kPartitionedBatched;
+  service::AllreduceService svc(plan, config);
+  // Park both lanes on long jobs of different operators (which therefore
+  // cannot coalesce with each other or with the queue behind them).
+  svc.submit(job(0, 3000, 0, 0, service::ReduceOp::kSum));
+  svc.submit(job(0, 3000, 0, 0, service::ReduceOp::kMax));
+  std::vector<int> small;
+  for (int i = 0; i < 4; ++i) {
+    small.push_back(svc.submit(job(1, 100, 1, 0, service::ReduceOp::kSum)));
+  }
+  svc.drain();
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.batches, 3);  // two parked jobs + one fused batch of 4
+  EXPECT_EQ(stats.coalesced_jobs, 4);
+  long long fused_finish = -1;
+  for (int id : small) {
+    const auto& r = svc.records()[static_cast<std::size_t>(id)];
+    EXPECT_EQ(r.batch_jobs, 4);
+    if (fused_finish < 0) fused_finish = r.finish_cycle;
+    EXPECT_EQ(r.finish_cycle, fused_finish);  // land together (kFused)
+  }
+}
+
+TEST(ServiceTest, BatchedThroughputAtLeastTwiceSerial) {
+  // The tentpole acceptance claim at test scale: a small-message burst at
+  // q=7 (4 lanes). Partitioning amortizes nothing by itself on a
+  // bandwidth-neutral fabric — the >= 2x comes from paying the deep
+  // Hamiltonian pipeline fill once per fused batch instead of once per
+  // job, across 4 concurrent lanes.
+  const auto plan = make_plan(7);
+  util::Rng rng(7);
+  std::vector<service::JobSpec> burst;
+  for (int i = 0; i < 80; ++i) {
+    burst.push_back(job(i % 4,
+                        64 + static_cast<long long>(rng.next_below(449)),
+                        0));
+  }
+  const auto run = [&](service::SchedulerPolicy policy) {
+    service::ServiceConfig config;
+    config.policy = policy;
+    service::AllreduceService svc(plan, config);
+    for (const auto& spec : burst) svc.submit(spec);
+    svc.drain();
+    const auto stats = svc.stats();
+    EXPECT_EQ(stats.completed, 80);
+    EXPECT_TRUE(stats.values_correct);
+    return stats.jobs_per_kcycle;
+  };
+  const double serial = run(service::SchedulerPolicy::kSerial);
+  const double batched = run(service::SchedulerPolicy::kPartitionedBatched);
+  EXPECT_GE(batched, 2.0 * serial)
+      << "batched " << batched << " vs serial " << serial;
+}
+
+TEST(ServiceTest, TenantFairnessPreventsStarvation) {
+  // Tenant 0 floods the queue; tenant 1's two jobs must interleave by the
+  // served-elements ledger instead of waiting behind the flood.
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kSerial;
+  service::AllreduceService svc(plan, config);
+  std::vector<int> flood;
+  for (int i = 0; i < 6; ++i) flood.push_back(svc.submit(job(0, 500, 0)));
+  std::vector<int> light;
+  for (int i = 0; i < 2; ++i) light.push_back(svc.submit(job(1, 500, 0)));
+  svc.drain();
+  long long light_last = 0;
+  for (int id : light) {
+    light_last = std::max(light_last,
+                          svc.records()[static_cast<std::size_t>(id)]
+                              .finish_cycle);
+  }
+  int flood_before = 0;
+  for (int id : flood) {
+    const auto& r = svc.records()[static_cast<std::size_t>(id)];
+    EXPECT_TRUE(r.completed);
+    if (r.finish_cycle < light_last) ++flood_before;
+  }
+  // Strict alternation once the ledger diverges: at most 2 flood jobs can
+  // precede the light tenant's last finish.
+  EXPECT_LE(flood_before, 2);
+}
+
+TEST(ServiceTest, PriorityOrdersWithinTenant) {
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kSerial;
+  service::AllreduceService svc(plan, config);
+  svc.submit(job(0, 2000, 0));  // parks the single lane
+  const int low = svc.submit(job(0, 300, 1, /*priority=*/0));
+  const int high = svc.submit(job(0, 300, 2, /*priority=*/5));
+  svc.drain();
+  // Despite arriving later, the high-priority job dispatches first.
+  EXPECT_LT(svc.records()[static_cast<std::size_t>(high)].finish_cycle,
+            svc.records()[static_cast<std::size_t>(low)].finish_cycle);
+}
+
+TEST(ServiceTest, AdmissionControlRejectsOverflow) {
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kSerial;
+  config.max_queue_jobs = 2;
+  service::AllreduceService svc(plan, config);
+  svc.submit(job(0, 2000, 0));  // dispatched immediately, leaves the queue
+  std::vector<int> wave;
+  for (int i = 0; i < 4; ++i) wave.push_back(svc.submit(job(0, 200, 1)));
+  svc.drain();
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 5);
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.rejected, 2);
+  EXPECT_EQ(stats.completed, 3);
+  // Arrival order decides who hits the full queue: the first two of the
+  // wave are admitted, the last two rejected.
+  EXPECT_FALSE(svc.records()[static_cast<std::size_t>(wave[0])].rejected);
+  EXPECT_FALSE(svc.records()[static_cast<std::size_t>(wave[1])].rejected);
+  EXPECT_TRUE(svc.records()[static_cast<std::size_t>(wave[2])].rejected);
+  EXPECT_TRUE(svc.records()[static_cast<std::size_t>(wave[3])].rejected);
+}
+
+TEST(ServiceTest, SingleMemberGroupCompletesInstantly) {
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  service::AllreduceService svc(plan, config);
+  const int g = svc.create_group({2});
+  const int id = svc.submit(job(0, 500, 7, 0, service::ReduceOp::kSum, g));
+  svc.drain();
+  const auto& r = svc.records()[static_cast<std::size_t>(id)];
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.finish_cycle, 7);  // no fabric, no cycles
+  EXPECT_EQ(r.lane, -1);
+  EXPECT_EQ(svc.stats().total_flits, 0);
+}
+
+TEST(ServiceTest, ZeroElementJobCompletesInstantly) {
+  const auto plan = make_plan(3);
+  service::AllreduceService svc(plan, service::ServiceConfig{});
+  const int id = svc.submit(job(0, 0, 11));
+  svc.drain();
+  const auto& r = svc.records()[static_cast<std::size_t>(id)];
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.finish_cycle, 11);
+  EXPECT_EQ(svc.stats().total_flits, 0);
+}
+
+TEST(ServiceTest, JoinChargesReplanOnNextDispatch) {
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kSerial;
+
+  const auto run = [&](bool with_join) {
+    service::AllreduceService svc(plan, config);
+    const int g = svc.create_group({0, 1, 2});
+    svc.submit(job(0, 400, 0, 0, service::ReduceOp::kSum, g));
+    svc.drain();
+    if (with_join) svc.join(g, 5, svc.now());
+    const int id = svc.submit(job(0, 400, svc.now(), 0,
+                                  service::ReduceOp::kSum, g));
+    svc.drain();
+    const auto& r = svc.records()[static_cast<std::size_t>(id)];
+    return r.finish_cycle - r.start_cycle;
+  };
+  const long long plain = run(false);
+  const long long joined = run(true);
+  // A join never interrupts in-flight work (new leaves participate from
+  // the next reduction on); it only charges the replan.
+  EXPECT_EQ(joined - plain, config.replan_cycles);
+}
+
+TEST(ServiceTest, LeaveReplaysInFlightRemainder) {
+  const auto plan = make_plan(3);
+  service::ServiceConfig config;
+  config.policy = service::SchedulerPolicy::kSerial;
+  const long long cost =
+      collectives::run_bucketed_allreduce(
+          plan.topology(), plan.trees(), {2000}, config.sim,
+          collectives::BucketStrategy::kFused)
+          .total_cycles;
+
+  service::AllreduceService svc(plan, config);
+  const int g = svc.create_group({0, 1, 2, 3, 4, 5});
+  const int id = svc.submit(job(0, 2000, 0, 0, service::ReduceOp::kSum, g));
+  const long long cut = cost / 2;
+  svc.leave(g, 3, cut);
+  svc.drain();
+
+  const auto& r = svc.records()[static_cast<std::size_t>(id)];
+  const auto stats = svc.stats();
+  EXPECT_TRUE(r.completed);
+  // The delivered prefix survived; only the remainder re-ran.
+  EXPECT_GT(r.replayed_elements, 0);
+  EXPECT_LT(r.replayed_elements, 2000);
+  EXPECT_EQ(stats.replans, 1);
+  EXPECT_EQ(stats.replayed_elements, r.replayed_elements);
+  // Finish: interrupted at cut, then replan + backoff + remainder run.
+  EXPECT_GT(r.finish_cycle,
+            cut + config.replan_cycles + config.replay_backoff_cycles);
+  EXPECT_TRUE(stats.values_correct);
+}
+
+TEST(ServiceDeterminism, BitIdenticalAcrossShardThreads) {
+  // The service schedule is integer arithmetic over deterministic sim
+  // results, and the lane theory makes intra-run sharding exact — so the
+  // whole multi-tenant timeline must be bit-identical for every
+  // shard_threads value.
+  const auto plan = make_plan(5);
+  const auto run = [&](int shard_threads) {
+    service::ServiceConfig config;
+    config.policy = service::SchedulerPolicy::kPartitionedBatched;
+    config.sim.shard_threads = shard_threads;
+    service::AllreduceService svc(plan, config);
+    util::Rng rng(11);
+    for (int i = 0; i < 12; ++i) {
+      svc.submit(job(i % 3,
+                     64 + static_cast<long long>(rng.next_below(2000)),
+                     static_cast<long long>(i) * 97));
+    }
+    svc.drain();
+    std::vector<long long> timeline;
+    for (const auto& r : svc.records()) {
+      timeline.push_back(r.start_cycle);
+      timeline.push_back(r.finish_cycle);
+      timeline.push_back(r.lane);
+      timeline.push_back(r.batch_jobs);
+    }
+    return timeline;
+  };
+  EXPECT_EQ(run(1), run(3));
+}
+
+TEST(ServiceTest, ResumableAcrossDrains) {
+  const auto plan = make_plan(3);
+  service::AllreduceService svc(plan, service::ServiceConfig{});
+  svc.submit(job(0, 300, 0));
+  svc.drain();
+  const long long after_first = svc.now();
+  EXPECT_GT(after_first, 0);
+  // Late submission dated in the past is clamped to the persistent clock.
+  const int id = svc.submit(job(0, 300, 0));
+  svc.drain();
+  const auto& r = svc.records()[static_cast<std::size_t>(id)];
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.admit_cycle, after_first);
+  EXPECT_EQ(svc.stats().completed, 2);
+}
+
+TEST(ServiceTest, RecorderCapturesServiceTelemetry) {
+  if (!obsv::kTraceCompiled) {
+    GTEST_SKIP() << "tracing compiled out (PFAR_TRACE=off)";
+  }
+  const auto plan = make_plan(3);
+  obsv::Recorder recorder(1u << 16);
+  service::ServiceConfig config;
+  config.sim.recorder = &recorder;
+  service::AllreduceService svc(plan, config);
+  for (int i = 0; i < 5; ++i) svc.submit(job(i % 2, 200, i * 10));
+  svc.drain();
+  const auto stats = svc.stats();
+  EXPECT_EQ(recorder.metrics.counter("service.jobs.completed"),
+            stats.completed);
+  EXPECT_EQ(recorder.metrics.counter("service.jobs.admitted"),
+            stats.admitted);
+  EXPECT_EQ(recorder.metrics.counter("service.batches"), stats.batches);
+  EXPECT_GT(recorder.trace.size(), 0u);  // per-lane batch spans
+}
+
+TEST(ServiceTest, PolicyNamesRoundTrip) {
+  for (const auto policy : {service::SchedulerPolicy::kSerial,
+                            service::SchedulerPolicy::kPartitioned,
+                            service::SchedulerPolicy::kPartitionedBatched}) {
+    EXPECT_EQ(service::policy_from_string(service::to_string(policy)),
+              policy);
+  }
+  EXPECT_THROW(service::policy_from_string("fifo"), std::invalid_argument);
+}
+
+TEST(ServiceTest, ShardThreadsEnvDefault) {
+  // PFAR_THREADS is the ambient parallelism knob everywhere else (sweep
+  // runners, planner builds); SimConfig::shard_threads defaults from it
+  // too, read at construction so tests can toggle the environment.
+  ::setenv("PFAR_THREADS", "5", 1);
+  EXPECT_EQ(simnet::default_shard_threads(), 5);
+  EXPECT_EQ(simnet::SimConfig{}.shard_threads, 5);
+  ::setenv("PFAR_THREADS", "0", 1);
+  EXPECT_EQ(simnet::default_shard_threads(), 1);
+  ::setenv("PFAR_THREADS", "not-a-number", 1);
+  EXPECT_EQ(simnet::default_shard_threads(), 1);
+  ::unsetenv("PFAR_THREADS");
+  EXPECT_EQ(simnet::default_shard_threads(), 1);
+  EXPECT_EQ(simnet::SimConfig{}.shard_threads, 1);
+}
+
+}  // namespace

@@ -31,7 +31,13 @@ import statistics
 import sys
 
 RATIO_FIELDS = ("speedup_cold", "speedup_warm", "speedup_sweep10")
-EXACT_POINT_FIELDS = ("alg1_bw", "sim_bw", "efficiency")
+# Service-throughput fields are deterministic too: integer virtual-cycle
+# arithmetic over simulator results, identical on every machine and thread
+# count (docs/service_layer.md, "Determinism").
+EXACT_POINT_FIELDS = ("alg1_bw", "sim_bw", "efficiency",
+                      "jobs_per_kcycle", "p50_cycles", "p99_cycles",
+                      "makespan_cycles", "utilization", "completed",
+                      "rejected", "batches", "coalesced_jobs")
 WALL_POINT_FIELDS = ("wall_ms", "seed_ms", "cold_ms", "warm_ms")
 WALL_TOP_FIELDS = ("total_wall_ms",)
 # Relative slack for "exact" floats: they are deterministic but printed
@@ -55,7 +61,8 @@ def point_key(point):
     benches that do not run the simulator) key on the grid alone.
     """
     return tuple(point.get(k)
-                 for k in ("engine", "q", "solution", "m") if k in point)
+                 for k in ("engine", "q", "solution", "m",
+                           "policy", "load", "jobs") if k in point)
 
 
 def match_points(base, cur):
