@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::collectives {
 
 BucketScheduleResult run_bucketed_allreduce(
@@ -53,6 +55,8 @@ BucketScheduleResult run_bucketed_allreduce(
       break;
     }
   }
+  PFAR_ENSURE(out.total_cycles >= 0 && out.total_flits >= 0,
+              out.total_cycles, out.total_flits);
   return out;
 }
 

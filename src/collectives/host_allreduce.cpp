@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::collectives {
 namespace {
 
@@ -147,6 +149,7 @@ void halving_doubling(int p, long long m, Transport& tr) {
 
 }  // namespace
 
+// pfar-lint: allow(contract-coverage) p and m are validated via the std::invalid_argument throw below, which callers rely on
 void run_host_allreduce(HostAlgorithm algo, int p, long long m,
                         Transport& transport) {
   if (p < 1 || m < 0) {
@@ -174,6 +177,11 @@ ScheduleRecorder::ScheduleRecorder(std::vector<int> placement)
 void ScheduleRecorder::transfer(int src_rank, int dst_rank, long long lo,
                                 long long hi, bool reduce) {
   (void)reduce;
+  PFAR_REQUIRE(src_rank >= 0 &&
+                   src_rank < static_cast<int>(placement_.size()) &&
+                   dst_rank >= 0 &&
+                   dst_rank < static_cast<int>(placement_.size()),
+               src_rank, dst_rank, placement_.size());
   if (hi <= lo) return;
   rounds_.back().push_back(
       Message{placement_[static_cast<std::size_t>(src_rank)], placement_[static_cast<std::size_t>(dst_rank)], hi - lo});
@@ -183,10 +191,12 @@ void ScheduleRecorder::next_round() { rounds_.emplace_back(); }
 
 std::vector<Round> ScheduleRecorder::take_schedule() {
   while (!rounds_.empty() && rounds_.back().empty()) rounds_.pop_back();
+  PFAR_ENSURE(rounds_.empty() || !rounds_.back().empty(), rounds_.size());
   return std::move(rounds_);
 }
 
 DataExecutor::DataExecutor(int p, long long m) : p_(p), m_(m) {
+  PFAR_REQUIRE(p >= 1 && m >= 0, p, m);
   data_.resize(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     data_[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(m));
@@ -197,6 +207,9 @@ DataExecutor::DataExecutor(int p, long long m) : p_(p), m_(m) {
 
 void DataExecutor::transfer(int src_rank, int dst_rank, long long lo,
                             long long hi, bool reduce) {
+  PFAR_REQUIRE(src_rank >= 0 && src_rank < p_ && dst_rank >= 0 &&
+                   dst_rank < p_,
+               src_rank, dst_rank, p_);
   if (hi <= lo) return;
   // Snapshot the source now: all transfers within a round see pre-round
   // state (synchronous-round semantics), applied at next_round().
@@ -210,6 +223,9 @@ void DataExecutor::transfer(int src_rank, int dst_rank, long long lo,
 
 void DataExecutor::next_round() {
   for (auto& p : pending_) {
+    PFAR_REQUIRE(p.lo >= 0 &&
+                     p.lo + static_cast<long long>(p.payload.size()) <= m_,
+                 p.lo, p.payload.size(), m_);
     auto& vec = data_[static_cast<std::size_t>(p.dst)];
     for (std::size_t i = 0; i < p.payload.size(); ++i) {
       if (p.reduce) {
@@ -222,6 +238,7 @@ void DataExecutor::next_round() {
   pending_.clear();
 }
 
+// pfar-lint: allow(contract-coverage) pure query; a wrong result is the legitimate false return, not a contract violation
 bool DataExecutor::verify() const {
   if (!pending_.empty()) return false;  // algorithm forgot a round barrier
   for (long long k = 0; k < m_; ++k) {
@@ -239,6 +256,8 @@ HostAllreduceResult run_host_baseline(HostAlgorithm algo,
                                       const std::vector<int>& placement,
                                       long long m, double alpha, double beta,
                                       long long verify_m) {
+  PFAR_REQUIRE(verify_m >= 0 && alpha >= 0.0 && beta >= 0.0, verify_m, alpha,
+               beta);
   const int p = static_cast<int>(placement.size());
   HostAllreduceResult out;
 

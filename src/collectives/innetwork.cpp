@@ -3,10 +3,12 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/numeric.hpp"
 
 namespace pfar::collectives {
 
+// pfar-lint: allow(contract-coverage) pure shape-preserving transform; SpanningTree enforces its own invariants
 std::vector<simnet::TreeEmbedding> to_embeddings(
     const std::vector<trees::SpanningTree>& trees) {
   std::vector<simnet::TreeEmbedding> out;
@@ -18,6 +20,7 @@ std::vector<simnet::TreeEmbedding> to_embeddings(
 }
 
 trees::SpanningTree bfs_tree(const graph::Graph& g, int root) {
+  PFAR_REQUIRE(root >= 0 && root < g.num_vertices(), root, g.num_vertices());
   std::vector<int> parent(static_cast<std::size_t>(g.num_vertices()), -1);
   std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
   std::queue<int> frontier;
@@ -44,6 +47,7 @@ InNetworkResult run_innetwork_allreduce(
   if (spanning_trees.empty()) {
     throw std::invalid_argument("run_innetwork_allreduce: no trees");
   }
+  PFAR_REQUIRE(m >= 0, m);
   InNetworkResult out;
   out.m = m;
   out.predicted = model::compute_tree_bandwidths(

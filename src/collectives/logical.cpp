@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::collectives {
 
 LogicalBandwidths logical_tree_bandwidths(
@@ -105,6 +107,7 @@ LogicalBandwidths logical_tree_bandwidths(
 
   out.aggregate = std::accumulate(out.per_tree.begin(), out.per_tree.end(),
                                   0.0);
+  PFAR_ENSURE(static_cast<int>(out.per_tree.size()) == num_trees, num_trees);
   return out;
 }
 
@@ -131,11 +134,13 @@ std::vector<LogicalTree> random_logical_trees(int num_nodes, int count,
     }
     out.push_back(std::move(tree));
   }
+  PFAR_ENSURE(static_cast<int>(out.size()) == count, count);
   return out;
 }
 
 int logical_depth(const RoutedNetwork& net, const LogicalTree& tree) {
   const int n = static_cast<int>(tree.parent.size());
+  PFAR_REQUIRE(tree.root >= 0 && tree.root < n, tree.root, n);
   std::vector<int> depth(static_cast<std::size_t>(n), -1);
   depth[static_cast<std::size_t>(tree.root)] = 0;
   int best = 0;

@@ -64,6 +64,7 @@ simnet::FaultScript shift_script(const simnet::FaultScript& script,
 
 }  // namespace
 
+// pfar-lint: allow(contract-coverage) every input is validated below via std::invalid_argument throws, which callers catch as part of the API
 RecoveryStats run_resilient_allreduce(const graph::Graph& topology,
                                       const std::vector<trees::SpanningTree>&
                                           spanning_trees,

@@ -4,10 +4,13 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::collectives {
 
 RoutedNetwork::RoutedNetwork(const graph::Graph& g)
     : g_(&g), n_(g.num_vertices()) {
+  PFAR_REQUIRE(n_ >= 1, n_);
   next_hop_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
   dist_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
   // BFS from each destination; neighbors are scanned in ascending id so the
@@ -33,12 +36,14 @@ RoutedNetwork::RoutedNetwork(const graph::Graph& g)
 }
 
 int RoutedNetwork::hops(int src, int dst) const {
+  PFAR_REQUIRE(src >= 0 && src < n_ && dst >= 0 && dst < n_, src, dst, n_);
   const int d = dist_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) + static_cast<std::size_t>(src)];
   if (d < 0) throw std::invalid_argument("RoutedNetwork: unreachable");
   return d;
 }
 
 std::vector<int> RoutedNetwork::path(int src, int dst) const {
+  PFAR_REQUIRE(src >= 0 && src < n_ && dst >= 0 && dst < n_, src, dst, n_);
   std::vector<int> out{src};
   int cur = src;
   while (cur != dst) {
@@ -52,6 +57,7 @@ std::vector<int> RoutedNetwork::path(int src, int dst) const {
 ScheduleCost schedule_cost(const RoutedNetwork& net,
                            const std::vector<Round>& schedule, double alpha,
                            double beta) {
+  PFAR_REQUIRE(alpha >= 0.0 && beta >= 0.0, alpha, beta);
   ScheduleCost cost;
   const int n = net.graph().num_vertices();
   std::vector<long long> load(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);

@@ -1,5 +1,6 @@
 #include "core/plan_cache.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -16,10 +17,69 @@ namespace fs = std::filesystem;
 PlanCache::PlanCache(std::string disk_dir) : disk_dir_(std::move(disk_dir)) {}
 
 std::string PlanCache::file_name(const PlanKey& key) {
+  PFAR_REQUIRE(key.q >= 2, key.q);
   std::ostringstream os;
   os << "plan_q" << key.q << "_s" << static_cast<int>(key.solution) << "_st"
      << key.starter << "_" << kBuilderVersion << ".pfar";
   return os.str();
+}
+
+std::vector<PlanCache::DiskEntry> PlanCache::scan_disk() const {
+  std::vector<DiskEntry> entries;
+  if (disk_dir_.empty()) return entries;
+  std::error_code ec;
+  fs::directory_iterator it(disk_dir_, ec);
+  if (ec) return entries;
+  for (const auto& de : it) {
+    if (!de.is_regular_file(ec) || ec) continue;
+    entries.push_back(DiskEntry{de.path().filename().string(),
+                                DiskEntry::State::kForeign});
+  }
+  // Filesystem order is arbitrary (and differs across machines); sort
+  // before classifying so every consumer sees one canonical order.
+  std::sort(entries.begin(), entries.end(),
+            [](const DiskEntry& a, const DiskEntry& b) {
+              return a.file < b.file;
+            });
+  const std::string current_suffix =
+      std::string("_") + kBuilderVersion + ".pfar";
+  for (DiskEntry& e : entries) {
+    const bool cache_name =
+        e.file.rfind("plan_q", 0) == 0 &&
+        (e.file.size() >= 5 &&
+         e.file.compare(e.file.size() - 5, 5, ".pfar") == 0);
+    const bool tmp_name =
+        e.file.rfind("plan_q", 0) == 0 &&
+        (e.file.size() >= 4 &&
+         e.file.compare(e.file.size() - 4, 4, ".tmp") == 0);
+    if (tmp_name) {
+      e.state = DiskEntry::State::kStale;  // orphaned write-then-rename
+    } else if (cache_name) {
+      e.state = e.file.size() >= current_suffix.size() &&
+                        e.file.compare(e.file.size() - current_suffix.size(),
+                                       current_suffix.size(),
+                                       current_suffix) == 0
+                    ? DiskEntry::State::kCurrent
+                    : DiskEntry::State::kStale;
+    }
+  }
+  PFAR_ENSURE(std::is_sorted(entries.begin(), entries.end(),
+                             [](const DiskEntry& a, const DiskEntry& b) {
+                               return a.file < b.file;
+                             }),
+              entries.size());
+  return entries;
+}
+
+// pfar-lint: allow(contract-coverage) best-effort janitor: a missing dir or an unlink race is a legitimate zero, not a violation
+int PlanCache::purge_stale() {
+  int removed = 0;
+  for (const DiskEntry& e : scan_disk()) {
+    if (e.state != DiskEntry::State::kStale) continue;
+    std::error_code ec;
+    if (fs::remove(fs::path(disk_dir_) / e.file, ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 std::shared_ptr<const AllreducePlan> PlanCache::load_from_disk(
@@ -53,6 +113,9 @@ std::shared_ptr<const AllreducePlan> PlanCache::load_from_disk(
 }
 
 void PlanCache::store_to_disk(const PlanKey& key, const AllreducePlan& plan) {
+  // Only non-empty plans round-trip: parse_plan rejects empty tree sets, so
+  // writing one would plant a permanently-unreadable cache entry.
+  PFAR_REQUIRE(plan.num_trees() > 0, key.q, static_cast<int>(key.solution));
   if (disk_dir_.empty()) return;
   std::error_code ec;
   fs::create_directories(disk_dir_, ec);
@@ -69,14 +132,15 @@ void PlanCache::store_to_disk(const PlanKey& key, const AllreducePlan& plan) {
   }
   fs::rename(tmp, path, ec);
   if (!ec) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.stores;
   }
 }
 
 std::shared_ptr<const AllreducePlan> PlanCache::lookup(const PlanKey& key) {
+  PFAR_REQUIRE(key.q >= 2, key.q);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.memory_hits;
@@ -85,7 +149,7 @@ std::shared_ptr<const AllreducePlan> PlanCache::lookup(const PlanKey& key) {
   }
   auto plan = load_from_disk(key);
   if (!plan) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.disk_hits;
   auto [it, inserted] = memory_.emplace(key, std::move(plan));
   return it->second;
@@ -93,8 +157,9 @@ std::shared_ptr<const AllreducePlan> PlanCache::lookup(const PlanKey& key) {
 
 std::shared_ptr<const AllreducePlan> PlanCache::get_or_build(
     const PlanKey& key, int threads) {
+  PFAR_REQUIRE(key.q >= 2 && threads >= 0, key.q, threads);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.memory_hits;
@@ -102,7 +167,7 @@ std::shared_ptr<const AllreducePlan> PlanCache::get_or_build(
     }
   }
   if (auto plan = load_from_disk(key)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto [it, inserted] = memory_.emplace(key, std::move(plan));
     if (inserted) ++stats_.disk_hits;
     else ++stats_.memory_hits;  // lost a race to an identical entry
@@ -120,7 +185,7 @@ std::shared_ptr<const AllreducePlan> PlanCache::get_or_build(
   bool fresh = false;
   std::shared_ptr<const AllreducePlan> result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto [it, inserted] = memory_.emplace(key, std::move(built));
     fresh = inserted;
     if (inserted) ++stats_.misses;
@@ -132,18 +197,23 @@ std::shared_ptr<const AllreducePlan> PlanCache::get_or_build(
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   memory_.clear();
+  PFAR_ENSURE(memory_.empty());
 }
 
+// pfar-lint: allow(contract-coverage) lock-protected copy-out accessor; takes no inputs
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
+// pfar-lint: allow(contract-coverage) process-wide singleton accessor; its only input is the PFAR_PLAN_CACHE environment variable
 PlanCache& PlanCache::process_cache() {
   static PlanCache cache = [] {
-    const char* dir = std::getenv("PFAR_PLAN_CACHE");
+    // Read once, before any worker thread can exist (static init of the
+    // process-wide cache).
+    const char* dir = std::getenv("PFAR_PLAN_CACHE");  // NOLINT(concurrency-mt-unsafe)
     return PlanCache(dir ? dir : "");
   }();
   return cache;

@@ -3,10 +3,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/planner.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pfar::core {
 
@@ -67,18 +68,44 @@ class PlanCache {
   /// builder version so stale entries are never even opened.
   static std::string file_name(const PlanKey& key);
 
+  /// One on-disk entry as classified by scan_disk().
+  struct DiskEntry {
+    enum class State {
+      kCurrent,  // a plan file named with this binary's builder version
+      kStale,    // older builder version, or an orphaned .tmp writer file
+      kForeign,  // not a cache file at all; never touched by the cache
+    };
+    std::string file;  // filename within disk_dir (no directory part)
+    State state = State::kForeign;
+  };
+
+  /// Classifies every entry of disk_dir, sorted by filename — directory
+  /// iteration order is filesystem-dependent, so the scan sorts before
+  /// classifying to keep eviction/rebuild logs and purge order
+  /// deterministic across machines and runs. Empty when memory-only or
+  /// the directory does not exist.
+  std::vector<DiskEntry> scan_disk() const;
+
+  /// Deletes every kStale entry (in scan_disk order) and returns how many
+  /// files were removed. kForeign files are never deleted.
+  int purge_stale();
+
   /// Process-wide cache. Honors the PFAR_PLAN_CACHE environment variable
   /// (read once, at first use) as its disk directory.
   static PlanCache& process_cache();
 
  private:
+  // Disk I/O happens outside mu_ (a slow filesystem must not serialize
+  // memory hits); only the stats_ update inside store_to_disk takes it.
   std::shared_ptr<const AllreducePlan> load_from_disk(const PlanKey& key);
-  void store_to_disk(const PlanKey& key, const AllreducePlan& plan);
+  void store_to_disk(const PlanKey& key, const AllreducePlan& plan)
+      PFAR_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<PlanKey, std::shared_ptr<const AllreducePlan>> memory_;
-  Stats stats_;
-  std::string disk_dir_;
+  mutable util::Mutex mu_;
+  std::map<PlanKey, std::shared_ptr<const AllreducePlan>> memory_
+      PFAR_GUARDED_BY(mu_);
+  Stats stats_ PFAR_GUARDED_BY(mu_);
+  std::string disk_dir_;  // immutable after construction
 };
 
 }  // namespace pfar::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "trees/packing.hpp"
+#include "util/contracts.hpp"
 
 namespace pfar::core {
 
@@ -24,6 +25,8 @@ std::shared_ptr<graph::Graph> remove_links(
   if (!residual->is_connected()) {
     throw std::runtime_error("remove_links: residual topology disconnected");
   }
+  PFAR_ENSURE(residual->num_vertices() == original.num_vertices(),
+              residual->num_vertices(), original.num_vertices());
   return residual;
 }
 
@@ -43,6 +46,8 @@ std::vector<trees::SpanningTree> surviving_trees(
                                  });
     if (!hit) out.push_back(tree);
   }
+  PFAR_ENSURE(out.size() <= original_trees.size(), out.size(),
+              original_trees.size());
   return out;
 }
 
@@ -59,6 +64,8 @@ DegradedPlan degrade_keep_surviving(
   }
   plan.bandwidths = model::compute_tree_bandwidths(*plan.topology,
                                                    plan.trees, 1.0);
+  PFAR_ENSURE(plan.topology != nullptr && !plan.trees.empty(),
+              plan.trees.size());
   return plan;
 }
 
@@ -73,6 +80,8 @@ DegradedPlan degrade_repack(const graph::Graph& original,
   }
   plan.bandwidths = model::compute_tree_bandwidths(*plan.topology,
                                                    plan.trees, 1.0);
+  PFAR_ENSURE(plan.topology != nullptr && !plan.trees.empty(),
+              plan.trees.size());
   return plan;
 }
 

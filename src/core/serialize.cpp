@@ -14,6 +14,7 @@ namespace pfar::core {
 
 const char kBuilderVersion[] = "pfar-builder-2";
 
+// pfar-lint: allow(contract-coverage) total hash over arbitrary bytes; every input is valid
 std::uint64_t fnv1a64(const std::string& data) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const char c : data) {
@@ -26,6 +27,7 @@ std::uint64_t fnv1a64(const std::string& data) {
 std::string serialize_trees(int q,
                             const std::vector<trees::SpanningTree>& ts) {
   if (ts.empty()) throw std::invalid_argument("serialize_trees: no trees");
+  PFAR_REQUIRE(q >= 2, q);
   const int n = ts.front().num_vertices();
   std::ostringstream os;
   os << "pfar-trees 1\n";
@@ -51,6 +53,7 @@ namespace {
 
 }  // namespace
 
+// pfar-lint: allow(contract-coverage) parser: rejecting malformed text via std::invalid_argument IS the contract (any byte string is a legal input)
 ParsedTrees parse_trees(const std::string& text) {
   std::istringstream is(text);
   std::string token;
@@ -163,6 +166,7 @@ std::string PlanIO::write(const AllreducePlan& plan, int starter) {
   return body + cs.str();
 }
 
+// pfar-lint: allow(contract-coverage) parser: rejecting malformed text via std::invalid_argument IS the contract (any byte string is a legal input)
 ParsedPlan PlanIO::read(const std::string& text) {
   // Split off and verify the trailing checksum line first: any corruption
   // of the body (including truncation) is caught before field parsing.

@@ -1,9 +1,8 @@
 #include "core/sweep_runner.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
 
+#include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfar::core {
@@ -12,6 +11,7 @@ SweepRunner::SweepRunner(int threads, std::uint64_t base_seed)
     : threads_(threads <= 0 ? util::default_threads() : threads),
       base_seed_(base_seed) {}
 
+// pfar-lint: allow(contract-coverage) splitmix64 is total; every (seed, index) pair is a valid input
 std::uint64_t SweepRunner::task_seed(std::uint64_t base_seed, int index) {
   // splitmix64 of the index'th point after the base seed.
   std::uint64_t z =
@@ -23,6 +23,7 @@ std::uint64_t SweepRunner::task_seed(std::uint64_t base_seed, int index) {
 
 void SweepRunner::for_each(int count,
                            const std::function<void(const SweepTask&)>& fn) {
+  PFAR_REQUIRE(static_cast<bool>(fn), count, threads_);
   if (count <= 0) return;
   if (threads_ == 1 || count == 1) {
     for (int i = 0; i < count; ++i) {
@@ -30,23 +31,21 @@ void SweepRunner::for_each(int count,
     }
     return;
   }
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  util::FirstError error;
   {
     util::ThreadPool pool(std::min(threads_, count));
     for (int i = 0; i < count; ++i) {
-      pool.submit([this, i, &fn, &error_mutex, &first_error] {
+      pool.submit([this, i, &fn, &error] {
         try {
           fn(SweepTask{i, task_seed(base_seed_, i)});
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          error.capture();
         }
       });
     }
     pool.wait_idle();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
 }
 
 }  // namespace pfar::core

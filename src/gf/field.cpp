@@ -1,11 +1,11 @@
 #include "gf/field.hpp"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pfar::gf {
 namespace {
@@ -247,21 +247,32 @@ int Field::digit(Elem x, int i) const {
   return x % p_;
 }
 
+namespace {
+
+// Process-wide memo behind shared_field. Strong entries pin small fields
+// (tables are O(q^2): ~8 MiB at the q = 1024 cutoff); weak entries let
+// the largest tables be reclaimed. A named struct (rather than three
+// function-local statics) so the maps can carry PFAR_GUARDED_BY and the
+// thread-safety analysis proves every access holds the mutex.
+struct FieldCache {
+  util::Mutex mu;
+  std::map<int, std::shared_ptr<const Field>> strong PFAR_GUARDED_BY(mu);
+  std::map<int, std::weak_ptr<const Field>> weak PFAR_GUARDED_BY(mu);
+};
+
+}  // namespace
+
 std::shared_ptr<const Field> shared_field(int q) {
-  // Strong entries pin small fields (tables are O(q^2): ~8 MiB at the
-  // q = 1024 cutoff); weak entries let the largest tables be reclaimed.
-  static std::mutex mutex;
-  static std::map<int, std::shared_ptr<const Field>> strong;
-  static std::map<int, std::weak_ptr<const Field>> weak;
+  static FieldCache cache;
   constexpr int kStrongCacheMaxQ = 1024;
 
-  std::lock_guard<std::mutex> lock(mutex);
+  util::MutexLock lock(cache.mu);
   if (q <= kStrongCacheMaxQ) {
-    auto& slot = strong[q];
+    auto& slot = cache.strong[q];
     if (!slot) slot = std::make_shared<const Field>(q);
     return slot;
   }
-  auto& slot = weak[q];
+  auto& slot = cache.weak[q];
   if (auto alive = slot.lock()) return alive;
   auto fresh = std::make_shared<const Field>(q);
   slot = fresh;

@@ -21,6 +21,7 @@ bool queued_before(const QueuedJob& a, const QueuedJob& b) {
 
 }  // namespace
 
+// pfar-lint: allow(contract-coverage) total switch over the enum; the "?" fallthrough is the documented answer for out-of-range values
 const char* to_string(SchedulerPolicy policy) {
   switch (policy) {
     case SchedulerPolicy::kSerial: return "serial";
@@ -30,6 +31,7 @@ const char* to_string(SchedulerPolicy policy) {
   return "?";
 }
 
+// pfar-lint: allow(contract-coverage) parser: rejecting an unknown name via std::invalid_argument IS the contract (CLI flags arrive here raw)
 SchedulerPolicy policy_from_string(const std::string& name) {
   if (name == "serial") return SchedulerPolicy::kSerial;
   if (name == "partitioned") return SchedulerPolicy::kPartitioned;
@@ -134,6 +136,7 @@ void AllreduceService::drain() {
     if (t == kNever) break;
     process(t);
   }
+  PFAR_ENSURE(pending_.empty() && member_pending_.empty(), queue_.size());
 }
 
 /// Deterministic ordering at one event instant t: (1) batches finishing at
@@ -142,6 +145,7 @@ void AllreduceService::drain() {
 /// arrivals at or before t are admitted (a job arriving at the event sees
 /// the post-change group), (4) freed lanes dispatch.
 void AllreduceService::process(long long t) {
+  PFAR_REQUIRE(t >= 0, t, clock_);
   clock_ = std::max(clock_, t);
   complete_lanes(t);
   apply_member_events(t);
@@ -150,6 +154,7 @@ void AllreduceService::process(long long t) {
 }
 
 void AllreduceService::complete_lanes(long long t) {
+  PFAR_REQUIRE(t <= clock_, t, clock_);
   for (std::size_t l = 0; l < lane_state_.size(); ++l) {
     LaneState& lane = lane_state_[l];
     if (!lane.busy || lane.free_at > t) continue;
@@ -264,6 +269,7 @@ void AllreduceService::interrupt_group(int group, long long t) {
 }
 
 void AllreduceService::admit_arrivals(long long t) {
+  PFAR_REQUIRE(t <= clock_, t, clock_);
   std::size_t taken = 0;
   for (const QueuedJob& job : pending_) {
     if (job.queued_cycle > t) break;
@@ -355,6 +361,11 @@ void AllreduceService::dispatch_free_lanes() {
       break;  // lane occupied; try the next one
     }
   }
+  // A non-empty queue may only remain because every lane is occupied.
+  PFAR_ENSURE(queue_.empty() ||
+                  std::all_of(lane_state_.begin(), lane_state_.end(),
+                              [](const LaneState& s) { return s.busy; }),
+              queue_.size(), lane_state_.size());
 }
 
 AllreduceService::RunCost AllreduceService::run_cost(int lane,
@@ -380,6 +391,10 @@ AllreduceService::RunCost AllreduceService::run_cost(int lane,
 
 void AllreduceService::finish_job(int job_id, long long cycle, int lane,
                                   int batch_jobs) {
+  PFAR_REQUIRE(job_id >= 0 &&
+                   job_id < static_cast<int>(records_.size()) &&
+                   batch_jobs >= 1,
+               job_id, records_.size(), batch_jobs);
   JobRecord& record = records_[static_cast<std::size_t>(job_id)];
   record.completed = true;
   record.finish_cycle = cycle;
@@ -438,6 +453,8 @@ ServiceStats AllreduceService::stats() const {
         static_cast<double>(s.makespan_cycles);
     s.utilization = static_cast<double>(s.total_flits) / capacity;
   }
+  PFAR_ENSURE(s.admitted + s.rejected <= s.submitted && s.completed <= s.admitted,
+              s.submitted, s.admitted, s.rejected, s.completed);
   return s;
 }
 

@@ -1823,6 +1823,11 @@ std::vector<std::vector<int>> link_disjoint_tree_groups(
     }
     groups[static_cast<std::size_t>(group_of[r])].push_back(t);
   }
+  // The groups partition the tree set: every tree lands in exactly one.
+  std::size_t grouped = 0;
+  for (const auto& g : groups) grouped += g.size();
+  PFAR_ENSURE(grouped == static_cast<std::size_t>(num_trees), grouped,
+              num_trees);
   return groups;
 }
 
@@ -1906,6 +1911,7 @@ long long run_sharded(const graph::Graph& topology,
 
 }  // namespace
 
+// pfar-lint: allow(contract-coverage) every config field, fault script and tree is validated via std::invalid_argument throws below
 AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
                                        std::vector<TreeEmbedding> trees,
                                        SimConfig config)
@@ -1948,6 +1954,7 @@ AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
   }
 }
 
+// pfar-lint: allow(contract-coverage) the split vector is validated via std::invalid_argument throws (size and sign), matching the constructor
 SimResult AllreduceSimulator::run(
     const std::vector<long long>& elements_per_tree) {
   const int num_trees = static_cast<int>(trees_.size());

@@ -1,6 +1,9 @@
 #include "simnet/deadlock_check.hpp"
 
+#include <limits>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace pfar::simnet {
 namespace {
@@ -16,6 +19,9 @@ DeadlockCheckResult check_deadlock_free(
     Collective collective) {
   const int n = topology.num_vertices();
   const int num_trees = static_cast<int>(trees.size());
+  // The dense (tree, vertex, kind) id space must fit in int.
+  PFAR_REQUIRE(3LL * n * num_trees <= std::numeric_limits<int>::max(), n,
+               num_trees);
   const bool want_reduce = collective != Collective::kBroadcast;
   const bool want_bcast = collective != Collective::kReduce;
 

@@ -43,6 +43,7 @@ int tree_depth(const std::vector<int>& parent, int root, int n,
 
 }  // namespace
 
+// pfar-lint: allow(contract-coverage) fault-script and tree validation happens via the std::invalid_argument throws below (tests/flow_engine_test.cpp pins the messages)
 SimResult run_flow_allreduce(const graph::Graph& topology,
                              const std::vector<TreeEmbedding>& trees,
                              const SimConfig& config,

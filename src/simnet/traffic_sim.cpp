@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pfar::simnet {
 namespace {
 
@@ -51,8 +53,17 @@ TrafficSimulator::TrafficSimulator(const graph::Graph& topology)
       }
     }
   }
+  // Connectivity (checked above) means every src != dst pair routed: the
+  // only -1 entries left are the dst == src diagonal.
+  for (std::size_t i = 0; i < next_hop_.size(); ++i) {
+    PFAR_ENSURE(next_hop_[i] >= 0 ||
+                    i % static_cast<std::size_t>(n) ==
+                        i / static_cast<std::size_t>(n),
+                i, n);
+  }
 }
 
+// pfar-lint: allow(contract-coverage) the config is validated via the std::invalid_argument throw on entry; rate/size bounds are the API contract
 TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
   if (config.injection_rate < 0.0 || config.injection_rate > 1.0 ||
       config.packet_flits < 1 || config.buffer_packets < 1 ||

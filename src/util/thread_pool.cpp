@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <exception>
 #include <utility>
+
+#include "util/contracts.hpp"
 
 namespace pfar::util {
 
 int default_threads() {
-  if (const char* env = std::getenv("PFAR_THREADS")) {
-    const int parsed = std::atoi(env);
+  // getenv/atoi are not reentrant-safe in general, but this runs before
+  // any pool exists and nothing in the tree ever calls setenv.
+  if (const char* env = std::getenv("PFAR_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
+    const int parsed = std::atoi(env);  // NOLINT(cert-err34-c): 0/garbage falls through to hw default
     if (parsed > 0) return parsed;
   }
   const unsigned hw = std::thread::hardware_concurrency();
@@ -17,29 +20,28 @@ int default_threads() {
 }
 
 void parallel_for(int threads, int count, const std::function<void(int)>& fn) {
+  PFAR_REQUIRE(static_cast<bool>(fn), threads, count);
   if (count <= 0) return;
   if (threads <= 0) threads = default_threads();
   if (threads == 1 || count == 1) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  FirstError error;
   {
     ThreadPool pool(std::min(threads, count));
     for (int i = 0; i < count; ++i) {
-      pool.submit([i, &fn, &error_mutex, &first_error] {
+      pool.submit([i, &fn, &error] {
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          error.capture();
         }
       });
     }
     pool.wait_idle();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
 }
 
 ThreadPool::ThreadPool(int threads) {
@@ -53,7 +55,7 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -61,8 +63,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PFAR_REQUIRE(static_cast<bool>(task), workers_.size());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -70,24 +73,23 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

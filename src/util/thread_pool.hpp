@@ -2,11 +2,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pfar::util {
 
@@ -23,6 +25,33 @@ int default_threads();
 /// results by index (the parallel-construction contract of
 /// docs/plan_pipeline.md).
 void parallel_for(int threads, int count, const std::function<void(int)>& fn);
+
+/// Funnels the first exception thrown across concurrently running tasks
+/// into one slot, to rethrow on the submitting thread once the fan-out
+/// joins. Later captures are dropped — with independent tasks any of the
+/// failures is representative, and "first to lock" keeps the slot free of
+/// ordering assumptions. Shared by parallel_for, core::SweepRunner and
+/// anything else that fans work over a ThreadPool.
+class FirstError {
+ public:
+  /// Records std::current_exception() if no earlier task got here first.
+  /// Call from inside a catch block, on any thread.
+  void capture() noexcept {
+    MutexLock lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  /// Rethrows the captured exception, if any. Call after every task has
+  /// finished (e.g. past ThreadPool::wait_idle), when no capture can race.
+  void rethrow_if_set() {
+    MutexLock lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ PFAR_GUARDED_BY(mu_);
+};
 
 /// A fixed-size pool of worker threads draining one shared task queue.
 /// Tasks are opaque void() callables; ordering across workers is
@@ -54,12 +83,15 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;  // queued + currently executing
-  bool stopping_ = false;
+  Mutex mutex_;
+  // condition_variable_any waits on the annotated Mutex directly; the
+  // plain std::condition_variable would force a bare std::mutex the
+  // thread-safety analysis cannot track.
+  std::condition_variable_any work_available_;
+  std::condition_variable_any idle_;
+  std::queue<std::function<void()>> queue_ PFAR_GUARDED_BY(mutex_);
+  std::size_t in_flight_ PFAR_GUARDED_BY(mutex_) = 0;  // queued + executing
+  bool stopping_ PFAR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pfar::util

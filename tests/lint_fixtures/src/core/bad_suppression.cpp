@@ -1,0 +1,15 @@
+// pfar_lint fixture: malformed allow-comments are findings themselves
+// (pseudo-rule "suppression"): unknown rule id, and a missing reason.
+
+namespace fixture {
+
+int answer() {
+  PFAR_REQUIRE(true);
+  // pfar-lint: allow(not-a-real-rule) the rule id does not exist
+  int a = 41;
+  // pfar-lint: allow(no-wallclock-in-sim)
+  int b = 1;
+  return a + b;
+}
+
+}  // namespace fixture

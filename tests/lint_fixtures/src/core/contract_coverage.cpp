@@ -1,0 +1,16 @@
+// pfar_lint fixture: contract-coverage must flag a namespace-scope function
+// with a non-trivial body and no PFAR_REQUIRE / PFAR_ENSURE / PFAR_INVARIANT.
+
+namespace fixture {
+
+int clamp_positive(int value, int limit) {
+  if (value < 0) {
+    return 0;
+  }
+  if (value > limit) {
+    return limit;
+  }
+  return value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// pfar_lint fixture: the same uncontracted function, suppressed.
+
+namespace fixture {
+
+// pfar-lint: allow(contract-coverage) total function: every (value, limit) pair is valid
+int clamp_positive(int value, int limit) {
+  if (value < 0) {
+    return 0;
+  }
+  if (value > limit) {
+    return limit;
+  }
+  return value;
+}
+
+}  // namespace fixture

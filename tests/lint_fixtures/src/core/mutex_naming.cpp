@@ -1,0 +1,20 @@
+// pfar_lint fixture: mutex-naming must flag a bare std::mutex, a
+// std::condition_variable, and a util::Mutex member in a file that never
+// uses PFAR_GUARDED_BY.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct BareState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int counter = 0;
+};
+
+struct UnguardedState {
+  util::Mutex mu;
+  int counter = 0;
+};
+
+}  // namespace fixture

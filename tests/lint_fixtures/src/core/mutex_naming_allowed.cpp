@@ -1,0 +1,17 @@
+// pfar_lint fixture: the fixed shape — util::Mutex with PFAR_GUARDED_BY —
+// plus a suppressed std::mutex for the one legitimate interop site.
+#include <mutex>
+
+namespace fixture {
+
+struct GuardedState {
+  util::Mutex mu;
+  int counter PFAR_GUARDED_BY(mu) = 0;
+};
+
+struct InteropState {
+  // pfar-lint: allow(mutex-naming) fixture pretends a third-party API hands us this lock
+  std::mutex* borrowed = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// pfar_lint fixture: no-pointer-ordering must flag ordered containers keyed
+// by raw pointer value.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+int count_nodes(Node* a, Node* b) {
+  PFAR_REQUIRE(a != b);
+  std::set<Node*> seen{a, b};
+  std::map<const Node*, int> rank{{a, 1}};
+  return static_cast<int>(seen.size() + rank.size());
+}
+
+}  // namespace fixture

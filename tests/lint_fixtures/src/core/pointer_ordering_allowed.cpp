@@ -1,0 +1,20 @@
+// pfar_lint fixture: the same pointer-keyed containers, suppressed.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+int count_nodes(Node* a, Node* b) {
+  PFAR_REQUIRE(a != b);
+  // pfar-lint: allow(no-pointer-ordering) only size() is observed, never the order
+  std::set<Node*> seen{a, b};
+  // pfar-lint: allow(no-pointer-ordering) only size() is observed, never the order
+  std::map<const Node*, int> rank{{a, 1}};
+  return static_cast<int>(seen.size() + rank.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// pfar_lint fixture: no-unordered-iteration must flag both the range-for
+// over a declared unordered container and the explicit iterator walk.
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_values(const std::unordered_map<int, int>& histogram) {
+  PFAR_REQUIRE(histogram.size() < 1000);
+  int sum = 0;
+  for (const auto& [key, value] : histogram) {
+    sum += value + key;
+  }
+  for (auto it = histogram.begin(); it != histogram.end(); ++it) {
+    sum -= it->first;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// pfar_lint fixture: the same unordered walk, suppressed with a reason.
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_values(const std::unordered_map<int, int>& histogram) {
+  PFAR_REQUIRE(histogram.size() < 1000);
+  int sum = 0;
+  // pfar-lint: allow(no-unordered-iteration) commutative sum: order cannot affect the result
+  for (const auto& [key, value] : histogram) {
+    sum += value + key;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// pfar_lint fixture: no-wallclock-in-sim must flag both the banned
+// identifier form and the direct-call form.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long long stamp() {
+  PFAR_REQUIRE(true);
+  const auto t0 = std::chrono::steady_clock::now();
+  const int noise = std::rand();
+  return t0.time_since_epoch().count() + noise;
+}
+
+}  // namespace fixture

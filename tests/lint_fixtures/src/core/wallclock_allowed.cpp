@@ -1,0 +1,16 @@
+// pfar_lint fixture: the same wall-clock sites, suppressed with reasons.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long long stamp() {
+  PFAR_REQUIRE(true);
+  // pfar-lint: allow(no-wallclock-in-sim) fixture pretends to be a sanctioned timing site
+  const auto t0 = std::chrono::steady_clock::now();
+  // pfar-lint: allow(no-wallclock-in-sim) fixture pretends to be a sanctioned entropy site
+  const int noise = std::rand();
+  return t0.time_since_epoch().count() + noise;
+}
+
+}  // namespace fixture

@@ -274,5 +274,72 @@ TEST_F(PlanCacheTest, ThreadsParameterDoesNotChangeResult) {
   }
 }
 
+// Drops an arbitrary file into the cache directory.
+void plant_file(const fs::path& dir, const std::string& name,
+                const std::string& contents = "x") {
+  fs::create_directories(dir);
+  std::ofstream(dir / name, std::ios::binary) << contents;
+}
+
+TEST_F(PlanCacheTest, ScanDiskSortsAndClassifies) {
+  PlanCache cache(dir_.string());
+  cache.get_or_build({5, Solution::kLowDepth, 0});  // one kCurrent entry
+  const std::string current = PlanCache::file_name({5, Solution::kLowDepth, 0});
+  // An entry written by an older builder (version suffix differs), an
+  // orphaned write-then-rename temp file, and a file that is not ours.
+  plant_file(dir_, "plan_q5_s0_st1_pfar-builder-0.pfar");
+  plant_file(dir_, current + ".tmp");
+  plant_file(dir_, "notes.txt");
+
+  const auto entries = cache.scan_disk();
+  ASSERT_EQ(entries.size(), 4u);
+  // Sorted by filename regardless of creation/directory order.
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].file, entries[i].file);
+  }
+  for (const auto& e : entries) {
+    if (e.file == current) {
+      EXPECT_EQ(e.state, PlanCache::DiskEntry::State::kCurrent);
+    } else if (e.file == "notes.txt") {
+      EXPECT_EQ(e.state, PlanCache::DiskEntry::State::kForeign);
+    } else {
+      EXPECT_EQ(e.state, PlanCache::DiskEntry::State::kStale) << e.file;
+    }
+  }
+}
+
+TEST_F(PlanCacheTest, ScanDiskEmptyWhenMemoryOnlyOrDirMissing) {
+  PlanCache memory_only;
+  EXPECT_TRUE(memory_only.scan_disk().empty());
+  PlanCache missing((dir_ / "never_created").string());
+  EXPECT_TRUE(missing.scan_disk().empty());
+}
+
+TEST_F(PlanCacheTest, PurgeStaleRemovesOnlyStaleEntries) {
+  const PlanKey key{5, Solution::kEdgeDisjoint, 0};
+  PlanCache cache(dir_.string());
+  cache.get_or_build(key);
+  const std::string current = PlanCache::file_name(key);
+  plant_file(dir_, "plan_q5_s1_st0_pfar-builder-0.pfar");  // old version
+  plant_file(dir_, current + ".tmp");                      // orphaned temp
+  plant_file(dir_, "notes.txt");                           // foreign
+
+  EXPECT_EQ(cache.purge_stale(), 2);
+  EXPECT_TRUE(fs::exists(dir_ / current));     // current survives
+  EXPECT_TRUE(fs::exists(dir_ / "notes.txt"));  // foreign never touched
+  EXPECT_FALSE(fs::exists(dir_ / "plan_q5_s1_st0_pfar-builder-0.pfar"));
+  EXPECT_FALSE(fs::exists(dir_ / (current + ".tmp")));
+  EXPECT_EQ(cache.purge_stale(), 0);  // idempotent once clean
+  // The surviving current entry still loads.
+  PlanCache fresh(dir_.string());
+  EXPECT_NE(fresh.lookup(key), nullptr);
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+}
+
+TEST_F(PlanCacheTest, PurgeStaleOnMemoryOnlyCacheIsANoOp) {
+  PlanCache cache;
+  EXPECT_EQ(cache.purge_stale(), 0);
+}
+
 }  // namespace
 }  // namespace pfar::core

@@ -1,0 +1,33 @@
+// Thread-safety analysis fixture (negative half): guarded_account_ok.cpp
+// with the lock in deposit() removed. Clang's -Wthread-safety MUST reject
+// this file ("writing variable 'balance_' requires holding mutex 'mu_'");
+// if it compiles clean the analysis is not actually running and the CI job
+// fails. Never compiled by CMake.
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // no lock: the analysis must flag this line
+  }
+
+  int balance() {
+    pfar::util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  pfar::util::Mutex mu_;
+  int balance_ PFAR_GUARDED_BY(mu_) = 0;
+};
+
+int use() {
+  Account account;
+  account.deposit(42);
+  return account.balance();
+}
+
+}  // namespace fixture

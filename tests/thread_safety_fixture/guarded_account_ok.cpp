@@ -1,0 +1,37 @@
+// Thread-safety analysis fixture (positive half): correct locking under
+// the annotations in util/thread_annotations.hpp. This file must compile
+// with zero diagnostics under
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror
+// proving the macros expand to attributes Clang accepts.
+//
+// Compiled only by tools/check_thread_safety.sh and the thread-safety CI
+// job, never by CMake.
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    pfar::util::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    pfar::util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  pfar::util::Mutex mu_;
+  int balance_ PFAR_GUARDED_BY(mu_) = 0;
+};
+
+int use() {
+  Account account;
+  account.deposit(42);
+  return account.balance();
+}
+
+}  // namespace fixture

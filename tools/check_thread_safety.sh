@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Thread-safety analysis self-check. Two halves:
+#
+#  1. Fixture check: the annotated-but-unlocked fixture MUST produce a
+#     -Wthread-safety diagnostic and the correctly-locked twin MUST compile
+#     clean. This catches the silent failure mode where the macros expand
+#     to nothing (wrong compiler, wrong guards) and the analysis "passes"
+#     vacuously.
+#  2. Tree check (optional, --tree BUILD_DIR): recompile every TU in the
+#     compile database with -fsyntax-only -Wthread-safety promoted to
+#     errors. CI does this via a dedicated Clang build instead; the flag
+#     exists for local use.
+#
+# Needs Clang: GCC does not implement the analysis, so without clang++ the
+# script skips with exit 0 (CI installs Clang and therefore enforces it).
+
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cxx=${CLANGXX:-clang++}
+
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "== $cxx not installed; skipping thread-safety check (CI runs it)"
+  exit 0
+fi
+
+flags="-std=c++20 -fsyntax-only -I$repo_root/src \
+  -Wthread-safety -Wthread-safety-beta"
+fixture_dir="$repo_root/tests/thread_safety_fixture"
+status=0
+
+# Positive fixture: zero diagnostics, warnings promoted to errors.
+# shellcheck disable=SC2086
+if ! "$cxx" $flags -Werror "$fixture_dir/guarded_account_ok.cpp"; then
+  echo "FAIL: correctly-locked fixture did not compile clean" >&2
+  status=1
+else
+  echo "ok: locked fixture compiles clean under -Wthread-safety"
+fi
+
+# Negative fixture: the missing lock MUST be diagnosed.
+# shellcheck disable=SC2086
+out=$("$cxx" $flags -Werror "$fixture_dir/guarded_account_bad.cpp" 2>&1)
+if [ $? -eq 0 ]; then
+  echo "FAIL: unlocked fixture compiled clean; the analysis is not running" >&2
+  status=1
+elif ! echo "$out" | grep -q "requires holding mutex"; then
+  echo "FAIL: unlocked fixture failed for the wrong reason:" >&2
+  echo "$out" >&2
+  status=1
+else
+  echo "ok: removing the lock produces a thread-safety diagnostic"
+fi
+
+# Optional whole-tree syntax-only sweep from the compile database.
+if [ "${1:-}" = "--tree" ]; then
+  build_dir=${2:-"$repo_root/build"}
+  db="$build_dir/compile_commands.json"
+  if [ ! -f "$db" ]; then
+    echo "error: no compile_commands.json in '$build_dir'" >&2
+    exit 2
+  fi
+  echo "== tree sweep (-fsyntax-only, warnings as errors)"
+  # Extract "file" entries without requiring jq.
+  files=$(sed -n 's/^ *"file": *"\(.*\)",*$/\1/p' "$db" | sort -u)
+  for f in $files; do
+    # shellcheck disable=SC2086
+    if ! "$cxx" $flags -Werror=thread-safety-analysis \
+        -I"$repo_root/bench" "$f"; then
+      echo "FAIL: $f" >&2
+      status=1
+    fi
+  done
+fi
+
+exit $status

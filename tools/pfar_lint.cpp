@@ -1,0 +1,1238 @@
+// pfar_lint — project-law lint for the pfar tree (docs/static_analysis.md).
+//
+// A standalone, dependency-free rule engine over the repository's own
+// sources: it encodes the determinism and concurrency conventions that
+// generic tools (clang-tidy, cppcheck) have no notion of. Driven off the
+// compile database (--compile-db): every translation unit the build
+// compiles is linted, plus the transitive closure of first-party
+// #include "..." headers they pull in — so coverage is exactly what ships,
+// with no clang plugin or AST dependency. Explicit file/directory
+// arguments are supported for fixtures and spot checks.
+//
+// Rules (each individually selectable with --rule, see --list-rules):
+//
+//   no-unordered-iteration  iterating a std::unordered_{map,set,...} in
+//                           result-affecting code under src/ — hash-table
+//                           order is the classic silent-nondeterminism bug
+//                           (golden tests and the bench gate both depend
+//                           on bit-identical output).
+//   no-wallclock-in-sim     rand/time/system_clock/random_device and
+//                           friends outside the allowlisted obsv/bench
+//                           timing sites; simulation results must be pure
+//                           functions of config and seed.
+//   no-pointer-ordering     ordered containers / comparators keyed by
+//                           pointer value — iteration order would depend
+//                           on the allocator.
+//   contract-coverage       public entry points of core/collectives/
+//                           service/simnet must assert their
+//                           preconditions via the contract layer.
+//   mutex-naming            every mutex in src/ must be the annotated
+//                           util::Mutex (thread_annotations.hpp) so
+//                           Clang's -Wthread-safety can see it; bare
+//                           std::mutex is invisible to the analysis.
+//
+// Suppressions: an allow-comment — the `pfar-lint` tag, a colon, then
+// `allow(<rule>) <reason>` — on the offending line or the line above
+// (reason mandatory), or a committed allowlist
+// (--allowlist, default tools/pfar_lint_allowlist.txt next to the
+// binary's repo) of `<path-prefix> <rule> <reason>` lines.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// ---------------------------------------------------------------------------
+// Source model: raw lines, code lines (comments + literals blanked with
+// spaces, same length), and per-line comment text (for suppressions).
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;  // normalized: '/'-separated, repo-relative when possible
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+void lex_file(SourceFile& f) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State st = State::kCode;
+  std::string raw_delim;  // for raw string literals: )delim"
+  f.code.resize(f.raw.size());
+  f.comment.resize(f.raw.size());
+  for (std::size_t li = 0; li < f.raw.size(); ++li) {
+    const std::string& line = f.raw[li];
+    std::string& code = f.code[li];
+    std::string& comment = f.comment[li];
+    code.assign(line.size(), ' ');
+    if (st == State::kLineComment || st == State::kString ||
+        st == State::kChar) {
+      st = State::kCode;  // none of these survive a newline (no \ handling)
+    }
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      switch (st) {
+        case State::kCode:
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            comment.append(line.substr(i + 2));
+            i = line.size();
+            break;
+          }
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            st = State::kBlockComment;
+            ++i;
+            break;
+          }
+          if (c == '"') {
+            // Raw string literal? look back for R / u8R / LR / uR / UR.
+            std::size_t r = i;
+            if (r > 0 && line[r - 1] == 'R' &&
+                (r < 2 || !is_ident_char(line[r - 2]) || line[r - 2] == '8' ||
+                 line[r - 2] == 'u' || line[r - 2] == 'U' ||
+                 line[r - 2] == 'L')) {
+              std::size_t p = i + 1;
+              std::string delim;
+              while (p < line.size() && line[p] != '(') delim += line[p++];
+              raw_delim = ")" + delim + "\"";
+              st = State::kRawString;
+              i = p;  // at '(' or end
+              break;
+            }
+            st = State::kString;
+            code[i] = '"';
+            break;
+          }
+          if (c == '\'') {
+            // Heuristic: a digit separator (1'000) is not a char literal.
+            if (i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) != 0 &&
+                i + 1 < line.size() &&
+                (std::isdigit(static_cast<unsigned char>(line[i + 1])) != 0)) {
+              code[i] = c;
+              break;
+            }
+            st = State::kChar;
+            code[i] = '\'';
+            break;
+          }
+          code[i] = c;
+          break;
+        case State::kLineComment:
+          break;  // unreachable (handled above)
+        case State::kBlockComment:
+          if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            st = State::kCode;
+            ++i;
+          } else {
+            comment += c;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            st = State::kCode;
+            code[i] = '"';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            st = State::kCode;
+            code[i] = '\'';
+          }
+          break;
+        case State::kRawString: {
+          const std::size_t hit = line.find(raw_delim, i);
+          if (hit == std::string::npos) {
+            i = line.size();
+          } else {
+            i = hit + raw_delim.size() - 1;
+            st = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Findings, rules, suppressions
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void check(const SourceFile& f, std::vector<Finding>& out) const = 0;
+
+ protected:
+  static void add(std::vector<Finding>& out, const SourceFile& f,
+                  std::size_t line_idx, std::string_view rule,
+                  std::string message) {
+    out.push_back(Finding{f.path, static_cast<int>(line_idx) + 1,
+                          std::string(rule), std::move(message)});
+  }
+};
+
+/// Inline suppression: the `pfar-lint` tag, a colon, then a comma-
+/// separated allow(...) list and a reason. Covers the comment's own line
+/// and the next line. A missing reason or a rule id no registered rule
+/// owns is itself reported (pseudo-rule `suppression`), so stale allows
+/// can't accumulate silently.
+struct Suppressions {
+  // line (0-based) -> rule ids allowed on that line
+  std::map<std::size_t, std::set<std::string>> by_line;
+  std::vector<Finding> malformed;
+
+  bool covers(const Finding& fi, std::size_t line_idx) const {
+    for (std::size_t l : {line_idx, line_idx > 0 ? line_idx - 1 : line_idx}) {
+      auto it = by_line.find(l);
+      if (it != by_line.end() &&
+          (it->second.count(fi.rule) != 0 || it->second.count("*") != 0)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+Suppressions scan_suppressions(const SourceFile& f,
+                               const std::set<std::string>& known_rules) {
+  Suppressions s;
+  const std::string tag = "pfar-lint:";
+  for (std::size_t li = 0; li < f.comment.size(); ++li) {
+    const std::string& c = f.comment[li];
+    const std::size_t at = c.find(tag);
+    if (at == std::string::npos) continue;
+    std::string rest = trim(c.substr(at + tag.size()));
+    if (!starts_with(rest, "allow(")) {
+      s.malformed.push_back(
+          Finding{f.path, static_cast<int>(li) + 1, "suppression",
+                  "malformed pfar-lint comment; expected "
+                  "'pfar-lint: allow(<rule>) <reason>'"});
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      s.malformed.push_back(Finding{f.path, static_cast<int>(li) + 1,
+                                    "suppression",
+                                    "unterminated allow(...) list"});
+      continue;
+    }
+    const std::string reason = trim(rest.substr(close + 1));
+    std::stringstream ids(rest.substr(6, close - 6));
+    std::string id;
+    bool any = false;
+    while (std::getline(ids, id, ',')) {
+      id = trim(id);
+      if (id.empty()) continue;
+      any = true;
+      if (id != "*" && known_rules.count(id) == 0) {
+        s.malformed.push_back(
+            Finding{f.path, static_cast<int>(li) + 1, "suppression",
+                    "allow() names unknown rule '" + id + "'"});
+        continue;
+      }
+      s.by_line[li].insert(id);
+    }
+    if (!any) {
+      s.malformed.push_back(Finding{f.path, static_cast<int>(li) + 1,
+                                    "suppression", "empty allow() list"});
+    }
+    if (reason.empty()) {
+      s.malformed.push_back(
+          Finding{f.path, static_cast<int>(li) + 1, "suppression",
+                  "suppression without a reason; append why after allow()"});
+    }
+  }
+  return s;
+}
+
+/// Committed allowlist: `<path-prefix> <rule|*> <reason...>` per line.
+struct Allowlist {
+  struct Entry {
+    std::string prefix;
+    std::string rule;
+  };
+  std::vector<Entry> entries;
+
+  bool covers(const Finding& fi) const {
+    for (const Entry& e : entries) {
+      if ((e.rule == "*" || e.rule == fi.rule) &&
+          starts_with(fi.file, e.prefix)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Token scanning over code lines
+// ---------------------------------------------------------------------------
+
+struct TokenHit {
+  std::size_t line = 0;  // 0-based
+  std::size_t col = 0;
+};
+
+/// All occurrences of `ident` as a whole identifier in the code lines.
+std::vector<TokenHit> find_ident(const SourceFile& f, std::string_view ident) {
+  std::vector<TokenHit> hits;
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    std::size_t pos = 0;
+    while ((pos = line.find(ident, pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      const std::size_t end = pos + ident.size();
+      const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+      if (left_ok && right_ok) hits.push_back(TokenHit{li, pos});
+      pos = end;
+    }
+  }
+  return hits;
+}
+
+/// First non-space character after (line, col), scanning forward across
+/// lines; returns '\0' at EOF.
+char next_nonspace(const SourceFile& f, std::size_t line, std::size_t col) {
+  for (std::size_t li = line; li < f.code.size(); ++li) {
+    const std::string& l = f.code[li];
+    for (std::size_t i = (li == line ? col : 0); i < l.size(); ++i) {
+      if (std::isspace(static_cast<unsigned char>(l[i])) == 0) return l[i];
+    }
+  }
+  return '\0';
+}
+
+/// Given the position of a '<' in f.code, returns the text of the template
+/// argument list up to its matching '>' (exclusive), spanning lines, or
+/// nullopt if unbalanced within `max_lines`.
+std::optional<std::string> balanced_angle(const SourceFile& f,
+                                          std::size_t line, std::size_t col,
+                                          std::size_t max_lines = 12) {
+  std::string out;
+  int depth = 0;
+  for (std::size_t li = line; li < f.code.size() && li < line + max_lines;
+       ++li) {
+    const std::string& l = f.code[li];
+    for (std::size_t i = (li == line ? col : 0); i < l.size(); ++i) {
+      const char c = l[i];
+      if (c == '<') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == '>') {
+        // Ignore arrows and shift operators.
+        if (i > 0 && (l[i - 1] == '-' || l[i - 1] == '>')) continue;
+        --depth;
+        if (depth == 0) return out;
+      }
+      if (depth >= 1) out += c;
+    }
+    out += ' ';
+  }
+  return std::nullopt;
+}
+
+/// First top-level (comma-split at angle depth 0) segment of a template
+/// argument list.
+std::string first_template_arg(const std::string& args) {
+  int depth = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '<' || c == '(') ++depth;
+    if (c == '>' || c == ')') --depth;
+    if (c == ',' && depth == 0) return trim(args.substr(0, i));
+  }
+  return trim(args);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unordered-iteration
+// ---------------------------------------------------------------------------
+
+class NoUnorderedIteration final : public Rule {
+ public:
+  std::string_view id() const override { return "no-unordered-iteration"; }
+  std::string_view description() const override {
+    return "no iteration over std::unordered_* containers in result-"
+           "affecting code under src/ (hash order is nondeterministic)";
+  }
+
+  void check(const SourceFile& f, std::vector<Finding>& out) const override {
+    if (!starts_with(f.path, "src/")) return;
+    // Pass 1: names declared with an unordered type on the declaration line.
+    std::set<std::string> names;
+    for (const char* type : {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"}) {
+      for (const TokenHit& h : find_ident(f, type)) {
+        const std::string& l = f.code[h.line];
+        std::size_t lt = l.find('<', h.col);
+        if (lt == std::string::npos) continue;
+        auto args = balanced_angle(f, h.line, lt);
+        if (!args) continue;
+        // The identifier after the closing '>' (skipping &, spaces) is the
+        // declared name, if this is a declaration.
+        std::string after;
+        {
+          // Re-scan to locate the char just past the matching '>'.
+          int depth = 0;
+          bool done = false;
+          for (std::size_t li = h.line; li < f.code.size() && !done; ++li) {
+            const std::string& cl = f.code[li];
+            for (std::size_t i = (li == h.line ? lt : 0); i < cl.size(); ++i) {
+              const char c = cl[i];
+              if (c == '<') ++depth;
+              if (c == '>') {
+                if (i > 0 && (cl[i - 1] == '-' || cl[i - 1] == '>')) continue;
+                --depth;
+                if (depth == 0) {
+                  after = cl.substr(i + 1);
+                  // take next line too, declarations may wrap
+                  if (li + 1 < f.code.size()) after += " " + f.code[li + 1];
+                  done = true;
+                  break;
+                }
+              }
+            }
+          }
+        }
+        std::string t = trim(after);
+        while (!t.empty() && (t[0] == '&' || t[0] == '*')) t = trim(t.substr(1));
+        std::string name;
+        for (char c : t) {
+          if (is_ident_char(c)) {
+            name += c;
+          } else {
+            break;
+          }
+        }
+        if (!name.empty()) names.insert(name);
+      }
+    }
+    // Pass 2: range-for over an unordered temporary or a recorded name,
+    // and explicit .begin() iteration over a recorded name.
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& l = f.code[li];
+      const std::size_t fpos = l.find("for");
+      if (fpos != std::string::npos &&
+          (fpos == 0 || !is_ident_char(l[fpos - 1])) &&
+          (fpos + 3 >= l.size() || !is_ident_char(l[fpos + 3]))) {
+        // Extract "for (<head>)": balance parens (range may span lines).
+        std::size_t open = l.find('(', fpos);
+        if (open != std::string::npos) {
+          std::string head;
+          int depth = 0;
+          bool closed = false;
+          for (std::size_t lj = li; lj < f.code.size() && lj < li + 6 && !closed;
+               ++lj) {
+            const std::string& cl = f.code[lj];
+            for (std::size_t i = (lj == li ? open : 0); i < cl.size(); ++i) {
+              const char c = cl[i];
+              if (c == '(') ++depth;
+              if (c == ')') {
+                --depth;
+                if (depth == 0) {
+                  closed = true;
+                  break;
+                }
+              }
+              if (depth >= 1 && !(c == '(' && depth == 1)) head += c;
+            }
+            head += ' ';
+          }
+          const std::size_t colon = find_top_level_colon(head);
+          if (closed && colon != std::string::npos) {
+            const std::string range = trim(head.substr(colon + 1));
+            if (range.find("unordered_") != std::string::npos) {
+              add(out, f, li, id(),
+                  "range-for over an unordered container expression; "
+                  "iteration order is nondeterministic");
+            } else {
+              std::string base;
+              for (char c : range) {
+                if (is_ident_char(c)) {
+                  base += c;
+                } else {
+                  break;
+                }
+              }
+              if (!base.empty() && names.count(base) != 0) {
+                add(out, f, li, id(),
+                    "range-for over unordered container '" + base +
+                        "'; iteration order is nondeterministic");
+              }
+            }
+          }
+        }
+      }
+      // name.begin() / name.cbegin() / name.rbegin()
+      for (const std::string& n : names) {
+        std::size_t pos = 0;
+        while ((pos = l.find(n, pos)) != std::string::npos) {
+          const std::size_t end = pos + n.size();
+          const bool ident_ok =
+              (pos == 0 || !is_ident_char(l[pos - 1])) &&
+              (end < l.size() && !is_ident_char(l[end]));
+          if (ident_ok) {
+            const std::string rest = l.substr(end);
+            if (starts_with(rest, ".begin(") || starts_with(rest, ".cbegin(") ||
+                starts_with(rest, ".rbegin(")) {
+              add(out, f, li, id(),
+                  "iterator walk over unordered container '" + n +
+                      "'; iteration order is nondeterministic");
+            }
+          }
+          pos = end;
+        }
+      }
+    }
+  }
+
+ private:
+  /// Position of the range-for ':' in a for-head (not '::', not inside
+  /// parens/brackets/braces/angles).
+  static std::size_t find_top_level_colon(const std::string& head) {
+    int depth = 0;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      const char c = head[i];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      if (c == ':' && depth == 0) {
+        if (i + 1 < head.size() && head[i + 1] == ':') {
+          ++i;
+          continue;
+        }
+        if (i > 0 && head[i - 1] == ':') continue;
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: no-wallclock-in-sim
+// ---------------------------------------------------------------------------
+
+class NoWallclockInSim final : public Rule {
+ public:
+  std::string_view id() const override { return "no-wallclock-in-sim"; }
+  std::string_view description() const override {
+    return "no wall-clock or ambient-entropy calls (rand, time, "
+           "system_clock, random_device, ...) outside allowlisted "
+           "obsv/bench timing sites; results must be functions of config "
+           "and seed only";
+  }
+
+  void check(const SourceFile& f, std::vector<Finding>& out) const override {
+    if (!starts_with(f.path, "src/") && !starts_with(f.path, "tools/") &&
+        !starts_with(f.path, "bench/")) {
+      return;
+    }
+    // Unconditionally banned identifiers, wherever they appear.
+    for (const char* ident :
+         {"random_device", "system_clock", "steady_clock",
+          "high_resolution_clock", "gettimeofday", "clock_gettime",
+          "timespec_get", "localtime", "gmtime", "mktime", "srand",
+          "rand_r", "drand48"}) {
+      for (const TokenHit& h : find_ident(f, ident)) {
+        add(out, f, h.line, id(),
+            std::string("nondeterministic time/entropy source '") + ident +
+                "'; derive values from the config seed or virtual cycles");
+      }
+    }
+    // `rand`, `random`, `time`, `clock`: only as direct calls, and not as
+    // member accesses (sim code legitimately has .time()/clock_ fields).
+    for (const char* ident : {"rand", "random", "time", "clock"}) {
+      for (const TokenHit& h : find_ident(f, ident)) {
+        const std::string& l = f.code[h.line];
+        if (next_nonspace(f, h.line, h.col + std::string(ident).size()) !=
+            '(') {
+          continue;
+        }
+        // Reject member calls: `.time(` / `->clock(`; allow `std::time(`.
+        std::size_t p = h.col;
+        bool member = false;
+        bool std_qualified = false;
+        if (p >= 2 && l.compare(p - 2, 2, "::") == 0) {
+          std::size_t q = p - 2;
+          std::string qual;
+          while (q > 0 && is_ident_char(l[q - 1])) {
+            qual.insert(qual.begin(), l[q - 1]);
+            --q;
+          }
+          if (qual == "std") {
+            std_qualified = true;
+          } else {
+            member = true;  // SomeClass::time(...) — a project function
+          }
+        } else if (p >= 1 && (l[p - 1] == '.' ||
+                              (p >= 2 && l.compare(p - 2, 2, "->") == 0))) {
+          member = true;
+        }
+        if (member) continue;
+        // Unqualified declarations like `long long time = ...` were already
+        // excluded by the '(' requirement; `time(x)` style macros in sim
+        // code do not exist.
+        (void)std_qualified;
+        add(out, f, h.line, id(),
+            std::string("call to wall-clock/entropy function '") + ident +
+                "'; use util/rng.hpp seeded streams or virtual cycles");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: no-pointer-ordering
+// ---------------------------------------------------------------------------
+
+class NoPointerOrdering final : public Rule {
+ public:
+  std::string_view id() const override { return "no-pointer-ordering"; }
+  std::string_view description() const override {
+    return "no ordered containers or comparators keyed by raw pointer "
+           "value (allocation order leaks into iteration order)";
+  }
+
+  void check(const SourceFile& f, std::vector<Finding>& out) const override {
+    if (!starts_with(f.path, "src/") && !starts_with(f.path, "tools/")) {
+      return;
+    }
+    for (const char* type : {"map", "set", "multimap", "multiset",
+                             "priority_queue", "less", "greater"}) {
+      for (const TokenHit& h : find_ident(f, type)) {
+        const std::string& l = f.code[h.line];
+        // Require std:: (or pfar-free) qualification to skip project types
+        // named e.g. TreeSet; `std::` immediately before the token.
+        if (h.col < 5 || l.compare(h.col - 5, 5, "std::") != 0) continue;
+        const std::size_t lt = l.find('<', h.col);
+        if (lt == std::string::npos ||
+            trim(l.substr(h.col + std::string(type).size(),
+                          lt - h.col - std::string(type).size()))
+                    .empty() == false) {
+          continue;
+        }
+        auto args = balanced_angle(f, h.line, lt);
+        if (!args) continue;
+        const std::string key = first_template_arg(*args);
+        if (!key.empty() && key.back() == '*') {
+          add(out, f, h.line, id(),
+              std::string("std::") + type + " keyed by pointer type '" + key +
+                  "'; key by stable index or id instead");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: contract-coverage
+// ---------------------------------------------------------------------------
+
+class ContractCoverage final : public Rule {
+ public:
+  std::string_view id() const override { return "contract-coverage"; }
+  std::string_view description() const override {
+    return "public entry points (namespace-scope function definitions in "
+           "src/{core,collectives,service,simnet}/*.cpp with a non-trivial "
+           "body) must assert preconditions via PFAR_REQUIRE / PFAR_ENSURE "
+           "/ PFAR_INVARIANT";
+  }
+
+  void check(const SourceFile& f, std::vector<Finding>& out) const override {
+    static const char* kDirs[] = {"src/core/", "src/collectives/",
+                                  "src/service/", "src/simnet/"};
+    bool in_scope = false;
+    for (const char* d : kDirs) in_scope = in_scope || starts_with(f.path, d);
+    if (!in_scope || !ends_with(f.path, ".cpp")) return;
+
+    // A tiny structural scan: track brace nesting with a kind per scope.
+    enum class ScopeKind { kNamespace, kAnonNamespace, kType, kFunction, kOther };
+    struct Scope {
+      ScopeKind kind;
+      std::size_t header_line;
+      std::string name;        // functions only
+      bool has_contract;       // functions only
+      int body_lines;          // functions only: non-blank code lines
+    };
+    std::vector<Scope> stack;
+    std::string header;           // accumulated tokens since last ; { }
+    std::size_t header_line = 0;  // line where the accumulation started
+    bool header_fresh = true;
+
+    auto at_namespace_scope = [&] {
+      for (const Scope& s : stack) {
+        if (s.kind != ScopeKind::kNamespace &&
+            s.kind != ScopeKind::kAnonNamespace) {
+          return false;
+        }
+      }
+      return true;
+    };
+    auto in_anon_namespace = [&] {
+      for (const Scope& s : stack) {
+        if (s.kind == ScopeKind::kAnonNamespace) return true;
+      }
+      return false;
+    };
+
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& l = f.code[li];
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        const char c = l[i];
+        if (header_fresh && std::isspace(static_cast<unsigned char>(c)) == 0) {
+          header_line = li;
+          header_fresh = false;
+        }
+        if (c == '{') {
+          const std::string h = trim(header);
+          Scope s{ScopeKind::kOther, header_line, "", false, 0};
+          if (!at_namespace_scope()) {
+            // inside a function/type: plain block, lambda, initializer...
+            s.kind = ScopeKind::kOther;
+          } else if (h.find("namespace") != std::string::npos &&
+                     h.find('(') == std::string::npos) {
+            const std::string after =
+                trim(h.substr(h.find("namespace") + 9));
+            s.kind = after.empty() ? ScopeKind::kAnonNamespace
+                                   : ScopeKind::kNamespace;
+          } else if (looks_like_type(h)) {
+            s.kind = ScopeKind::kType;
+          } else {
+            const std::string name = function_name(h);
+            if (!name.empty() && !in_anon_namespace() &&
+                !starts_with(h, "static ")) {
+              s.kind = ScopeKind::kFunction;
+              s.name = name;
+            }
+          }
+          stack.push_back(s);
+          header.clear();
+          header_fresh = true;
+        } else if (c == '}') {
+          if (!stack.empty()) {
+            Scope s = stack.back();
+            stack.pop_back();
+            if (s.kind == ScopeKind::kFunction && !s.has_contract &&
+                s.body_lines >= kMinBodyLines) {
+              add(out, f, s.header_line, id(),
+                  "public entry point '" + s.name +
+                      "' asserts no preconditions; add a PFAR_REQUIRE "
+                      "(or suppress with a reason)");
+            }
+            // nested function bodies / blocks count toward the enclosing
+            // function's size and contract status
+            if (!stack.empty()) {
+              for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (it->kind == ScopeKind::kFunction) {
+                  it->body_lines += s.body_lines;
+                  break;
+                }
+              }
+            }
+          }
+          header.clear();
+          header_fresh = true;
+        } else if (c == ';') {
+          // Statement/declaration boundary outside braces.
+          header.clear();
+          header_fresh = true;
+        } else {
+          header += c;
+        }
+      }
+      header += ' ';
+      // Per-line body accounting + contract detection for the innermost
+      // function on the stack.
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->kind != ScopeKind::kFunction) continue;
+        if (!trim(l).empty()) ++it->body_lines;
+        if (l.find("PFAR_REQUIRE") != std::string::npos ||
+            l.find("PFAR_ENSURE") != std::string::npos ||
+            l.find("PFAR_INVARIANT") != std::string::npos) {
+          it->has_contract = true;
+        }
+        break;
+      }
+    }
+  }
+
+ private:
+  static constexpr int kMinBodyLines = 3;  // skip trivial forwarders
+
+  static bool looks_like_type(const std::string& h) {
+    for (const char* kw : {"struct", "class", "union", "enum"}) {
+      const std::size_t p = h.find(kw);
+      if (p != std::string::npos &&
+          (p == 0 || !is_ident_char(h[p - 1])) &&
+          (p + std::string(kw).size() >= h.size() ||
+           !is_ident_char(h[p + std::string(kw).size()]))) {
+        // `enum class Foo {` yes; `struct` in a parameter list of a
+        // function header would have '(' before it.
+        const std::size_t paren = h.find('(');
+        if (paren == std::string::npos || p < paren) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Name of the function a definition header defines, or "" if the header
+  /// is not a function definition we hold to the contract rule.
+  static std::string function_name(const std::string& h) {
+    const std::size_t paren = h.find('(');
+    if (paren == std::string::npos) return "";
+    // `=` before the '(' means an initializer (lambda, function pointer).
+    const std::size_t eq = h.find('=');
+    if (eq != std::string::npos && eq < paren) return "";
+    std::size_t e = paren;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(h[e - 1])) != 0)
+      --e;
+    std::size_t b = e;
+    while (b > 0 && (is_ident_char(h[b - 1]) || h[b - 1] == ':' ||
+                     h[b - 1] == '~')) {
+      --b;
+    }
+    std::string name = h.substr(b, e - b);
+    if (name.empty()) return "";
+    for (const char* kw : {"if", "for", "while", "switch", "catch",
+                           "return", "sizeof", "alignof", "decltype"}) {
+      if (name == kw) return "";
+    }
+    if (name == "main") return "";
+    if (name.find('~') != std::string::npos) return "";       // destructor
+    if (name.find("operator") != std::string::npos) return "";
+    return name;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: mutex-naming
+// ---------------------------------------------------------------------------
+
+class MutexNaming final : public Rule {
+ public:
+  std::string_view id() const override { return "mutex-naming"; }
+  std::string_view description() const override {
+    return "mutexes in src/ must be the annotated util::Mutex "
+           "(thread_annotations.hpp) with PFAR_GUARDED_BY on the state "
+           "they guard; bare std::mutex is invisible to -Wthread-safety";
+  }
+
+  void check(const SourceFile& f, std::vector<Finding>& out) const override {
+    if (!starts_with(f.path, "src/")) return;
+    if (f.path == "src/util/thread_annotations.hpp") return;  // the wrapper
+    for (const char* type :
+         {"mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
+          "shared_mutex", "shared_timed_mutex"}) {
+      for (const TokenHit& h : find_ident(f, type)) {
+        const std::string& l = f.code[h.line];
+        if (h.col < 5 || l.compare(h.col - 5, 5, "std::") != 0) continue;
+        // `#include <mutex>` lines have no std:: so they never match; a
+        // template arg like std::lock_guard<std::mutex> matches and is
+        // exactly what must not appear.
+        add(out, f, h.line, id(),
+            std::string("bare std::") + type +
+                "; declare util::Mutex + PFAR_GUARDED_BY so the "
+                "thread-safety analysis can see it");
+      }
+    }
+    for (const TokenHit& h : find_ident(f, "condition_variable")) {
+      const std::string& l = f.code[h.line];
+      if (h.col < 5 || l.compare(h.col - 5, 5, "std::") != 0) continue;
+      add(out, f, h.line, id(),
+          "std::condition_variable requires a bare std::mutex; use "
+          "std::condition_variable_any waiting on util::Mutex");
+    }
+    // A util::Mutex member in a file with no PFAR_GUARDED_BY at all is a
+    // smell: the lock exists but guards nothing the analysis can check.
+    bool has_guarded_by = false;
+    for (const std::string& l : f.code) {
+      if (l.find("PFAR_GUARDED_BY") != std::string::npos) {
+        has_guarded_by = true;
+        break;
+      }
+    }
+    if (!has_guarded_by) {
+      for (const TokenHit& h : find_ident(f, "Mutex")) {
+        const std::string& l = f.code[h.line];
+        // Declaration shape: `Mutex name;` / `util::Mutex name;`.
+        std::size_t p = h.col + 5;
+        while (p < l.size() &&
+               std::isspace(static_cast<unsigned char>(l[p])) != 0) {
+          ++p;
+        }
+        std::size_t e = p;
+        while (e < l.size() && is_ident_char(l[e])) ++e;
+        if (e > p && e < l.size() && l[e] == ';') {
+          add(out, f, h.line, id(),
+              "util::Mutex member but no PFAR_GUARDED_BY anywhere in this "
+              "file; annotate the state the lock protects");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::string normalize_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path abs = fs::weakly_canonical(p, ec);
+  if (ec) abs = fs::absolute(p, ec);
+  fs::path rel = fs::relative(abs, root, ec);
+  std::string s = (ec || rel.empty() || *rel.begin() == "..")
+                      ? abs.generic_string()
+                      : rel.generic_string();
+  return s;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+std::optional<SourceFile> load_file(const fs::path& p, const fs::path& root) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  SourceFile f;
+  f.path = normalize_path(p, root);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.raw.push_back(line);
+  }
+  lex_file(f);
+  return f;
+}
+
+/// Minimal extraction of every "file" value from compile_commands.json.
+std::vector<std::string> compile_db_files(const fs::path& db) {
+  std::ifstream in(db);
+  if (!in) return {};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::vector<std::string> files;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == ':')) {
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] != '"') continue;
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      value += text[pos++];
+    }
+    files.push_back(value);
+  }
+  return files;
+}
+
+/// First-party #include "..." targets of a file, resolved against the
+/// including file's directory and the repo's src/ root.
+std::vector<fs::path> local_includes(const SourceFile& f, const fs::path& file,
+                                     const fs::path& root) {
+  std::vector<fs::path> found;
+  for (const std::string& line : f.raw) {
+    const std::string t = trim(line);
+    if (!starts_with(t, "#include")) continue;
+    const std::size_t a = t.find('"');
+    if (a == std::string::npos) continue;
+    const std::size_t b = t.find('"', a + 1);
+    if (b == std::string::npos) continue;
+    const std::string target = t.substr(a + 1, b - a - 1);
+    for (const fs::path& base :
+         {file.parent_path(), root / "src", root / "bench", root / "tools"}) {
+      std::error_code ec;
+      const fs::path cand = base / target;
+      if (fs::exists(cand, ec) && !ec) {
+        found.push_back(cand);
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string compile_db;
+  std::string root = ".";
+  std::vector<std::string> allowlists;
+  std::set<std::string> only_rules;
+  bool list_rules = false;
+};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: pfar_lint [--compile-db FILE] [--root DIR]\n"
+        "                 [--allowlist FILE]... [--rule ID]... [--list-rules]\n"
+        "                 [path...]\n"
+        "Lints the pfar tree's determinism/concurrency law "
+        "(docs/static_analysis.md).\n"
+        "Paths are files or directories; directories recurse over "
+        "*.cpp/*.hpp\n"
+        "(skipping lint_fixtures). With --compile-db, lints every TU in "
+        "the\n"
+        "compile database plus first-party headers they include.\n"
+        "Exit: 0 clean, 1 findings, 2 usage/config error.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "pfar_lint: " << flag << " needs a value\n";
+        std::exit(usage(std::cerr, 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--compile-db") {
+      opt.compile_db = need_value("--compile-db");
+    } else if (arg == "--root") {
+      opt.root = need_value("--root");
+    } else if (arg == "--allowlist") {
+      opt.allowlists.push_back(need_value("--allowlist"));
+    } else if (arg == "--rule") {
+      opt.only_rules.insert(need_value("--rule"));
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (starts_with(arg, "--")) {
+      std::cerr << "pfar_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<NoUnorderedIteration>());
+  rules.push_back(std::make_unique<NoWallclockInSim>());
+  rules.push_back(std::make_unique<NoPointerOrdering>());
+  rules.push_back(std::make_unique<ContractCoverage>());
+  rules.push_back(std::make_unique<MutexNaming>());
+
+  if (opt.list_rules) {
+    for (const auto& r : rules) {
+      std::cout << r->id() << "\n    " << r->description() << "\n";
+    }
+    return 0;
+  }
+
+  std::set<std::string> known_rules;
+  for (const auto& r : rules) known_rules.insert(std::string(r->id()));
+  for (const std::string& id : opt.only_rules) {
+    if (known_rules.count(id) == 0) {
+      std::cerr << "pfar_lint: unknown rule '" << id
+                << "' (see --list-rules)\n";
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  const fs::path root = fs::weakly_canonical(opt.root, ec);
+  if (ec || !fs::is_directory(root)) {
+    std::cerr << "pfar_lint: --root '" << opt.root
+              << "' is not a directory\n";
+    return 2;
+  }
+
+  // Assemble the file set.
+  std::vector<fs::path> queue;
+  if (!opt.compile_db.empty()) {
+    if (!fs::exists(opt.compile_db)) {
+      std::cerr << "pfar_lint: compile database '" << opt.compile_db
+                << "' not found\n";
+      return 2;
+    }
+    for (const std::string& file : compile_db_files(opt.compile_db)) {
+      queue.emplace_back(file);
+    }
+    if (queue.empty()) {
+      std::cerr << "pfar_lint: no entries in '" << opt.compile_db << "'\n";
+      return 2;
+    }
+  }
+  for (const std::string& p : opt.paths) {
+    if (!fs::exists(p)) {
+      std::cerr << "pfar_lint: path '" << p << "' does not exist\n";
+      return 2;
+    }
+    if (fs::is_directory(p)) {
+      // Skip the deliberately-violating test fixtures — unless the walk was
+      // explicitly pointed inside them (tests/lint_tool_test.cpp does).
+      const bool fixtures_requested =
+          fs::weakly_canonical(p, ec).generic_string().find("lint_fixtures") !=
+          std::string::npos;
+      for (fs::recursive_directory_iterator it(p), end; it != end; ++it) {
+        const std::string s = it->path().generic_string();
+        if (!fixtures_requested &&
+            s.find("lint_fixtures") != std::string::npos) {
+          continue;
+        }
+        if (it->is_regular_file() && lintable_extension(it->path())) {
+          queue.push_back(it->path());
+        }
+      }
+    } else {
+      queue.push_back(p);
+    }
+  }
+  if (queue.empty()) {
+    std::cerr << "pfar_lint: nothing to lint (give paths or --compile-db)\n";
+    return 2;
+  }
+
+  Allowlist allow;
+  for (const std::string& al : opt.allowlists) {
+    std::ifstream in(al);
+    if (!in) {
+      std::cerr << "pfar_lint: cannot read allowlist '" << al << "'\n";
+      return 2;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::string t = trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      std::istringstream fields(t);
+      std::string prefix, rule, reason;
+      fields >> prefix >> rule;
+      std::getline(fields, reason);
+      if (prefix.empty() || rule.empty() || trim(reason).empty()) {
+        std::cerr << "pfar_lint: " << al << ":" << lineno
+                  << ": allowlist lines are '<path-prefix> <rule> "
+                     "<reason>'\n";
+        return 2;
+      }
+      if (rule != "*" && known_rules.count(rule) == 0) {
+        std::cerr << "pfar_lint: " << al << ":" << lineno
+                  << ": unknown rule '" << rule << "'\n";
+        return 2;
+      }
+      allow.entries.push_back(Allowlist::Entry{prefix, rule});
+    }
+  }
+
+  // Lint, following first-party includes once each.
+  std::set<std::string> seen;
+  std::vector<Finding> findings;
+  std::size_t files_linted = 0;
+  std::size_t suppressed = 0;
+  while (!queue.empty()) {
+    const fs::path p = queue.back();
+    queue.pop_back();
+    if (!lintable_extension(p)) continue;
+    auto file = load_file(p, root);
+    if (!file) continue;  // e.g. generated TU outside the tree
+    if (!seen.insert(file->path).second) continue;
+    ++files_linted;
+    if (!opt.compile_db.empty()) {
+      for (const fs::path& inc : local_includes(*file, p, root)) {
+        queue.push_back(inc);
+      }
+    }
+    const Suppressions sup = scan_suppressions(*file, known_rules);
+    for (const Finding& m : sup.malformed) findings.push_back(m);
+    std::vector<Finding> local;
+    for (const auto& r : rules) {
+      if (!opt.only_rules.empty() &&
+          opt.only_rules.count(std::string(r->id())) == 0) {
+        continue;
+      }
+      r->check(*file, local);
+    }
+    for (Finding& fi : local) {
+      const std::size_t line_idx =
+          fi.line > 0 ? static_cast<std::size_t>(fi.line - 1) : 0;
+      if (sup.covers(fi, line_idx) || allow.covers(fi)) {
+        ++suppressed;
+        continue;
+      }
+      findings.push_back(std::move(fi));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& fi : findings) {
+    std::cout << fi.file << ":" << fi.line << ": [" << fi.rule << "] "
+              << fi.message << "\n";
+  }
+  std::cout << "pfar_lint: " << findings.size() << " finding(s) in "
+            << files_linted << " file(s), " << suppressed
+            << " suppressed\n";
+  return findings.empty() ? 0 : 1;
+}
