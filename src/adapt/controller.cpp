@@ -1,0 +1,333 @@
+#include "adapt/controller.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/resilience.hpp"
+#include "obsv/recorder.hpp"
+#include "obsv/report.hpp"
+#include "trees/packing.hpp"
+#include "util/contracts.hpp"
+
+namespace pfar::adapt {
+namespace {
+
+/// Occupancy of `flits` on a directed link of `bandwidth` over `cycles`.
+double occupancy(long long flits, int bandwidth, long long cycles) {
+  if (cycles <= 0) return 0.0;
+  return static_cast<double>(flits) /
+         (static_cast<double>(bandwidth) * static_cast<double>(cycles));
+}
+
+/// Builds the graph spanned by the edges of `topology` whose id is marked
+/// available. Same vertex set, so any spanning tree of the result is a
+/// spanning tree of `topology`.
+graph::Graph subgraph(const graph::Graph& topology,
+                      const std::vector<char>& avail) {
+  graph::Graph g(topology.num_vertices());
+  const auto& edges = topology.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (avail[e]) g.add_edge(edges[e].u, edges[e].v);
+  }
+  g.finalize();
+  return g;
+}
+
+/// Runs the capacitated Algorithm 1 over the plan's final tree set and
+/// capacity scales — the re-weighting half of the controller, shared by
+/// every exit path of adapt_plan.
+AdaptedPlan finalize_plan(AdaptedPlan plan, const graph::Graph& topology,
+                          const CongestionMap& congestion) {
+  plan.bandwidths = model::compute_tree_bandwidths_capacitated(
+      topology, plan.trees, static_cast<double>(congestion.link_bandwidth),
+      plan.capacity_scale);
+  return plan;
+}
+
+}  // namespace
+
+CongestionMap CongestionMap::from_sim_result(const graph::Graph& topology,
+                                             const simnet::SimResult& result,
+                                             int link_bandwidth) {
+  PFAR_REQUIRE(link_bandwidth >= 1, link_bandwidth);
+  const std::size_t num_dlinks =
+      static_cast<std::size_t>(2 * topology.num_edges());
+  PFAR_REQUIRE(result.link_flits.size() == num_dlinks,
+               result.link_flits.size(), num_dlinks);
+  CongestionMap map;
+  map.cycles = result.cycles;
+  map.link_bandwidth = link_bandwidth;
+  map.dlinks.assign(num_dlinks, {});
+  for (std::size_t d = 0; d < num_dlinks; ++d) {
+    LinkCongestion& lc = map.dlinks[d];
+    lc.flits = result.link_flits[d];
+    if (d < result.link_bg_flits.size()) lc.bg_flits = result.link_bg_flits[d];
+    if (d < result.link_queue_hwm.size()) {
+      lc.queue_hwm = result.link_queue_hwm[d];
+    }
+    lc.busy = occupancy(lc.flits + lc.bg_flits, link_bandwidth, map.cycles);
+    lc.bg_busy = occupancy(lc.bg_flits, link_bandwidth, map.cycles);
+  }
+  return map;
+}
+
+CongestionMap CongestionMap::from_metrics(const graph::Graph& topology,
+                                          const obsv::Metrics& metrics,
+                                          int link_bandwidth) {
+  PFAR_REQUIRE(link_bandwidth >= 1, link_bandwidth);
+  CongestionMap map;
+  map.link_bandwidth = link_bandwidth;
+  map.dlinks.assign(static_cast<std::size_t>(2 * topology.num_edges()), {});
+  const obsv::LinkWindow window = obsv::extract_link_windows(metrics);
+  map.cycles = window.cycles;
+  for (const obsv::LinkWindowStats& s : window.links) {
+    int u = -1, v = -1;
+    if (std::sscanf(s.name.c_str(), "%d->%d", &u, &v) != 2) continue;
+    const int e = topology.edge_id(u, v);
+    PFAR_REQUIRE(e >= 0, u, v);  // probe window must match the topology
+    const std::size_t d = static_cast<std::size_t>(2 * e + (u > v ? 1 : 0));
+    LinkCongestion& lc = map.dlinks[d];
+    lc.flits = s.flits;
+    lc.bg_flits = s.bg_flits;
+    lc.queue_hwm = s.queue_hwm;
+    lc.busy = occupancy(lc.flits + lc.bg_flits, link_bandwidth, map.cycles);
+    lc.bg_busy = occupancy(lc.bg_flits, link_bandwidth, map.cycles);
+  }
+  return map;
+}
+
+double CongestionMap::edge_bg_busy(int edge_id) const {
+  const std::size_t d = static_cast<std::size_t>(2 * edge_id);
+  PFAR_REQUIRE(d + 1 < dlinks.size(), edge_id, dlinks.size());
+  return std::max(dlinks[d].bg_busy, dlinks[d + 1].bg_busy);
+}
+
+long long CongestionMap::edge_queue_hwm(int edge_id) const {
+  const std::size_t d = static_cast<std::size_t>(2 * edge_id);
+  PFAR_REQUIRE(d + 1 < dlinks.size(), edge_id, dlinks.size());
+  return std::max(dlinks[d].queue_hwm, dlinks[d + 1].queue_hwm);
+}
+
+AdaptedPlan adapt_plan(const graph::Graph& topology,
+                       const std::vector<trees::SpanningTree>& trees,
+                       const CongestionMap& congestion,
+                       const ControllerConfig& ctrl) {
+  PFAR_REQUIRE(!trees.empty(), trees.size());
+  PFAR_REQUIRE(ctrl.hot_threshold > 0.0 && ctrl.hot_threshold < 1.0,
+               ctrl.hot_threshold);
+  PFAR_REQUIRE(ctrl.min_capacity_scale > 0.0 && ctrl.min_capacity_scale <= 1.0,
+               ctrl.min_capacity_scale);
+  const int num_edges = topology.num_edges();
+  PFAR_REQUIRE(congestion.dlinks.size() ==
+                   static_cast<std::size_t>(2 * num_edges),
+               congestion.dlinks.size(), num_edges);
+
+  AdaptedPlan plan;
+  plan.trees = trees;
+
+  // Re-weighting input: what is left of each edge once background traffic
+  // took its share. A quiet edge scales by exactly 1.0, so a quiet map
+  // reproduces the uncapacitated Algorithm 1 bit-for-bit.
+  plan.capacity_scale.assign(static_cast<std::size_t>(num_edges), 1.0);
+  for (int e = 0; e < num_edges; ++e) {
+    const double bg = congestion.edge_bg_busy(e);
+    if (bg > 0.0) {
+      plan.capacity_scale[static_cast<std::size_t>(e)] =
+          std::max(1.0 - bg, ctrl.min_capacity_scale);
+    }
+  }
+
+  // Hot set: edges background traffic dominates. Sorted hottest-first
+  // (queue pressure breaks ties) and relaxed from the coolest end until
+  // removing the set keeps the topology connected — the same invariant
+  // the resilience replanner enforces for failed links.
+  std::vector<int> hot_ids;
+  for (int e = 0; e < num_edges; ++e) {
+    if (congestion.edge_bg_busy(e) > ctrl.hot_threshold) hot_ids.push_back(e);
+  }
+  std::stable_sort(hot_ids.begin(), hot_ids.end(), [&](int a, int b) {
+    const double ba = congestion.edge_bg_busy(a);
+    const double bb = congestion.edge_bg_busy(b);
+    if (ba != bb) return ba > bb;
+    return congestion.edge_queue_hwm(a) > congestion.edge_queue_hwm(b);
+  });
+  if (!ctrl.replan || hot_ids.empty()) return finalize_plan(plan, topology, congestion);
+
+  std::size_t keep = hot_ids.size();
+  while (keep > 0) {
+    std::vector<graph::Edge> candidate;
+    candidate.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      candidate.push_back(
+          topology.edges()[static_cast<std::size_t>(hot_ids[i])]);
+    }
+    try {
+      core::remove_links(topology, candidate);  // connectivity check
+      plan.hot_links = std::move(candidate);
+      break;
+    } catch (const std::runtime_error&) {
+      --keep;  // residual disconnected: tolerate the least-hot link
+    }
+  }
+  if (plan.hot_links.empty()) {
+    return finalize_plan(plan, topology, congestion);
+  }
+
+  std::vector<char> is_hot(static_cast<std::size_t>(num_edges), 0);
+  for (std::size_t i = 0; i < keep; ++i) {
+    is_hot[static_cast<std::size_t>(hot_ids[i])] = 1;
+  }
+  const auto tree_is_hot = [&](const trees::SpanningTree& t) {
+    for (const auto& e : t.edges()) {
+      if (is_hot[static_cast<std::size_t>(topology.edge_id(e.u, e.v))]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (trees::edge_disjoint(topology, trees)) {
+    // Disjoint plans stay disjoint: replacements may only use edges no
+    // current tree occupies. Each hot tree first releases its own edges
+    // (its replacement may reuse the cool ones), then either a packed
+    // replacement claims its edges or the original re-reserves them.
+    std::vector<char> avail(static_cast<std::size_t>(num_edges), 1);
+    for (int e = 0; e < num_edges; ++e) {
+      if (is_hot[static_cast<std::size_t>(e)]) avail[static_cast<std::size_t>(e)] = 0;
+    }
+    for (const auto& t : trees) {
+      for (const auto& e : t.edges()) {
+        avail[static_cast<std::size_t>(topology.edge_id(e.u, e.v))] = 0;
+      }
+    }
+    for (std::size_t t = 0; t < plan.trees.size(); ++t) {
+      if (!tree_is_hot(plan.trees[t])) continue;
+      const auto old_edges = plan.trees[t].edges();
+      for (const auto& e : old_edges) {
+        const int id = topology.edge_id(e.u, e.v);
+        if (!is_hot[static_cast<std::size_t>(id)]) {
+          avail[static_cast<std::size_t>(id)] = 1;
+        }
+      }
+      auto packed = trees::greedy_tree_packing(subgraph(topology, avail),
+                                               /*max_trees=*/1);
+      if (!packed.empty()) {
+        plan.trees[t] = std::move(packed.front());
+        plan.replanned.push_back(static_cast<int>(t));
+        for (const auto& e : plan.trees[t].edges()) {
+          avail[static_cast<std::size_t>(topology.edge_id(e.u, e.v))] = 0;
+        }
+      } else {
+        for (const auto& e : old_edges) {  // keep: re-reserve its edges
+          avail[static_cast<std::size_t>(topology.edge_id(e.u, e.v))] = 0;
+        }
+      }
+    }
+  } else {
+    // Shared-edge plans (e.g. the paper's congestion-2 low-depth trees):
+    // rebuild each hot tree as a BFS tree of the hot-free residual at its
+    // original root. The relaxation above guarantees the residual is
+    // connected, so every rebuild succeeds.
+    std::vector<char> avail(static_cast<std::size_t>(num_edges), 1);
+    for (int e = 0; e < num_edges; ++e) {
+      if (is_hot[static_cast<std::size_t>(e)]) avail[static_cast<std::size_t>(e)] = 0;
+    }
+    const graph::Graph residual = subgraph(topology, avail);
+    for (std::size_t t = 0; t < plan.trees.size(); ++t) {
+      if (!tree_is_hot(plan.trees[t])) continue;
+      plan.trees[t] =
+          collectives::bfs_tree(residual, plan.trees[t].root());
+      plan.replanned.push_back(static_cast<int>(t));
+    }
+  }
+
+  // Commit the replan only if the capacitated model predicts it beats the
+  // reweighted original plan. Routing around a hot region can be a net
+  // loss — e.g. a saturated hotspot node forces every rebuilt tree
+  // through its one tolerated cool link, trading q moderately-slow trees
+  // for q trees serialized behind a single link — and the controller must
+  // never adapt into a predictably worse plan.
+  if (!plan.replanned.empty()) {
+    const model::TreeBandwidths original_bw =
+        model::compute_tree_bandwidths_capacitated(
+            topology, trees, static_cast<double>(congestion.link_bandwidth),
+            plan.capacity_scale);
+    plan.bandwidths = model::compute_tree_bandwidths_capacitated(
+        topology, plan.trees, static_cast<double>(congestion.link_bandwidth),
+        plan.capacity_scale);
+    if (plan.bandwidths.aggregate <= original_bw.aggregate) {
+      plan.trees = trees;
+      plan.replanned.clear();
+      plan.bandwidths = original_bw;
+    }
+    PFAR_ENSURE(plan.bandwidths.aggregate >= original_bw.aggregate,
+                plan.bandwidths.aggregate, original_bw.aggregate);
+    return plan;
+  }
+
+  return finalize_plan(plan, topology, congestion);
+}
+
+AdaptiveResult run_adaptive_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees, long long m,
+    const simnet::SimConfig& config, const ControllerConfig& ctrl,
+    bool compare_static) {
+  PFAR_REQUIRE(m >= 0, m);
+  PFAR_REQUIRE(ctrl.probe_elements > 0, ctrl.probe_elements);
+  PFAR_REQUIRE(!trees.empty(), trees.size());
+
+  AdaptiveResult out;
+
+  // Probe: a short static collective through the live traffic, serial and
+  // recorder-free so it neither races the caller's shards nor pollutes
+  // the caller's artifacts.
+  simnet::SimConfig probe_cfg = config;
+  probe_cfg.shard_threads = 1;
+  probe_cfg.recorder = nullptr;
+  const model::TreeBandwidths quiet = model::compute_tree_bandwidths(
+      topology, trees, static_cast<double>(config.link_bandwidth));
+  simnet::AllreduceSimulator probe_sim(
+      topology, collectives::to_embeddings(trees), probe_cfg);
+  out.probe = probe_sim.run(model::optimal_split(ctrl.probe_elements, quiet));
+
+  out.congestion = CongestionMap::from_sim_result(topology, out.probe,
+                                                  config.link_bandwidth);
+  out.plan = adapt_plan(topology, trees, out.congestion, ctrl);
+
+  if constexpr (obsv::kTraceCompiled) {
+    if (config.recorder != nullptr) {
+      obsv::Recorder* rec = config.recorder;
+      rec->metrics.add("adapt.probe_cycles", out.probe.cycles);
+      rec->metrics.add("adapt.hot_links",
+                       static_cast<long long>(out.plan.hot_links.size()));
+      rec->metrics.add("adapt.replanned_trees",
+                       static_cast<long long>(out.plan.replanned.size()));
+      rec->trace.name_track(obsv::kTrackAdapt, "adapt");
+      rec->trace.complete(0, out.probe.cycles,
+                          rec->trace.intern("probe window"),
+                          obsv::kTrackAdapt);
+      rec->trace.instant(
+          out.probe.cycles, rec->trace.intern("replan"), obsv::kTrackAdapt,
+          {"hot_links", static_cast<long long>(out.plan.hot_links.size())},
+          {"replanned",
+           static_cast<long long>(out.plan.replanned.size())});
+    }
+  }
+
+  out.adaptive = collectives::run_innetwork_allreduce_split(
+      topology, out.plan.trees,
+      model::optimal_split(m, out.plan.bandwidths), config);
+
+  if (compare_static) {
+    simnet::SimConfig static_cfg = config;
+    static_cfg.recorder = nullptr;  // one run per single-writer Recorder
+    out.static_run = collectives::run_innetwork_allreduce(
+        topology, trees, m, static_cfg, collectives::SplitPolicy::kOptimal);
+    out.compared = true;
+  }
+  return out;
+}
+
+}  // namespace pfar::adapt

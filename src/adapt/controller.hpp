@@ -1,0 +1,133 @@
+#pragma once
+
+#include <vector>
+
+#include "collectives/innetwork.hpp"
+#include "graph/graph.hpp"
+#include "model/congestion_model.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "simnet/config.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace pfar::obsv {
+class Metrics;
+}
+
+namespace pfar::adapt {
+
+/// One directed link's congestion measurement over a probe window.
+struct LinkCongestion {
+  /// Collective flits the window moved on the link (payload + headers).
+  long long flits = 0;
+  /// Background-traffic flits drained on the link.
+  long long bg_flits = 0;
+  /// Peak receiver-buffer occupancy (packets) on the link.
+  long long queue_hwm = 0;
+  /// (flits + bg_flits) / (link_bandwidth * window cycles): total
+  /// occupancy of the link's capacity, in [0, ~1].
+  double busy = 0.0;
+  /// bg_flits / (link_bandwidth * window cycles): the share of capacity
+  /// background traffic claims — the part the collective cannot use, and
+  /// the controller's primary congestion signal.
+  double bg_busy = 0.0;
+};
+
+/// Per-directed-link congestion over one probe window, indexed by the
+/// engines' directed-link id `2 * edge_id + (src > dst)`. Build it from a
+/// SimResult (works in PFAR_TRACE=off builds — the fields are maintained
+/// unconditionally) or from a Recorder's metrics registry via the obsv
+/// probe-window counters (docs/congestion_adaptation.md).
+struct CongestionMap {
+  long long cycles = 0;
+  int link_bandwidth = 1;
+  std::vector<LinkCongestion> dlinks;  // 2 * num_edges entries
+
+  static CongestionMap from_sim_result(const graph::Graph& topology,
+                                       const simnet::SimResult& result,
+                                       int link_bandwidth);
+  static CongestionMap from_metrics(const graph::Graph& topology,
+                                    const obsv::Metrics& metrics,
+                                    int link_bandwidth);
+
+  /// Background occupancy of undirected edge e: the max over its two
+  /// directions (the collective needs both — reduce up, broadcast down).
+  double edge_bg_busy(int edge_id) const;
+  /// Peak queue HWM of undirected edge e over its two directions.
+  long long edge_queue_hwm(int edge_id) const;
+};
+
+/// Controller knobs. The defaults are what the congested-allreduce bench
+/// regresses against; see docs/congestion_adaptation.md for how each was
+/// picked.
+struct ControllerConfig {
+  /// A link whose background occupancy exceeds this fraction of capacity
+  /// is *hot*: trees are re-planned away from it when possible.
+  double hot_threshold = 0.55;
+  /// Floor of the per-edge capacity scale fed to the capacitated
+  /// Algorithm 1, so a fully saturated link still carries a sliver of
+  /// weight instead of dividing by zero.
+  double min_capacity_scale = 0.05;
+  /// Master switch for the re-planning stage; re-weighting always runs.
+  bool replan = true;
+  /// Elements of the probe collective run_adaptive_allreduce executes to
+  /// measure the network before committing the real vector.
+  long long probe_elements = 512;
+};
+
+/// The controller's output: the (possibly re-planned) tree set, the
+/// congestion-aware Algorithm 1 bandwidths to split by, and what changed.
+struct AdaptedPlan {
+  std::vector<trees::SpanningTree> trees;
+  /// Capacitated Algorithm 1 over `trees` with `capacity_scale`.
+  model::TreeBandwidths bandwidths;
+  /// Per undirected edge id: fraction of the link's bandwidth left for
+  /// the collective, in [min_capacity_scale, 1].
+  std::vector<double> capacity_scale;
+  /// The hot links the re-planner routed around (after relaxing the raw
+  /// hot set until the residual topology stayed connected).
+  std::vector<graph::Edge> hot_links;
+  /// Indices of trees that were replaced; un-replannable hot trees stay
+  /// and the re-weighting de-emphasizes them.
+  std::vector<int> replanned;
+};
+
+/// Closes the control loop's planning half: derives per-edge capacity
+/// scales from the congestion map, re-plans trees off hot links (reusing
+/// the resilience machinery: core::remove_links connectivity checks,
+/// greedy re-packing on the residual), and re-runs Algorithm 1 on the
+/// capacitated network. With a quiet-network map this is the identity:
+/// same trees, scales all 1.0, bandwidths bit-identical to
+/// compute_tree_bandwidths_reference.
+AdaptedPlan adapt_plan(const graph::Graph& topology,
+                       const std::vector<trees::SpanningTree>& trees,
+                       const CongestionMap& congestion,
+                       const ControllerConfig& ctrl = {});
+
+/// End-to-end outcome of one adaptive Allreduce.
+struct AdaptiveResult {
+  AdaptedPlan plan;
+  /// The probe window's raw measurement.
+  simnet::SimResult probe;
+  CongestionMap congestion;
+  /// The adapted run: re-planned trees, congestion-aware split.
+  collectives::InNetworkResult adaptive;
+  /// The static baseline (original trees, Theorem 5.1 split), executed
+  /// under the same background traffic; only filled when requested.
+  collectives::InNetworkResult static_run;
+  bool compared = false;
+};
+
+/// The full control loop (docs/congestion_adaptation.md): run a short
+/// probe collective through the live background traffic (serial, no
+/// recorder — the probe must not perturb the caller's artifacts), read
+/// the per-link measurements, adapt the plan, then run the m-element
+/// collective on the adapted plan under `config`. With
+/// `compare_static` the original static plan runs too, under identical
+/// traffic, so callers (and the bench) can report the adaptation win.
+AdaptiveResult run_adaptive_allreduce(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees, long long m,
+    const simnet::SimConfig& config, const ControllerConfig& ctrl = {},
+    bool compare_static = false);
+
+}  // namespace pfar::adapt

@@ -71,4 +71,32 @@ InNetworkResult run_innetwork_allreduce(
   return out;
 }
 
+InNetworkResult run_innetwork_allreduce_split(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& spanning_trees,
+    const std::vector<long long>& split, const simnet::SimConfig& config) {
+  if (spanning_trees.empty()) {
+    throw std::invalid_argument("run_innetwork_allreduce_split: no trees");
+  }
+  PFAR_REQUIRE(split.size() == spanning_trees.size(), split.size(),
+               spanning_trees.size());
+  for (long long s : split) PFAR_REQUIRE(s >= 0, s);
+
+  InNetworkResult out;
+  out.split = split;
+  for (long long s : split) out.m += s;
+  out.predicted = model::compute_tree_bandwidths(
+      topology, spanning_trees, static_cast<double>(config.link_bandwidth));
+  for (const auto& t : spanning_trees) {
+    out.max_depth = std::max(out.max_depth, t.depth());
+  }
+
+  simnet::AllreduceSimulator sim(topology, to_embeddings(spanning_trees),
+                                 config);
+  out.sim = sim.run(out.split);
+  out.efficiency_vs_model =
+      out.sim.aggregate_bandwidth / out.predicted.aggregate;
+  return out;
+}
+
 }  // namespace pfar::collectives

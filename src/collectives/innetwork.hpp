@@ -38,6 +38,18 @@ InNetworkResult run_innetwork_allreduce(
     const std::vector<trees::SpanningTree>& trees, long long m,
     const simnet::SimConfig& config, SplitPolicy policy = SplitPolicy::kOptimal);
 
+/// As run_innetwork_allreduce, but with a caller-supplied per-tree split —
+/// the entry point the congestion controller uses after re-weighting the
+/// Theorem 5.1 distribution with live link measurements (src/adapt).
+/// `split` needs one non-negative entry per tree; `m` and the simulated
+/// run follow it verbatim, while `predicted` (and efficiency_vs_model)
+/// still report the quiet-network Algorithm 1 so callers can read the
+/// adaptation against the static model.
+InNetworkResult run_innetwork_allreduce_split(
+    const graph::Graph& topology,
+    const std::vector<trees::SpanningTree>& trees,
+    const std::vector<long long>& split, const simnet::SimConfig& config);
+
 /// Converts library spanning trees into simulator embeddings.
 std::vector<simnet::TreeEmbedding> to_embeddings(
     const std::vector<trees::SpanningTree>& trees);

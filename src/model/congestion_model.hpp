@@ -39,6 +39,18 @@ TreeBandwidths compute_tree_bandwidths_reference(
     const graph::Graph& g, const std::vector<trees::SpanningTree>& trees,
     double link_bandwidth);
 
+/// Algorithm 1 over a *capacitated* network: edge e starts from
+/// `link_bandwidth * capacity_scale[e]` (indexed by graph edge id, every
+/// entry in (0, 1]) instead of the uniform link_bandwidth. This is the
+/// congestion-aware generalization the adaptive controller runs — the
+/// scale vector encodes how much of each link background traffic has
+/// already claimed (src/adapt/controller.hpp) — and it degenerates to
+/// compute_tree_bandwidths_reference bit-for-bit when every scale is 1.0
+/// (same bottleneck tie-breaking, same float-op order).
+TreeBandwidths compute_tree_bandwidths_capacitated(
+    const graph::Graph& g, const std::vector<trees::SpanningTree>& trees,
+    double link_bandwidth, const std::vector<double>& capacity_scale);
+
 /// Theorem 5.1 optimal sub-vector distribution: m_i = m * B_i / sum(B),
 /// rounded to integers summing to m by largest remainder.
 std::vector<long long> optimal_split(long long m, const TreeBandwidths& bw);

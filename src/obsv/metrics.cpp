@@ -99,6 +99,15 @@ bool Metrics::contains(std::string_view name) const {
   return entries_.find(name) != entries_.end();
 }
 
+std::vector<std::string> Metrics::names(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
 void Metrics::write_jsonl(std::ostream& os) const {
   for (const auto& [name, e] : entries_) {
     os << "{\"name\":\"" << json_escape(name) << "\",\"type\":\""

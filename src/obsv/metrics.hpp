@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pfar::obsv {
 
@@ -34,6 +35,11 @@ class Metrics {
   long long histogram_count(std::string_view name) const;
   bool contains(std::string_view name) const;
   std::size_t size() const { return entries_.size(); }
+
+  /// Names of every registered metric starting with `prefix` (all names
+  /// when empty), in sorted order — the registry's iteration order, so the
+  /// result is deterministic.
+  std::vector<std::string> names(std::string_view prefix = "") const;
 
   /// One `{"name":...,"type":"counter|gauge|histogram",...}` object per
   /// line, sorted by name.

@@ -7,6 +7,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obsv/metrics.hpp"
+#include "obsv/trace.hpp"
+
 namespace pfar::obsv {
 namespace {
 
@@ -291,6 +294,8 @@ RunReport build_report(std::string_view trace_json,
       if (field == "flits") link.flits = value;
       else if (field == "dropped_flits") link.dropped_flits = value;
       else if (field == "queue_hwm") link.queue_hwm = value;
+      else if (field == "bg_flits") link.bg_flits = value;
+      else if (field == "busy_cycles") link.busy_cycles = value;
     } else if (split_metric(name, "tree.", &middle, &field)) {
       const int id = std::atoi(middle.c_str());
       RunReport::Tree& tree = trees[id];
@@ -318,6 +323,7 @@ RunReport build_report(std::string_view trace_json,
   const std::vector<ReportEvent> events =
       parse_trace(trace_json, &report.trace_dropped, &track_names);
   report.trace_events = static_cast<long long>(events.size());
+  std::map<std::string, long long> trace_busy;
   for (const ReportEvent& ev : events) {
     if (ev.track >= 100000 && ev.ph == 'X') {  // kTrackLinkBase
       std::string key;
@@ -327,17 +333,26 @@ RunReport build_report(std::string_view trace_json,
       } else {
         key = "dlink" + std::to_string(ev.track - 100000);
       }
-      RunReport::Link& link = links[key];
-      link.name = key;
-      link.busy_cycles += ev.dur;
+      trace_busy[key] += ev.dur;
     } else if (ev.track <= 1) {  // kTrackSim / kTrackRecovery
       report.timeline.push_back(ev);
+    } else if (ev.track == kTrackAdapt) {  // congestion controller
+      report.adapt.push_back(ev);
     }
   }
-  std::stable_sort(report.timeline.begin(), report.timeline.end(),
-                   [](const ReportEvent& a, const ReportEvent& b) {
-                     return a.ts < b.ts;
-                   });
+  // The busy_cycles counter (emitted since the controller landed) is
+  // authoritative; summed trace spans back-fill reports built from older
+  // artifacts that only carried the spans.
+  for (const auto& [key, busy] : trace_busy) {
+    RunReport::Link& link = links[key];
+    if (link.name.empty()) link.name = key;
+    if (link.busy_cycles == 0) link.busy_cycles = busy;
+  }
+  const auto by_ts = [](const ReportEvent& a, const ReportEvent& b) {
+    return a.ts < b.ts;
+  };
+  std::stable_sort(report.timeline.begin(), report.timeline.end(), by_ts);
+  std::stable_sort(report.adapt.begin(), report.adapt.end(), by_ts);
 
   for (auto& [key, link] : links) report.links.push_back(link);
   std::stable_sort(report.links.begin(), report.links.end(),
@@ -378,8 +393,8 @@ void render_report(const RunReport& report, std::ostream& os, int top_k) {
 
   if (!report.links.empty()) {
     os << "\n-- top " << top_k << " congested links (by flits) --\n";
-    std::snprintf(buf, sizeof buf, "%-12s %10s %7s %10s %9s\n", "link",
-                  "flits", "busy%", "queue_hwm", "dropped");
+    std::snprintf(buf, sizeof buf, "%-12s %10s %10s %7s %10s %9s\n", "link",
+                  "flits", "bg_flits", "busy%", "queue_hwm", "dropped");
     os << buf;
     int shown = 0;
     for (const RunReport::Link& link : report.links) {
@@ -389,9 +404,10 @@ void render_report(const RunReport& report, std::ostream& os, int top_k) {
               ? 100.0 * static_cast<double>(link.busy_cycles) /
                     static_cast<double>(report.cycles)
               : 0.0;
-      std::snprintf(buf, sizeof buf, "%-12s %10lld %6.1f%% %10lld %9lld\n",
-                    link.name.c_str(), link.flits, busy_pct, link.queue_hwm,
-                    link.dropped_flits);
+      std::snprintf(buf, sizeof buf,
+                    "%-12s %10lld %10lld %6.1f%% %10lld %9lld\n",
+                    link.name.c_str(), link.flits, link.bg_flits, busy_pct,
+                    link.queue_hwm, link.dropped_flits);
       os << buf;
     }
   }
@@ -444,6 +460,38 @@ void render_report(const RunReport& report, std::ostream& os, int top_k) {
     }
   }
 
+  const bool any_adapt_counter = [&] {
+    for (const auto& [name, value] : report.counters) {
+      if (name.substr(0, 6) == "adapt.") return true;
+    }
+    return false;
+  }();
+  if (!report.adapt.empty() || any_adapt_counter) {
+    os << "\n-- congestion adaptation timeline --\n";
+    for (const ReportEvent& ev : report.adapt) {
+      if (ev.ph == 'X') {
+        std::snprintf(buf, sizeof buf, "cycle %lld..%lld: %s", ev.ts,
+                      ev.ts + ev.dur, ev.name.c_str());
+      } else {
+        std::snprintf(buf, sizeof buf, "cycle %lld: %s", ev.ts,
+                      ev.name.c_str());
+      }
+      os << buf;
+      bool first = true;
+      for (const auto& [k, v] : ev.args) {
+        os << (first ? " (" : ", ") << k << "=" << v;
+        first = false;
+      }
+      if (!first) os << ")";
+      os << "\n";
+    }
+    for (const auto& [name, value] : report.counters) {
+      if (name.substr(0, 6) != "adapt.") continue;
+      std::snprintf(buf, sizeof buf, "%-24s %12lld\n", name.c_str(), value);
+      os << buf;
+    }
+  }
+
   if (!report.planner_ms.empty()) {
     os << "\n-- planner phases --\n";
     for (const auto& [phase, ms] : report.planner_ms) {
@@ -470,6 +518,36 @@ void render_report(const RunReport& report, std::ostream& os, int top_k) {
     show("recovery.attempts");
     show("recovery.chunks_replayed");
   }
+}
+
+LinkWindow extract_link_windows(const Metrics& metrics) {
+  LinkWindow window;
+  window.cycles = metrics.gauge("sim.cycles");
+  if (metrics.contains("recovery.total_cycles")) {
+    window.cycles = metrics.counter("recovery.total_cycles");
+  }
+  std::map<std::string, LinkWindowStats> stats;
+  for (const std::string& name : metrics.names("link.")) {
+    std::string middle, field;
+    if (!split_metric(name, "link.", &middle, &field)) continue;
+    LinkWindowStats& s = stats[middle];
+    s.name = middle;
+    if (field == "flits") s.flits = metrics.counter(name);
+    else if (field == "bg_flits") s.bg_flits = metrics.counter(name);
+    else if (field == "busy_cycles") s.busy_cycles = metrics.counter(name);
+    else if (field == "queue_hwm") s.queue_hwm = metrics.gauge(name);
+    else if (field == "dropped_flits") s.dropped_flits = metrics.counter(name);
+  }
+  window.links.reserve(stats.size());
+  for (auto& [key, s] : stats) {
+    if (window.cycles > 0) {
+      s.busy_fraction = std::min(
+          1.0, static_cast<double>(s.busy_cycles) /
+                   static_cast<double>(window.cycles));
+    }
+    window.links.push_back(std::move(s));
+  }
+  return window;
 }
 
 }  // namespace pfar::obsv

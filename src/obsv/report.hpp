@@ -9,6 +9,8 @@
 
 namespace pfar::obsv {
 
+class Metrics;
+
 /// Minimal JSON value for consuming this repo's own artifacts (traces,
 /// metrics snapshots, BENCH_*.json). Full RFC 8259 grammar minus exotic
 /// number forms; throws std::runtime_error with an offset on bad input.
@@ -55,7 +57,8 @@ struct RunReport {
     long long flits = 0;
     long long dropped_flits = 0;
     long long queue_hwm = 0;
-    long long busy_cycles = 0;  // from trace spans; 0 without a trace
+    long long bg_flits = 0;     // background traffic drained on the link
+    long long busy_cycles = 0;  // busy_cycles counter, else trace spans
   };
   struct Tree {
     int id = 0;
@@ -71,6 +74,7 @@ struct RunReport {
   std::vector<Link> links;            // sorted by flits, descending
   std::vector<Tree> trees;            // sorted by id
   std::vector<ReportEvent> timeline;  // fault/recovery events, by ts
+  std::vector<ReportEvent> adapt;     // congestion-controller events, by ts
   std::map<std::string, double> planner_ms;  // phase -> total ms
   std::map<std::string, long long> counters;  // every counter metric
   /// Flow-tier observations ("flow."-prefixed histograms): sim_bw and the
@@ -93,5 +97,36 @@ RunReport build_report(std::string_view trace_json,
 /// Renders the human-readable run report (top-k congested links, tree
 /// skew, recovery timeline, planner phases).
 void render_report(const RunReport& report, std::ostream& os, int top_k = 10);
+
+// --- Probe-window link statistics -----------------------------------------
+
+/// Per-directed-link congestion statistics over one probe window — the
+/// counters SimObserver::finalize emits, re-keyed by link name and joined
+/// with the window length. This is the congestion controller's sensor
+/// input when it reads a live Metrics registry instead of a SimResult
+/// (docs/congestion_adaptation.md, "Probe windows").
+struct LinkWindowStats {
+  std::string name;  // "u->v", the emitted link label
+  long long flits = 0;
+  long long bg_flits = 0;
+  long long busy_cycles = 0;
+  long long queue_hwm = 0;
+  long long dropped_flits = 0;
+  /// busy_cycles / window cycles, in [0, 1]; 0 when the window length is
+  /// unknown (no sim.cycles gauge in the registry).
+  double busy_fraction = 0.0;
+};
+
+/// The whole probe window: its length in cycles (the sim.cycles gauge; the
+/// resilient driver's recovery.total_cycles wins when present, matching
+/// build_report) and one entry per link that moved or dropped any flit,
+/// sorted by name.
+struct LinkWindow {
+  long long cycles = 0;
+  std::vector<LinkWindowStats> links;
+};
+
+/// Extracts per-link window statistics from a metrics registry.
+LinkWindow extract_link_windows(const Metrics& metrics);
 
 }  // namespace pfar::obsv

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obsv/recorder.hpp"
+#include "simnet/background.hpp"
 #include "simnet/flow_sim.hpp"
 #include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
@@ -294,6 +295,8 @@ Fabric build_fabric(const graph::Graph& topology,
     }
   }
   result.link_flits.assign(static_cast<std::size_t>(f.num_dlinks), 0);
+  result.link_queue_hwm.assign(static_cast<std::size_t>(f.num_dlinks), 0);
+  result.link_bg_flits.assign(static_cast<std::size_t>(f.num_dlinks), 0);
   result.tree_finish_cycle.assign(static_cast<std::size_t>(f.num_trees), 0);
   result.tree_first_delivery.assign(static_cast<std::size_t>(f.num_trees), -1);
   result.tree_failed.assign(static_cast<std::size_t>(f.num_trees), 0);
@@ -331,6 +334,7 @@ struct SimObserver {
 
   std::vector<long long> busy_start;   // open busy span start, -1 if none
   std::vector<long long> busy_last;    // last cycle with a grant, -1 if none
+  std::vector<long long> busy_total;   // accumulated busy cycles per dlink
   std::vector<long long> queue_hwm;    // receiver-buffer high water per dlink
   std::vector<long long> link_dropped; // dropped flits per dlink
   std::vector<long long> reduce_first; // first reduce packet per tree
@@ -355,6 +359,7 @@ struct SimObserver {
     num_dlinks = f.num_dlinks;
     busy_start.assign(static_cast<std::size_t>(num_dlinks), -1);
     busy_last.assign(static_cast<std::size_t>(num_dlinks), -1);
+    busy_total.assign(static_cast<std::size_t>(num_dlinks), 0);
     queue_hwm.assign(static_cast<std::size_t>(num_dlinks), 0);
     link_dropped.assign(static_cast<std::size_t>(num_dlinks), 0);
     reduce_first.assign(static_cast<std::size_t>(num_trees), -1);
@@ -378,6 +383,7 @@ struct SimObserver {
   void close_busy_span(int dlink) {
     const std::size_t d = static_cast<std::size_t>(dlink);
     if (busy_start[d] < 0) return;
+    busy_total[d] += busy_last[d] - busy_start[d] + 1;
     rec->trace.complete(busy_start[d], busy_last[d] - busy_start[d] + 1,
                         n_busy,
                         obsv::kTrackLinkBase + static_cast<std::uint32_t>(dlink));
@@ -452,6 +458,10 @@ struct SimObserver {
       m.add("sim.canceled_packets", canceled_packets);
       m.add("sim.canceled_flits", canceled_flits);
     }
+    if (result.background_flits > 0) {
+      m.add("sim.background_packets", result.background_packets);
+      m.add("sim.background_flits", result.background_flits);
+    }
     for (int t = 0; t < num_trees; ++t) {
       const std::size_t ti = static_cast<std::size_t>(t);
       const std::uint32_t track =
@@ -479,7 +489,10 @@ struct SimObserver {
     }
     for (int d = 0; d < num_dlinks; ++d) {
       const std::size_t di = static_cast<std::size_t>(d);
-      if (result.link_flits[di] == 0 && link_dropped[di] == 0) continue;
+      if (result.link_flits[di] == 0 && link_dropped[di] == 0 &&
+          result.link_bg_flits[di] == 0) {
+        continue;
+      }
       const std::string name = dlink_name(d);
       rec->trace.name_track(
           obsv::kTrackLinkBase + static_cast<std::uint32_t>(d),
@@ -487,6 +500,13 @@ struct SimObserver {
       const std::string prefix = "link." + name;
       m.add(prefix + ".flits", result.link_flits[di]);
       m.hwm(prefix + ".queue_hwm", queue_hwm[di]);
+      // Busy spans cover collective and background grants alike; the
+      // congestion controller reads utilization from these two counters
+      // (docs/congestion_adaptation.md).
+      m.add(prefix + ".busy_cycles", busy_total[di]);
+      if (result.link_bg_flits[di] > 0) {
+        m.add(prefix + ".bg_flits", result.link_bg_flits[di]);
+      }
       if (link_dropped[di] > 0) {
         m.add(prefix + ".dropped_flits", link_dropped[di]);
       }
@@ -516,6 +536,7 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
                              SimResult& result,
                              std::vector<long long>& tree_remaining,
                              long long total_target, FaultState& fault,
+                             const std::vector<long long>& bg_rates_ppm,
                              SimObserver* obs) {
   const int n = f.n;
   const int num_trees = f.num_trees;
@@ -542,6 +563,18 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
   // payload + header flits and may borrow, modeling multi-cycle packets.
   std::vector<long long> tokens(static_cast<std::size_t>(f.num_dlinks), 0);
   const int header = config.packet_header_flits;
+
+  // Background traffic (SimConfig::background): per VC-carrying directed
+  // link, a ppm accumulator gains bg_rates_ppm[dl] per serviced (up)
+  // cycle; each time it crosses a packet boundary the link drains one
+  // whole background packet's flits from its token bucket. Zero load =
+  // empty rate vector = none of this code runs (the quiet-network goldens
+  // pin bit-identity).
+  const bool bg_active = !bg_rates_ppm.empty();
+  const long long bg_pkt_flits = config.background.packet_flits;
+  const long long bg_pkt_ppm = bg_pkt_flits * 1'000'000;
+  std::vector<long long> bg_acc(
+      bg_active ? static_cast<std::size_t>(f.num_dlinks) : 0, 0);
 
   const auto vc_ready = [&](const VcState& vc) -> bool {
     const NodeTreeState& s = f.st(vc.src, vc.tree);
@@ -753,6 +786,9 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
         vc.data_inflight.pop_front();
         result.max_vc_occupancy = std::max(
             result.max_vc_occupancy, static_cast<int>(vc.recv.size()));
+        result.link_queue_hwm[static_cast<std::size_t>(vc.dlink)] =
+            std::max(result.link_queue_hwm[static_cast<std::size_t>(vc.dlink)],
+                     static_cast<long long>(vc.recv.size()));
         PFAR_OBS(on_queue_depth(vc.dlink, static_cast<int>(vc.recv.size())));
         last_progress = now;
       }
@@ -861,7 +897,21 @@ long long run_reference_loop(Fabric& f, const SimConfig& config,
               (config.packet_payload + header));
       // Tokens accumulate on a down link (the bucket models the physical
       // pipe, which recharges regardless), but nothing is granted on it.
+      // The background accumulator also freezes: a down link carries no
+      // background packets, and service resumes at the same phase.
       if (faults_active && !fault.edge_ok(dl)) continue;
+      if (bg_active) {
+        long long& acc = bg_acc[static_cast<std::size_t>(dl)];
+        acc += bg_rates_ppm[static_cast<std::size_t>(dl)];
+        if (acc >= bg_pkt_ppm) {
+          const long long pkts = acc / bg_pkt_ppm;
+          acc -= pkts * bg_pkt_ppm;
+          tokens[static_cast<std::size_t>(dl)] -= pkts * bg_pkt_flits;
+          result.link_bg_flits[static_cast<std::size_t>(dl)] +=
+              pkts * bg_pkt_flits;
+          PFAR_OBS(on_grant(dl, now));
+        }
+      }
       const int count = static_cast<int>(ids.size());
       const int probes = count * config.link_bandwidth;
       const int base = rr[static_cast<std::size_t>(dl)];
@@ -966,6 +1016,7 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
                         SimResult& result,
                         std::vector<long long>& tree_remaining,
                         long long total_target, FaultState& fault,
+                        const std::vector<long long>& bg_rates_ppm,
                         SimObserver* obs) {
   const int n = f.n;
   const int num_trees = f.num_trees;
@@ -992,6 +1043,16 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
   const long long token_cap =
       static_cast<long long>(bw) * (config.packet_payload + header);
   const int latency = config.link_latency;
+
+  // Background traffic, identical per-cycle mechanics to the reference
+  // loop. The accumulator update is linear between drains, so the idle
+  // jump treats the next drain cycle of every live link as a wake point
+  // and replays skipped (provably drain-free) ranges in closed form.
+  const bool bg_active = !bg_rates_ppm.empty();
+  const long long bg_pkt_flits = config.background.packet_flits;
+  const long long bg_pkt_ppm = bg_pkt_flits * 1'000'000;
+  std::vector<long long> bg_acc(
+      bg_active ? static_cast<std::size_t>(f.num_dlinks) : 0, 0);
 
   // --- Slab arena. Every packet's payload occupies one fixed-stride slab;
   // a consumed packet's slab goes on the free list for immediate reuse.
@@ -1447,6 +1508,11 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
             result.max_vc_occupancy =
                 std::max(result.max_vc_occupancy,
                          static_cast<int>(rready[static_cast<std::size_t>(id)]));
+            const std::size_t qd =
+                static_cast<std::size_t>(vc_dlink[static_cast<std::size_t>(id)]);
+            result.link_queue_hwm[qd] = std::max(
+                result.link_queue_hwm[qd],
+                static_cast<long long>(rready[static_cast<std::size_t>(id)]));
             PFAR_OBS(on_queue_depth(
                 vc_dlink[static_cast<std::size_t>(id)],
                 static_cast<int>(rready[static_cast<std::size_t>(id)])));
@@ -1612,7 +1678,20 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
       // Down link: tokens recharge (reference loop ditto) but no grants,
       // and it contributes nothing to the recharge horizon — resumption is
       // driven by the link_up fault event, which is its own wake point.
+      // The background accumulator freezes too (reference loop ditto).
       if (faults_active && !fault.edge_ok(dl)) continue;
+      if (bg_active) {
+        long long& acc = bg_acc[static_cast<std::size_t>(dl)];
+        acc += bg_rates_ppm[static_cast<std::size_t>(dl)];
+        if (acc >= bg_pkt_ppm) {
+          const long long pkts = acc / bg_pkt_ppm;
+          acc -= pkts * bg_pkt_ppm;
+          tokens[static_cast<std::size_t>(dl)] -= pkts * bg_pkt_flits;
+          result.link_bg_flits[static_cast<std::size_t>(dl)] +=
+              pkts * bg_pkt_flits;
+          PFAR_OBS(on_grant(dl, now));
+        }
+      }
       if (tokens[static_cast<std::size_t>(dl)] <= 0) {
         // Cycles until the bucket is positive again: smallest k >= 1 with
         // tokens + k * bw >= 1.
@@ -1723,12 +1802,35 @@ long long run_fast_loop(Fabric& f, const SimConfig& config,
         }
       }
     }
+    // Background drains mutate token buckets, so the next drain cycle of
+    // every live (up, loaded) link is a wake point: the jump may only
+    // skip cycles in which no link drains, which keeps the closed-form
+    // token advance below exact. Down links freeze and resume via their
+    // link_up fault event, itself a wake point.
+    if (bg_active) {
+      for (const std::int32_t dl : active_dlinks) {
+        const long long rate = bg_rates_ppm[static_cast<std::size_t>(dl)];
+        if (rate <= 0) continue;
+        if (faults_active && !fault.edge_ok(dl)) continue;
+        // Smallest k >= 1 with acc + k * rate >= bg_pkt_ppm (acc stays
+        // below bg_pkt_ppm between drains, so need >= 1).
+        const long long need =
+            bg_pkt_ppm - bg_acc[static_cast<std::size_t>(dl)];
+        target = std::min(target, now + (need + rate - 1) / rate);
+      }
+    }
     target = std::min(target, last_progress + config.stall_limit + 1);
     target = std::min(target, config.max_cycles + 1);
     const long long skip = target - now - 1;
     if (skip > 0) {
       for (const std::int32_t dl : active_dlinks) {
         tokens[static_cast<std::size_t>(dl)] = std::min<long long>(tokens[static_cast<std::size_t>(dl)] + skip * bw, token_cap);
+        if (bg_active && !(faults_active && !fault.edge_ok(dl))) {
+          // Drain-free range (see the wake point above): the accumulator
+          // advances linearly, exactly as skip per-cycle updates would.
+          bg_acc[static_cast<std::size_t>(dl)] +=
+              skip * bg_rates_ppm[static_cast<std::size_t>(dl)];
+        }
       }
     }
     now = target;
@@ -1838,6 +1940,7 @@ long long run_sharded(const graph::Graph& topology,
                       const SimConfig& config,
                       const std::vector<long long>& elements_per_tree,
                       const std::vector<std::vector<int>>& groups,
+                      const std::vector<long long>& bg_rates_ppm,
                       SimResult& result) {
   const int num_groups = static_cast<int>(groups.size());
   std::vector<SimResult> sub(static_cast<std::size_t>(num_groups));
@@ -1875,7 +1978,7 @@ long long run_sharded(const graph::Graph& topology,
         FaultState fault = prepare_faults(topology, config.faults);
         sub_cycles[static_cast<std::size_t>(g)] = run_fast_loop(
             fabric, config, sub_elements, r, remaining, target, fault,
-            nullptr);
+            bg_rates_ppm, nullptr);
       });
 
   // Deterministic merge, in group order (though every combiner below is
@@ -1904,6 +2007,13 @@ long long run_sharded(const graph::Graph& topology,
     for (std::size_t d = 0; d < r.link_flits.size(); ++d) {
       result.link_flits[d] += r.link_flits[d];
       result.link_dropped_flits[d] += r.link_dropped_flits[d];
+      // Disjoint supports: exactly one group touches each VC-carrying
+      // link, so max == sum here. Background counts are windowed per
+      // group and normalized to the global exit cycle by the closed-form
+      // pass in run() (background + faults forces a serial run).
+      result.link_queue_hwm[d] =
+          std::max(result.link_queue_hwm[d], r.link_queue_hwm[d]);
+      result.link_bg_flits[d] += r.link_bg_flits[d];
     }
   }
   return cycles;
@@ -1930,6 +2040,22 @@ AllreduceSimulator::AllreduceSimulator(const graph::Graph& topology,
     throw std::invalid_argument(
         "AllreduceSimulator: progress_timeout must be below stall_limit so "
         "per-tree detection fires before the global deadlock check");
+  }
+  if (config_.background.load < 0.0 || config_.background.load >= 1.0 ||
+      config_.background.packet_flits < 1) {
+    throw std::invalid_argument(
+        "AllreduceSimulator: background load must be in [0, 1) and "
+        "packet_flits >= 1");
+  }
+  if (config_.background.active() &&
+      config_.background.pattern == TrafficPattern::kHotspot &&
+      (config_.background.hotspot_node < 0 ||
+       config_.background.hotspot_node >= topology_.num_vertices() ||
+       config_.background.hotspot_fraction < 0.0 ||
+       config_.background.hotspot_fraction > 1.0)) {
+    throw std::invalid_argument(
+        "AllreduceSimulator: hotspot_node must name a vertex and "
+        "hotspot_fraction lie in [0, 1]");
   }
   // Validate the fault script eagerly (edge existence, cycle/permille
   // ranges) so a bad script fails at construction, not mid-run.
@@ -1990,6 +2116,15 @@ SimResult AllreduceSimulator::run(
 
   FaultState fault = prepare_faults(topology_, config_.faults);
 
+  // Background traffic: steady-state per-directed-link drain rates,
+  // computed once per run (empty vector = quiet network, and none of the
+  // engines' background code executes).
+  std::vector<long long> bg_rates;
+  if (config_.background.active()) {
+    bg_rates = background_link_rates_ppm(topology_, config_.background,
+                                         config_.link_bandwidth);
+  }
+
   // Observability: attach only when compiled in and a Recorder is supplied;
   // both engines then see the same (possibly null) observer pointer.
   SimObserver observer;
@@ -2006,12 +2141,17 @@ SimResult AllreduceSimulator::run(
   // Recorder attached executes serially, still bit-identically).
   long long cycles = 0;
   bool sharded = false;
+  // Background + faults runs execute serially: each shard would count
+  // background drains over its own exit window and the per-link up-time
+  // accounting could not be normalized afterwards (fault-free runs are
+  // normalized in closed form below, so they shard freely).
   if (config_.engine == SimEngine::kFastForward &&
-      config_.shard_threads != 1 && num_trees > 1 && obs == nullptr) {
+      config_.shard_threads != 1 && num_trees > 1 && obs == nullptr &&
+      (bg_rates.empty() || config_.faults.empty())) {
     const auto groups = link_disjoint_tree_groups(topology_, trees_);
     if (groups.size() > 1) {
       cycles = run_sharded(topology_, trees_, config_, elements_per_tree,
-                           groups, result);
+                           groups, bg_rates, result);
       sharded = true;
       // Each group consumed its own FaultState copy up to its own exit
       // cycle. The serial engines apply every scripted event with
@@ -2030,9 +2170,10 @@ SimResult AllreduceSimulator::run(
     cycles = config_.engine == SimEngine::kReference
                  ? run_reference_loop(fabric, config_, elements_per_tree,
                                       result, tree_remaining, total_target,
-                                      fault, obs)
+                                      fault, bg_rates, obs)
                  : run_fast_loop(fabric, config_, elements_per_tree, result,
-                                 tree_remaining, total_target, fault, obs);
+                                 tree_remaining, total_target, fault,
+                                 bg_rates, obs);
   }
 
   result.cycles = cycles;
@@ -2050,6 +2191,30 @@ SimResult AllreduceSimulator::run(
   const auto& edges = topology_.edges();
   for (std::size_t e = 0; e < fault.edge_down.size(); ++e) {
     if (fault.edge_down[e]) result.links_down.push_back(edges[e]);
+  }
+  if (!bg_rates.empty()) {
+    // Every link was up for the whole run when no down/up events exist
+    // (flaky links drop packets but keep serving), so each link's drain
+    // count telescopes to the closed form over [0, cycles). Writing it
+    // here (a) extends the accounting to links the engines never touch
+    // (no VCs — the engines skip them, yet their background load is real
+    // and the congestion controller wants it) and (b) normalizes sharded
+    // runs, whose groups stop counting at their own exit cycles. With
+    // down events the engine-maintained per-up-cycle counts stand, and
+    // only VC-carrying links are accounted (the run was serial).
+    if (config_.faults.events.empty()) {
+      for (std::size_t d = 0; d < result.link_bg_flits.size(); ++d) {
+        result.link_bg_flits[d] =
+            background_packets_in(cycles, bg_rates[d],
+                                  config_.background.packet_flits) *
+            config_.background.packet_flits;
+      }
+    }
+    for (long long flits : result.link_bg_flits) {
+      result.background_flits += flits;
+    }
+    result.background_packets =
+        result.background_flits / config_.background.packet_flits;
   }
   if (obs != nullptr) obs->finalize(cycles, result);
   return result;

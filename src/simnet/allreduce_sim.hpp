@@ -51,6 +51,22 @@ struct SimResult {
   /// Flits moved per directed link (utilization diagnostics), including
   /// packet header flits.
   std::vector<long long> link_flits;
+  /// Peak receiver-buffer occupancy (packets) per directed link — the max
+  /// over the link's VCs of their buffer high-water marks. Maintained by
+  /// both cycle engines unconditionally (zero on the flow tier), so the
+  /// congestion controller can read queue pressure without tracing.
+  std::vector<long long> link_queue_hwm;
+
+  // --- Background traffic accounting (all zero on a quiet network) --------
+
+  /// Background flits drained per directed link while the collective ran
+  /// (SimConfig::background). For fault-free runs this is the closed-form
+  /// steady-state count over [0, cycles); with faults it counts only the
+  /// cycles each link was up.
+  std::vector<long long> link_bg_flits;
+  /// Totals of the above.
+  long long background_packets = 0;
+  long long background_flits = 0;
 
   // --- Fault / recovery observability (all zero on a healthy run) ---------
 

@@ -62,6 +62,47 @@ SimEngine engine_from_string(const std::string& name);
 /// (serial). Read on every call so tests can toggle the environment.
 int default_shard_threads();
 
+/// Synthetic traffic patterns shared by the general-purpose router
+/// simulator (TrafficSimulator) and the allreduce engines' background
+/// traffic (BackgroundTraffic below). Lives here so SimConfig can name a
+/// pattern without dragging in the packet simulator.
+enum class TrafficPattern {
+  kUniform,      // destination uniform over all other nodes
+  kPermutation,  // fixed random permutation (seeded), each node one target
+  kHotspot,      // a fraction of traffic targets one node, rest uniform
+};
+
+/// Deterministic background packet traffic the collective shares the
+/// fabric with (ROADMAP open item 2 / docs/congestion_adaptation.md).
+///
+/// Instead of co-simulating a second packet world, the allreduce engines
+/// drain link bandwidth at the *steady-state rate* the pattern would
+/// impose on each directed link under deterministic minimal routing (the
+/// same per-destination BFS next-hop choice TrafficSimulator uses). Rates
+/// are exact rationals in parts-per-million of a flit per cycle, so both
+/// cycle engines — and any shard count — replay bit-identical drain
+/// sequences. `load == 0` (the default) compiles down to the quiet
+/// network: no background code path executes at all, which the zero-load
+/// differential tests pin against the pre-background goldens.
+struct BackgroundTraffic {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Offered load per node in flits/cycle as a fraction of one link's
+  /// bandwidth, in [0, 1). 0 disables background traffic entirely.
+  double load = 0.0;
+  /// Background packet length in flits (drains are packet-granular).
+  int packet_flits = 4;
+  /// Target of the concentrated fraction under kHotspot. Must name a
+  /// vertex of the simulated topology — validated, never wrapped.
+  int hotspot_node = 0;
+  /// Fraction of traffic aimed at hotspot_node under kHotspot.
+  double hotspot_fraction = 0.2;
+  /// Seed of the permutation pattern (same construction as
+  /// TrafficConfig::seed).
+  std::uint64_t seed = 1;
+
+  bool active() const { return load > 0.0; }
+};
+
 /// What a scripted fault does to a physical link.
 enum class FaultType {
   kLinkDown,  // both directions of the link stop moving flits
@@ -152,6 +193,13 @@ struct SimConfig {
   long long stall_limit = 100'000;
   /// Scheduled faults (empty = healthy network, the default).
   FaultScript faults;
+  /// Background packet traffic the collective contends with (quiet
+  /// network by default). Honored exactly by both cycle engines and by
+  /// sharded runs; the flow tier approximates it by reducing per-link
+  /// capacity. When combined with a non-empty fault script the run
+  /// executes serially (background drain accounting is windowed per
+  /// shard otherwise).
+  BackgroundTraffic background;
   /// Per-tree loss detection: if > 0, a tree that delivers nothing for
   /// this many cycles while work remains is declared failed and canceled —
   /// its undelivered suffix is retracted so the surviving trees finish and

@@ -9,6 +9,7 @@
 
 #include "model/congestion_model.hpp"
 #include "obsv/recorder.hpp"
+#include "simnet/background.hpp"
 
 namespace pfar::simnet {
 namespace {
@@ -86,6 +87,8 @@ SimResult run_flow_allreduce(const graph::Graph& topology,
   result.tree_fail_cycle.assign(static_cast<std::size_t>(num_trees), -1);
   result.tree_completed.assign(static_cast<std::size_t>(num_trees), 0);
   result.link_flits.assign(static_cast<std::size_t>(num_dlinks), 0);
+  result.link_queue_hwm.assign(static_cast<std::size_t>(num_dlinks), 0);
+  result.link_bg_flits.assign(static_cast<std::size_t>(num_dlinks), 0);
   result.link_dropped_flits.assign(static_cast<std::size_t>(num_dlinks), 0);
 
   const auto dlink_of = [&](int src, int dst) {
@@ -177,6 +180,25 @@ SimResult run_flow_allreduce(const graph::Graph& topology,
   const double bandwidth = static_cast<double>(config.link_bandwidth);
   const double efficiency =
       static_cast<double>(payload) / static_cast<double>(payload + header);
+  // Background traffic (SimConfig::background) occupies part of each
+  // directed link's capacity: the fluid limit of the cycle engines'
+  // deterministic drain is simply a per-link capacity reduction by the
+  // steady-state rate. On a quiet network every entry equals `bandwidth`
+  // exactly, so the floating-point trajectory below is bit-identical to
+  // the pre-background flow tier.
+  std::vector<long long> bg_rates_ppm;
+  if (config.background.active()) {
+    bg_rates_ppm = background_link_rates_ppm(topology, config.background,
+                                             config.link_bandwidth);
+  }
+  std::vector<double> cap(static_cast<std::size_t>(num_dlinks), bandwidth);
+  if (!bg_rates_ppm.empty()) {
+    for (int d = 0; d < num_dlinks; ++d) {
+      cap[static_cast<std::size_t>(d)] =
+          bandwidth -
+          static_cast<double>(bg_rates_ppm[static_cast<std::size_t>(d)]) / 1e6;
+    }
+  }
   std::vector<std::int32_t> users(static_cast<std::size_t>(num_dlinks), 0);
   std::vector<double> fixed_load(static_cast<std::size_t>(num_dlinks), 0.0);
   std::vector<std::int32_t> touched;
@@ -210,7 +232,7 @@ SimResult run_flow_allreduce(const graph::Graph& topology,
       for (std::int32_t d : touched) {
         const std::size_t di = static_cast<std::size_t>(d);
         if (users[di] == 0) continue;
-        delta = std::min(delta, (bandwidth - fixed_load[di]) /
+        delta = std::min(delta, (cap[di] - fixed_load[di]) /
                                         static_cast<double>(users[di]) -
                                     level);
       }
@@ -224,7 +246,7 @@ SimResult run_flow_allreduce(const graph::Graph& topology,
              k < tree_dlink_base[static_cast<std::size_t>(t) + 1]; ++k) {
           const std::size_t di = static_cast<std::size_t>(
               tree_dlinks[static_cast<std::size_t>(k)]);
-          if (bandwidth - fixed_load[di] -
+          if (cap[di] - fixed_load[di] -
                   level * static_cast<double>(users[di]) <=
               eps * static_cast<double>(users[di])) {
             saturated = true;
@@ -322,6 +344,20 @@ SimResult run_flow_allreduce(const graph::Graph& topology,
   }
   result.aggregate_bandwidth = static_cast<double>(result.total_elements) /
                                static_cast<double>(result.cycles);
+  if (!bg_rates_ppm.empty()) {
+    // Same closed form the cycle engines telescope to (background.hpp).
+    for (int d = 0; d < num_dlinks; ++d) {
+      const long long flits =
+          background_packets_in(result.cycles,
+                                bg_rates_ppm[static_cast<std::size_t>(d)],
+                                config.background.packet_flits) *
+          config.background.packet_flits;
+      result.link_bg_flits[static_cast<std::size_t>(d)] = flits;
+      result.background_flits += flits;
+    }
+    result.background_packets =
+        result.background_flits / config.background.packet_flits;
+  }
 
   // Flow-tier observability: the run-level metrics the report renders,
   // including the Zhou & Sun rate bound as the optimality yardstick.

@@ -71,6 +71,13 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
     throw std::invalid_argument("TrafficSimulator: bad config");
   }
   const int n = topology_.num_vertices();
+  // The hotspot target must name a vertex; a wrapped or clamped id would
+  // silently measure a different hotspot, so reject through the contract
+  // layer (regression-tested in tests/traffic_test.cpp).
+  if (config.pattern == TrafficPattern::kHotspot) {
+    PFAR_REQUIRE(config.hotspot_node >= 0 && config.hotspot_node < n,
+                 config.hotspot_node, n);
+  }
   util::Rng rng(config.seed);
 
   // Fixed permutation targets (derangement-ish: re-draw self-targets).
@@ -88,7 +95,10 @@ TrafficResult TrafficSimulator::run(const TrafficConfig& config) const {
       case TrafficPattern::kPermutation:
         return perm[static_cast<std::size_t>(src)];
       case TrafficPattern::kHotspot:
-        if (src != 0 && rng.next_double() < config.hotspot_fraction) return 0;
+        if (src != config.hotspot_node &&
+            rng.next_double() < config.hotspot_fraction) {
+          return config.hotspot_node;
+        }
         [[fallthrough]];
       case TrafficPattern::kUniform: {
         int dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)));

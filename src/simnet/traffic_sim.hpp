@@ -4,16 +4,10 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "simnet/config.hpp"  // TrafficPattern (shared with BackgroundTraffic)
 #include "util/rng.hpp"
 
 namespace pfar::simnet {
-
-/// Synthetic traffic patterns for the general-purpose router simulator.
-enum class TrafficPattern {
-  kUniform,      // destination uniform over all other nodes
-  kPermutation,  // fixed random permutation (seeded), each node one target
-  kHotspot,      // a fraction of traffic targets node 0, rest uniform
-};
 
 /// Routing discipline.
 enum class Routing {
@@ -41,7 +35,11 @@ struct TrafficConfig {
   int buffer_packets = 8;
   /// Wire latency per hop in cycles.
   int link_latency = 1;
-  /// Fraction of traffic aimed at node 0 under kHotspot.
+  /// Target of the concentrated fraction under kHotspot. Must name a
+  /// vertex of the simulated topology; run() rejects out-of-range ids
+  /// through the contract layer instead of wrapping silently.
+  int hotspot_node = 0;
+  /// Fraction of traffic aimed at hotspot_node under kHotspot.
   double hotspot_fraction = 0.2;
   long long warmup_cycles = 3000;
   /// Stop after this many packets have been delivered post-warmup.

@@ -1,0 +1,386 @@
+// Tests for the congestion-adaptation layer (src/adapt) and the obsv
+// probe-window plumbing it reads (docs/congestion_adaptation.md):
+//
+//  * capacitated Algorithm 1 degenerates bit-identically to the reference
+//    implementation when every capacity scale is 1.0, and validates its
+//    inputs;
+//  * CongestionMap agrees whether built from a SimResult or from a
+//    Recorder's metrics registry for the same run;
+//  * obsv::extract_link_windows reproduces hand-computed busy%/queue-HWM
+//    on a tiny scripted run, including the fault-cancel edge case;
+//  * adapt_plan is the identity on a quiet network and produces valid,
+//    never-predicted-worse plans on congested ones;
+//  * run_adaptive_allreduce closes the loop end to end and emits the
+//    adapt.* instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "collectives/innetwork.hpp"
+#include "core/planner.hpp"
+#include "graph/graph.hpp"
+#include "model/congestion_model.hpp"
+#include "obsv/recorder.hpp"
+#include "obsv/report.hpp"
+#include "simnet/allreduce_sim.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace pfar;
+
+// --- Capacitated Algorithm 1 ----------------------------------------------
+
+TEST(CapacitatedAlg1, UnitScalesAreBitIdenticalToReference) {
+  for (int q : {3, 5, 7}) {
+    for (const auto sol :
+         {core::Solution::kLowDepth, core::Solution::kEdgeDisjoint}) {
+      const auto plan = core::AllreducePlanner(q).solution(sol).build();
+      const std::vector<double> unit(
+          static_cast<std::size_t>(plan.topology().num_edges()), 1.0);
+      const auto ref = model::compute_tree_bandwidths_reference(
+          plan.topology(), plan.trees(), 1.0);
+      const auto cap = model::compute_tree_bandwidths_capacitated(
+          plan.topology(), plan.trees(), 1.0, unit);
+      ASSERT_EQ(cap.per_tree.size(), ref.per_tree.size());
+      for (std::size_t i = 0; i < ref.per_tree.size(); ++i) {
+        EXPECT_EQ(cap.per_tree[i], ref.per_tree[i]) << "q=" << q;  // exact
+      }
+      EXPECT_EQ(cap.aggregate, ref.aggregate) << "q=" << q;
+    }
+  }
+}
+
+TEST(CapacitatedAlg1, ScalingDownAnEdgeNeverRaisesAggregate) {
+  const auto plan = core::AllreducePlanner(7).build();
+  const std::vector<double> unit(
+      static_cast<std::size_t>(plan.topology().num_edges()), 1.0);
+  const auto base = model::compute_tree_bandwidths_capacitated(
+      plan.topology(), plan.trees(), 1.0, unit);
+  for (int e = 0; e < plan.topology().num_edges(); e += 7) {
+    auto scale = unit;
+    scale[static_cast<std::size_t>(e)] = 0.25;
+    const auto scaled = model::compute_tree_bandwidths_capacitated(
+        plan.topology(), plan.trees(), 1.0, scale);
+    EXPECT_LE(scaled.aggregate, base.aggregate) << "edge " << e;
+  }
+}
+
+TEST(CapacitatedAlg1, RejectsMalformedScales) {
+  const auto plan = core::AllreducePlanner(3).build();
+  const std::size_t edges =
+      static_cast<std::size_t>(plan.topology().num_edges());
+  EXPECT_THROW(model::compute_tree_bandwidths_capacitated(
+                   plan.topology(), plan.trees(), 1.0,
+                   std::vector<double>(edges - 1, 1.0)),
+               std::invalid_argument);
+  std::vector<double> zero(edges, 1.0);
+  zero[0] = 0.0;  // open interval: a dead link is min_capacity_scale's job
+  EXPECT_THROW(model::compute_tree_bandwidths_capacitated(
+                   plan.topology(), plan.trees(), 1.0, zero),
+               std::invalid_argument);
+  std::vector<double> over(edges, 1.0);
+  over[0] = 1.5;
+  EXPECT_THROW(model::compute_tree_bandwidths_capacitated(
+                   plan.topology(), plan.trees(), 1.0, over),
+               std::invalid_argument);
+}
+
+// --- CongestionMap --------------------------------------------------------
+
+TEST(CongestionMap, FromSimResultComputesOccupancies) {
+  const auto plan = core::AllreducePlanner(5).build();
+  simnet::SimConfig cfg;
+  cfg.background.pattern = simnet::TrafficPattern::kPermutation;
+  cfg.background.load = 0.3;
+  cfg.background.seed = 7;
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  const auto result = sim.run(plan.split(2000));
+
+  const auto map =
+      adapt::CongestionMap::from_sim_result(plan.topology(), result, 1);
+  ASSERT_EQ(map.dlinks.size(),
+            static_cast<std::size_t>(2 * plan.topology().num_edges()));
+  EXPECT_EQ(map.cycles, result.cycles);
+  bool any_bg = false;
+  for (std::size_t d = 0; d < map.dlinks.size(); ++d) {
+    const auto& link = map.dlinks[d];
+    EXPECT_EQ(link.flits, result.link_flits[d]);
+    EXPECT_EQ(link.bg_flits, result.link_bg_flits[d]);
+    EXPECT_EQ(link.queue_hwm, result.link_queue_hwm[d]);
+    const double denom = static_cast<double>(result.cycles);
+    EXPECT_DOUBLE_EQ(
+        link.busy, static_cast<double>(link.flits + link.bg_flits) / denom);
+    EXPECT_DOUBLE_EQ(link.bg_busy, static_cast<double>(link.bg_flits) / denom);
+    any_bg = any_bg || link.bg_flits > 0;
+  }
+  EXPECT_TRUE(any_bg);
+
+  // Edge aggregates are the max over the two directions.
+  for (int e = 0; e < plan.topology().num_edges(); ++e) {
+    const std::size_t lo = static_cast<std::size_t>(2 * e);
+    EXPECT_DOUBLE_EQ(map.edge_bg_busy(e),
+                     std::max(map.dlinks[lo].bg_busy,
+                              map.dlinks[lo + 1].bg_busy));
+    EXPECT_EQ(map.edge_queue_hwm(e),
+              std::max(map.dlinks[lo].queue_hwm,
+                       map.dlinks[lo + 1].queue_hwm));
+  }
+}
+
+#if PFAR_TRACE_LEVEL
+TEST(CongestionMap, MetricsAndSimResultBuildersAgree) {
+  const auto plan = core::AllreducePlanner(5).build();
+  simnet::SimConfig cfg;
+  cfg.background.pattern = simnet::TrafficPattern::kHotspot;
+  cfg.background.load = 0.35;
+  cfg.background.hotspot_fraction = 0.3;
+  obsv::Recorder recorder;
+  cfg.recorder = &recorder;
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  const auto result = sim.run(plan.split(2000));
+
+  const auto from_sim =
+      adapt::CongestionMap::from_sim_result(plan.topology(), result, 1);
+  const auto from_metrics = adapt::CongestionMap::from_metrics(
+      plan.topology(), recorder.metrics, 1);
+  ASSERT_EQ(from_metrics.dlinks.size(), from_sim.dlinks.size());
+  EXPECT_EQ(from_metrics.cycles, from_sim.cycles);
+  for (std::size_t d = 0; d < from_sim.dlinks.size(); ++d) {
+    EXPECT_EQ(from_metrics.dlinks[d].flits, from_sim.dlinks[d].flits) << d;
+    EXPECT_EQ(from_metrics.dlinks[d].bg_flits, from_sim.dlinks[d].bg_flits)
+        << d;
+    EXPECT_EQ(from_metrics.dlinks[d].queue_hwm,
+              from_sim.dlinks[d].queue_hwm)
+        << d;
+    EXPECT_DOUBLE_EQ(from_metrics.dlinks[d].bg_busy,
+                     from_sim.dlinks[d].bg_busy)
+        << d;
+  }
+}
+#endif
+
+// --- obsv probe-window extraction -----------------------------------------
+
+#if PFAR_TRACE_LEVEL
+// Hand-computable scenario: a 3-node path, one BFS tree rooted at an end.
+// Allreduce of m single-flit elements moves exactly m flits on each of the
+// four directed links (m up the reduce, m down the broadcast), so each
+// link's busy_cycles counter must be exactly m and its flits exactly m.
+TEST(LinkWindows, MatchHandComputedValuesOnTinyRun) {
+  graph::Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.finalize();
+  const auto tree = collectives::bfs_tree(path, 0);
+  const long long m = 100;
+
+  simnet::SimConfig cfg;
+  obsv::Recorder recorder;
+  cfg.recorder = &recorder;
+  auto embeddings = collectives::to_embeddings({tree});
+  simnet::AllreduceSimulator sim(path, embeddings, cfg);
+  const auto result = sim.run({m});
+  ASSERT_TRUE(result.values_correct);
+
+  const auto window = obsv::extract_link_windows(recorder.metrics);
+  EXPECT_EQ(window.cycles, result.cycles);
+  ASSERT_EQ(window.links.size(), 4u);
+  for (const auto& link : window.links) {
+    EXPECT_EQ(link.flits, m) << link.name;
+    EXPECT_EQ(link.busy_cycles, m) << link.name;
+    EXPECT_EQ(link.bg_flits, 0) << link.name;
+    EXPECT_EQ(link.dropped_flits, 0) << link.name;
+    EXPECT_GE(link.queue_hwm, 1) << link.name;
+    EXPECT_DOUBLE_EQ(link.busy_fraction,
+                     static_cast<double>(m) /
+                         static_cast<double>(result.cycles))
+        << link.name;
+  }
+}
+
+// Fault-cancel edge case on q=5: a permanent mid-run link failure cancels
+// the affected trees. The extracted windows must stay internally
+// consistent — busy_fraction capped at 1, every per-link busy count no
+// larger than the window, and the downed link's traffic frozen at the
+// fault, not extrapolated.
+TEST(LinkWindows, FaultCancelRunStaysConsistent) {
+  const auto plan = core::AllreducePlanner(5).build();
+  // A link some tree actually uses, so the failure cancels work.
+  const auto tree_edges = plan.trees()[0].edges();
+  ASSERT_FALSE(tree_edges.empty());
+  const graph::Edge victim = tree_edges.front();
+
+  simnet::SimConfig cfg;
+  cfg.progress_timeout = 1500;
+  cfg.faults.events.push_back(
+      {200, victim.u, victim.v, simnet::FaultType::kLinkDown});
+  obsv::Recorder recorder;
+  cfg.recorder = &recorder;
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  const auto result = sim.run(plan.split(2000));
+
+  long long failures = 0;
+  for (char failed : result.tree_failed) failures += failed != 0 ? 1 : 0;
+  ASSERT_GT(failures, 0);  // the script really canceled trees
+
+  const auto window = obsv::extract_link_windows(recorder.metrics);
+  EXPECT_EQ(window.cycles, result.cycles);
+  EXPECT_FALSE(window.links.empty());
+  for (const auto& link : window.links) {
+    EXPECT_GE(link.busy_cycles, 0) << link.name;
+    EXPECT_LE(link.busy_cycles, window.cycles) << link.name;
+    EXPECT_LE(link.busy_fraction, 1.0) << link.name;
+    EXPECT_GE(link.flits, 0) << link.name;
+  }
+  // The canceled-run window still drives the controller without tripping
+  // its contracts.
+  const auto map = adapt::CongestionMap::from_metrics(plan.topology(),
+                                                      recorder.metrics, 1);
+  const auto adapted = adapt::adapt_plan(plan.topology(), plan.trees(), map);
+  EXPECT_EQ(adapted.trees.size(), plan.trees().size());
+}
+#endif
+
+// --- adapt_plan -----------------------------------------------------------
+
+TEST(AdaptPlan, QuietNetworkIsTheIdentity) {
+  const auto plan = core::AllreducePlanner(7).build();
+  simnet::SimConfig cfg;  // no background traffic
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  const auto result = sim.run(plan.split(2000));
+  const auto map =
+      adapt::CongestionMap::from_sim_result(plan.topology(), result, 1);
+
+  const auto adapted = adapt::adapt_plan(plan.topology(), plan.trees(), map);
+  EXPECT_TRUE(adapted.hot_links.empty());
+  EXPECT_TRUE(adapted.replanned.empty());
+  for (double s : adapted.capacity_scale) EXPECT_EQ(s, 1.0);
+  // Bit-identical to the reference Algorithm 1: the whole adaptation layer
+  // vanishes when the network is quiet.
+  const auto ref = model::compute_tree_bandwidths_reference(
+      plan.topology(), plan.trees(), 1.0);
+  ASSERT_EQ(adapted.bandwidths.per_tree.size(), ref.per_tree.size());
+  for (std::size_t i = 0; i < ref.per_tree.size(); ++i) {
+    EXPECT_EQ(adapted.bandwidths.per_tree[i], ref.per_tree[i]);
+  }
+  EXPECT_EQ(adapted.bandwidths.aggregate, ref.aggregate);
+}
+
+TEST(AdaptPlan, CongestedNetworkProducesValidNeverWorsePlan) {
+  const auto plan = core::AllreducePlanner(7).build();
+  simnet::SimConfig cfg;
+  cfg.background.pattern = simnet::TrafficPattern::kPermutation;
+  cfg.background.load = 0.5;
+  cfg.background.seed = 7;
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  const auto result = sim.run(plan.split(2000));
+  const auto map =
+      adapt::CongestionMap::from_sim_result(plan.topology(), result, 1);
+
+  const auto adapted = adapt::adapt_plan(plan.topology(), plan.trees(), map);
+  ASSERT_EQ(adapted.capacity_scale.size(),
+            static_cast<std::size_t>(plan.topology().num_edges()));
+  for (double s : adapted.capacity_scale) {
+    EXPECT_GE(s, adapt::ControllerConfig{}.min_capacity_scale);
+    EXPECT_LE(s, 1.0);
+  }
+  for (const auto& tree : adapted.trees) {
+    EXPECT_TRUE(tree.is_spanning_tree_of(plan.topology()));
+  }
+  // The committed plan's capacitated bandwidth is never below the
+  // re-weighted original's (the accept/reject gate).
+  const auto reweighted = model::compute_tree_bandwidths_capacitated(
+      plan.topology(), plan.trees(), 1.0, adapted.capacity_scale);
+  EXPECT_GE(adapted.bandwidths.aggregate, reweighted.aggregate);
+}
+
+TEST(AdaptPlan, ReplanOffIsHonored) {
+  const auto plan = core::AllreducePlanner(7).build();
+  simnet::SimConfig cfg;
+  cfg.background.pattern = simnet::TrafficPattern::kPermutation;
+  cfg.background.load = 0.5;
+  cfg.background.seed = 7;
+  auto embeddings = collectives::to_embeddings(plan.trees());
+  simnet::AllreduceSimulator sim(plan.topology(), embeddings, cfg);
+  const auto result = sim.run(plan.split(2000));
+  const auto map =
+      adapt::CongestionMap::from_sim_result(plan.topology(), result, 1);
+
+  adapt::ControllerConfig ctrl;
+  ctrl.replan = false;
+  const auto adapted =
+      adapt::adapt_plan(plan.topology(), plan.trees(), map, ctrl);
+  EXPECT_TRUE(adapted.replanned.empty());
+  ASSERT_EQ(adapted.trees.size(), plan.trees().size());
+  for (std::size_t t = 0; t < adapted.trees.size(); ++t) {
+    EXPECT_EQ(adapted.trees[t].parents(), plan.trees()[t].parents());
+  }
+}
+
+// --- run_adaptive_allreduce ------------------------------------------------
+
+TEST(AdaptiveAllreduce, ClosesTheLoopEndToEnd) {
+  const auto plan = core::AllreducePlanner(7).build();
+  simnet::SimConfig cfg;
+  cfg.background.pattern = simnet::TrafficPattern::kPermutation;
+  cfg.background.load = 0.5;
+  cfg.background.seed = 7;
+  const long long m = 20000;
+  const auto res = adapt::run_adaptive_allreduce(plan.topology(),
+                                                 plan.trees(), m, cfg, {},
+                                                 /*compare_static=*/true);
+  EXPECT_TRUE(res.compared);
+  EXPECT_TRUE(res.adaptive.sim.values_correct);
+  EXPECT_TRUE(res.static_run.sim.values_correct);
+  EXPECT_EQ(res.adaptive.m, m);
+  EXPECT_GT(res.probe.cycles, 0);
+  EXPECT_GT(res.probe.background_flits, 0);
+  // This configuration is the bench's headline point: adaptation wins big.
+  EXPECT_GT(res.adaptive.sim.aggregate_bandwidth,
+            res.static_run.sim.aggregate_bandwidth);
+}
+
+#if PFAR_TRACE_LEVEL
+TEST(AdaptiveAllreduce, EmitsAdaptInstrumentation) {
+  const auto plan = core::AllreducePlanner(7).build();
+  simnet::SimConfig cfg;
+  cfg.background.pattern = simnet::TrafficPattern::kPermutation;
+  cfg.background.load = 0.5;
+  cfg.background.seed = 7;
+  obsv::Recorder recorder;
+  cfg.recorder = &recorder;
+  const auto res = adapt::run_adaptive_allreduce(plan.topology(),
+                                                 plan.trees(), 4000, cfg);
+  EXPECT_EQ(recorder.metrics.counter("adapt.probe_cycles"), res.probe.cycles);
+  EXPECT_EQ(recorder.metrics.counter("adapt.hot_links"),
+            static_cast<long long>(res.plan.hot_links.size()));
+  EXPECT_EQ(recorder.metrics.counter("adapt.replanned_trees"),
+            static_cast<long long>(res.plan.replanned.size()));
+
+  // The adapt track's events land in the report's adaptation timeline.
+  std::ostringstream trace_json, metrics_jsonl;
+  recorder.trace.write_chrome_json(trace_json);
+  recorder.metrics.write_jsonl(metrics_jsonl);
+  const auto report =
+      obsv::build_report(trace_json.str(), metrics_jsonl.str());
+  EXPECT_FALSE(report.adapt.empty());
+  std::ostringstream rendered;
+  obsv::render_report(report, rendered);
+  EXPECT_NE(rendered.str().find("congestion adaptation timeline"),
+            std::string::npos);
+}
+#endif
+
+}  // namespace

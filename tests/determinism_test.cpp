@@ -97,9 +97,31 @@ void expect_identical(int q, core::Solution sol, const simnet::SimConfig& cfg,
             ref.max_reductions_per_input_port);
   EXPECT_EQ(fast.max_vc_occupancy, ref.max_vc_occupancy);
   EXPECT_EQ(fast.link_flits, ref.link_flits);
+  EXPECT_EQ(fast.link_queue_hwm, ref.link_queue_hwm);
+  EXPECT_EQ(fast.link_bg_flits, ref.link_bg_flits);
+  EXPECT_EQ(fast.background_packets, ref.background_packets);
+  EXPECT_EQ(fast.background_flits, ref.background_flits);
   EXPECT_EQ(fast.tree_finish_cycle, ref.tree_finish_cycle);
   EXPECT_EQ(fast.tree_first_delivery, ref.tree_first_delivery);
   EXPECT_DOUBLE_EQ(fast.aggregate_bandwidth, ref.aggregate_bandwidth);
+}
+
+// Full bit-identity between two runs (same engine or different): every
+// field that run() fills, including the background-traffic accounting.
+void expect_same_result(const simnet::SimResult& a,
+                        const simnet::SimResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.total_elements, b.total_elements);
+  EXPECT_EQ(a.values_correct, b.values_correct);
+  EXPECT_EQ(a.max_vc_occupancy, b.max_vc_occupancy);
+  EXPECT_EQ(a.link_flits, b.link_flits);
+  EXPECT_EQ(a.link_queue_hwm, b.link_queue_hwm);
+  EXPECT_EQ(a.link_bg_flits, b.link_bg_flits);
+  EXPECT_EQ(a.background_packets, b.background_packets);
+  EXPECT_EQ(a.background_flits, b.background_flits);
+  EXPECT_EQ(a.tree_finish_cycle, b.tree_finish_cycle);
+  EXPECT_EQ(a.tree_first_delivery, b.tree_first_delivery);
+  EXPECT_DOUBLE_EQ(a.aggregate_bandwidth, b.aggregate_bandwidth);
 }
 
 TEST(FastForwardEngine, MatchesReferenceAcrossCollectiveModes) {
@@ -138,6 +160,96 @@ TEST(FastForwardEngine, MatchesReferenceInStressCorners) {
     cfg.packet_payload = 8;
     cfg.packet_header_flits = 2;
     expect_identical(7, core::Solution::kLowDepth, cfg, 800);
+  }
+}
+
+// --- Background traffic (docs/congestion_adaptation.md) -------------------
+
+// A BackgroundTraffic block with load == 0 must be a true no-op: the run is
+// bit-identical to one whose config never mentioned background traffic at
+// all, on both cycle engines and at every shard count. This is the
+// differential that lets the quiet goldens above keep pinning the lineage.
+TEST(BackgroundTraffic, ZeroLoadIsBitIdenticalToQuiet) {
+  for (const auto engine :
+       {simnet::SimEngine::kFastForward, simnet::SimEngine::kReference}) {
+    for (const int shards : {1, 2, 4}) {
+      simnet::SimConfig quiet;
+      quiet.shard_threads = shards;
+      simnet::SimConfig zero = quiet;
+      zero.background.pattern = simnet::TrafficPattern::kPermutation;
+      zero.background.load = 0.0;  // configured but inactive
+      zero.background.seed = 99;
+      const auto a =
+          run_engine(5, core::Solution::kLowDepth, quiet, 800, engine);
+      const auto b =
+          run_engine(5, core::Solution::kLowDepth, zero, 800, engine);
+      expect_same_result(a, b);
+      EXPECT_EQ(b.background_flits, 0);
+      EXPECT_EQ(b.background_packets, 0);
+      for (long long f : b.link_bg_flits) EXPECT_EQ(f, 0);
+    }
+  }
+}
+
+// Under live background traffic the fast-forward engine must still replay
+// the reference engine exactly — the background drains are integer-rational
+// (ppm accumulators) and the idle-jump wake points account for them.
+TEST(BackgroundTraffic, FastMatchesReferenceAcrossPatternsAndLoads) {
+  for (const auto pattern :
+       {simnet::TrafficPattern::kUniform, simnet::TrafficPattern::kPermutation,
+        simnet::TrafficPattern::kHotspot}) {
+    for (const double load : {0.1, 0.25, 0.5}) {
+      simnet::SimConfig cfg;
+      cfg.background.pattern = pattern;
+      cfg.background.load = load;
+      cfg.background.seed = 7;
+      cfg.background.hotspot_fraction = 0.25;
+      expect_identical(5, core::Solution::kLowDepth, cfg, 600);
+      expect_identical(5, core::Solution::kEdgeDisjoint, cfg, 600);
+    }
+  }
+}
+
+// Background traffic composes with the stressful config corners the quiet
+// differential matrix covers.
+TEST(BackgroundTraffic, FastMatchesReferenceInStressCorners) {
+  {
+    simnet::SimConfig cfg;  // tight credits + long latency + hotspot bg
+    cfg.vc_credits = 2;
+    cfg.link_latency = 8;
+    cfg.background.pattern = simnet::TrafficPattern::kHotspot;
+    cfg.background.load = 0.4;
+    expect_identical(5, core::Solution::kLowDepth, cfg, 400);
+  }
+  {
+    simnet::SimConfig cfg;  // wide links + permutation bg + framing
+    cfg.link_bandwidth = 2;
+    cfg.packet_payload = 4;
+    cfg.packet_header_flits = 1;
+    cfg.background.pattern = simnet::TrafficPattern::kPermutation;
+    cfg.background.load = 0.5;
+    cfg.background.seed = 3;
+    expect_identical(7, core::Solution::kEdgeDisjoint, cfg, 800);
+  }
+}
+
+// The sharded fast path under background load must reproduce the serial
+// run bit-for-bit: the telescoping closed form makes per-shard background
+// accounting independent of where the cycle range is cut.
+TEST(BackgroundTraffic, ShardedMatchesSerial) {
+  simnet::SimConfig serial;
+  serial.background.pattern = simnet::TrafficPattern::kPermutation;
+  serial.background.load = 0.3;
+  serial.background.seed = 7;
+  const auto base = run_engine(7, core::Solution::kLowDepth, serial, 2000,
+                               simnet::SimEngine::kFastForward);
+  EXPECT_GT(base.background_flits, 0);
+  for (const int shards : {2, 3, 8}) {
+    simnet::SimConfig cfg = serial;
+    cfg.shard_threads = shards;
+    const auto sharded = run_engine(7, core::Solution::kLowDepth, cfg, 2000,
+                                    simnet::SimEngine::kFastForward);
+    expect_same_result(base, sharded);
   }
 }
 

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "adapt/controller.hpp"
 #include "collectives/host_allreduce.hpp"
 #include "collectives/innetwork.hpp"
 #include "collectives/resilient.hpp"
@@ -303,6 +304,79 @@ TEST(FuzzApportion, AlwaysSumsAndRespectsMonotonicity) {
       EXPECT_GE(split[static_cast<std::size_t>(i)], static_cast<long long>(quota) - 1);
       EXPECT_LE(split[static_cast<std::size_t>(i)], static_cast<long long>(quota) + 1);
     }
+  }
+}
+
+// --- Congestion controller properties (docs/congestion_adaptation.md) -----
+
+// Randomized background traffic against the full control loop. Three
+// properties must hold for every seed/pattern/load draw:
+//   1. the re-weighted split the adaptive run used sums to exactly m and
+//      matches optimal_split over the adapted bandwidths;
+//   2. every tree in the adapted plan is a spanning tree of the topology,
+//      and a plan whose original trees were edge-disjoint stays
+//      edge-disjoint after re-planning;
+//   3. the adaptive run's measured bandwidth is never worse than the
+//      static run's beyond a pinned tolerance (the accept/reject gate in
+//      adapt_plan commits a re-plan only when the capacitated model says
+//      it strictly wins).
+TEST(FuzzAdapt, ControllerPropertiesUnderRandomBackground) {
+  // Simulated bandwidth is not exactly the capacitated model's objective,
+  // so allow the adaptive run this much slack vs static before failing.
+  constexpr double kTolerance = 0.02;
+  util::Rng rng(53);
+  const simnet::TrafficPattern patterns[] = {
+      simnet::TrafficPattern::kUniform, simnet::TrafficPattern::kPermutation,
+      simnet::TrafficPattern::kHotspot};
+  for (int iter = 0; iter < 12; ++iter) {
+    const int q = (iter % 2 == 0) ? 7 : 5;
+    const auto sol = (iter % 4 < 2) ? core::Solution::kLowDepth
+                                    : core::Solution::kEdgeDisjoint;
+    const auto plan = core::AllreducePlanner(q).solution(sol).build();
+    const bool originally_disjoint =
+        trees::edge_disjoint(plan.topology(), plan.trees());
+
+    simnet::SimConfig cfg;
+    cfg.background.pattern = patterns[rng.next_below(3)];
+    cfg.background.load = 0.1 + 0.5 * rng.next_double();
+    cfg.background.seed = rng.next();
+    cfg.background.hotspot_fraction = 0.1 + 0.3 * rng.next_double();
+    const long long m = 4000 + static_cast<long long>(rng.next_below(8000));
+
+    const auto res = adapt::run_adaptive_allreduce(
+        plan.topology(), plan.trees(), m, cfg, {}, /*compare_static=*/true);
+
+    // Property 1: split integrity.
+    EXPECT_EQ(std::accumulate(res.adaptive.split.begin(),
+                              res.adaptive.split.end(), 0LL),
+              m)
+        << "iter " << iter;
+    EXPECT_EQ(res.adaptive.split,
+              model::optimal_split(m, res.plan.bandwidths))
+        << "iter " << iter;
+    for (long long s : res.adaptive.split) EXPECT_GE(s, 0) << "iter " << iter;
+
+    // Property 2: structural validity of the adapted plan
+    // (pfar_audit-style: spanning + disjointness preserved).
+    ASSERT_EQ(res.plan.trees.size(), plan.trees().size()) << "iter " << iter;
+    for (const auto& tree : res.plan.trees) {
+      EXPECT_TRUE(tree.is_spanning_tree_of(plan.topology()))
+          << "iter " << iter;
+    }
+    if (originally_disjoint) {
+      EXPECT_TRUE(trees::edge_disjoint(plan.topology(), res.plan.trees))
+          << "iter " << iter;
+    }
+
+    // Property 3: never meaningfully worse than static.
+    ASSERT_TRUE(res.compared) << "iter " << iter;
+    EXPECT_TRUE(res.adaptive.sim.values_correct) << "iter " << iter;
+    EXPECT_TRUE(res.static_run.sim.values_correct) << "iter " << iter;
+    EXPECT_GE(res.adaptive.sim.aggregate_bandwidth,
+              res.static_run.sim.aggregate_bandwidth * (1.0 - kTolerance))
+        << "iter " << iter << " pattern "
+        << static_cast<int>(cfg.background.pattern) << " load "
+        << cfg.background.load;
   }
 }
 

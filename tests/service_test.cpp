@@ -64,6 +64,40 @@ TEST(ServiceTest, SerialSingleJobMatchesOneShotCost) {
   EXPECT_TRUE(svc.stats().values_correct);
 }
 
+TEST(ServiceTest, BackgroundTrafficFlowsThroughLaneRuns) {
+  // ServiceConfig::sim carries the background-traffic block verbatim into
+  // every lane's simulator run (docs/congestion_adaptation.md): a loaded
+  // network must slow jobs down, and a zero-load block must be an exact
+  // no-op versus a quiet config.
+  const auto plan = make_plan(5);
+  const auto run_with = [&](double load) {
+    service::ServiceConfig config;
+    config.policy = service::SchedulerPolicy::kSerial;
+    config.sim.background.pattern = simnet::TrafficPattern::kPermutation;
+    config.sim.background.load = load;
+    config.sim.background.seed = 7;
+    service::AllreduceService svc(plan, config);
+    const int id = svc.submit(job(0, 4000, 0));
+    svc.drain();
+    EXPECT_TRUE(svc.stats().values_correct);
+    const auto& r = svc.records()[static_cast<std::size_t>(id)];
+    EXPECT_TRUE(r.completed);
+    return r.finish_cycle - r.start_cycle;
+  };
+  const long long quiet = run_with(0.0);
+  const long long loaded = run_with(0.5);
+  EXPECT_GT(loaded, quiet);
+
+  service::ServiceConfig untouched;  // background never mentioned
+  untouched.policy = service::SchedulerPolicy::kSerial;
+  service::AllreduceService svc(plan, untouched);
+  const int id = svc.submit(job(0, 4000, 0));
+  svc.drain();
+  EXPECT_EQ(svc.records()[static_cast<std::size_t>(id)].finish_cycle -
+                svc.records()[static_cast<std::size_t>(id)].start_cycle,
+            quiet);
+}
+
 TEST(ServiceTest, LanesMatchLinkDisjointGroups) {
   const auto plan = make_plan(7);
   const auto groups = plan.link_disjoint_tree_groups();

@@ -3,6 +3,7 @@
 #include "polarfly/erq.hpp"
 #include "simnet/traffic_sim.hpp"
 #include "topo/topologies.hpp"
+#include "util/contracts.hpp"
 
 namespace pfar::simnet {
 namespace {
@@ -173,6 +174,29 @@ TEST(TrafficSimTest, DeterministicForFixedSeed) {
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
   EXPECT_EQ(a.p99_latency, b.p99_latency);
+}
+
+// Regression: a hotspot node id outside [0, N) used to index out of
+// bounds; the contract layer now rejects it before the run starts.
+TEST(TrafficSimTest, HotspotNodeOutOfRangeIsRejected) {
+  const polarfly::PolarFly pf(3);
+  const TrafficSimulator sim(pf.graph());
+  util::contracts::ScopedThrowHandler guard;
+  for (const int node : {-1, pf.graph().num_vertices(),
+                         pf.graph().num_vertices() + 5}) {
+    auto cfg = light_load();
+    cfg.pattern = TrafficPattern::kHotspot;
+    cfg.hotspot_node = node;
+    EXPECT_THROW(static_cast<void>(sim.run(cfg)),
+                 util::contracts::ContractViolation)
+        << "hotspot_node=" << node;
+  }
+  // In-range ids still run.
+  auto cfg = light_load();
+  cfg.pattern = TrafficPattern::kHotspot;
+  cfg.hotspot_node = 0;
+  cfg.hotspot_fraction = 0.3;
+  EXPECT_GT(sim.run(cfg).delivered, 0);
 }
 
 }  // namespace

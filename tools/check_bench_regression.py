@@ -37,7 +37,13 @@ RATIO_FIELDS = ("speedup_cold", "speedup_warm", "speedup_sweep10")
 EXACT_POINT_FIELDS = ("alg1_bw", "sim_bw", "efficiency",
                       "jobs_per_kcycle", "p50_cycles", "p99_cycles",
                       "makespan_cycles", "utilization", "completed",
-                      "rejected", "batches", "coalesced_jobs")
+                      "rejected", "batches", "coalesced_jobs",
+                      # Congested-allreduce bench: background traffic and
+                      # the adaptation loop are integer-rational / fixed
+                      # float-op-order constructs, deterministic on every
+                      # machine (docs/congestion_adaptation.md).
+                      "static_bw", "adaptive_bw", "win",
+                      "hot_links", "replanned_trees", "probe_cycles")
 WALL_POINT_FIELDS = ("wall_ms", "seed_ms", "cold_ms", "warm_ms")
 WALL_TOP_FIELDS = ("total_wall_ms",)
 # Relative slack for "exact" floats: they are deterministic but printed
@@ -62,7 +68,7 @@ def point_key(point):
     """
     return tuple(point.get(k)
                  for k in ("engine", "q", "solution", "m",
-                           "policy", "load", "jobs") if k in point)
+                           "policy", "load", "jobs", "pattern") if k in point)
 
 
 def match_points(base, cur):

@@ -686,14 +686,15 @@ class ContractCoverage final : public Rule {
   std::string_view id() const override { return "contract-coverage"; }
   std::string_view description() const override {
     return "public entry points (namespace-scope function definitions in "
-           "src/{core,collectives,service,simnet}/*.cpp with a non-trivial "
-           "body) must assert preconditions via PFAR_REQUIRE / PFAR_ENSURE "
-           "/ PFAR_INVARIANT";
+           "src/{core,collectives,service,simnet,adapt}/*.cpp with a "
+           "non-trivial body) must assert preconditions via PFAR_REQUIRE "
+           "/ PFAR_ENSURE / PFAR_INVARIANT";
   }
 
   void check(const SourceFile& f, std::vector<Finding>& out) const override {
     static const char* kDirs[] = {"src/core/", "src/collectives/",
-                                  "src/service/", "src/simnet/"};
+                                  "src/service/", "src/simnet/",
+                                  "src/adapt/"};
     bool in_scope = false;
     for (const char* d : kDirs) in_scope = in_scope || starts_with(f.path, d);
     if (!in_scope || !ends_with(f.path, ".cpp")) return;
