@@ -338,6 +338,8 @@ RunReport build_report(std::string_view trace_json,
       report.timeline.push_back(ev);
     } else if (ev.track == kTrackAdapt) {  // congestion controller
       report.adapt.push_back(ev);
+    } else if (ev.track == kTrackWorkload) {  // training replay
+      report.workload.push_back(ev);
     }
   }
   // The busy_cycles counter (emitted since the controller landed) is
@@ -353,6 +355,7 @@ RunReport build_report(std::string_view trace_json,
   };
   std::stable_sort(report.timeline.begin(), report.timeline.end(), by_ts);
   std::stable_sort(report.adapt.begin(), report.adapt.end(), by_ts);
+  std::stable_sort(report.workload.begin(), report.workload.end(), by_ts);
 
   for (auto& [key, link] : links) report.links.push_back(link);
   std::stable_sort(report.links.begin(), report.links.end(),
@@ -488,6 +491,38 @@ void render_report(const RunReport& report, std::ostream& os, int top_k) {
     for (const auto& [name, value] : report.counters) {
       if (name.substr(0, 6) != "adapt.") continue;
       std::snprintf(buf, sizeof buf, "%-24s %12lld\n", name.c_str(), value);
+      os << buf;
+    }
+  }
+
+  const bool any_workload_counter = [&] {
+    for (const auto& [name, value] : report.counters) {
+      if (name.substr(0, 9) == "workload.") return true;
+    }
+    return false;
+  }();
+  if (!report.workload.empty() || any_workload_counter) {
+    os << "\n-- training replay timeline --\n";
+    for (const ReportEvent& ev : report.workload) {
+      if (ev.ph == 'X') {
+        std::snprintf(buf, sizeof buf, "cycle %lld..%lld: %s", ev.ts,
+                      ev.ts + ev.dur, ev.name.c_str());
+      } else {
+        std::snprintf(buf, sizeof buf, "cycle %lld: %s", ev.ts,
+                      ev.name.c_str());
+      }
+      os << buf;
+      bool first = true;
+      for (const auto& [k, v] : ev.args) {
+        os << (first ? " (" : ", ") << k << "=" << v;
+        first = false;
+      }
+      if (!first) os << ")";
+      os << "\n";
+    }
+    for (const auto& [name, value] : report.counters) {
+      if (name.substr(0, 9) != "workload.") continue;
+      std::snprintf(buf, sizeof buf, "%-28s %12lld\n", name.c_str(), value);
       os << buf;
     }
   }

@@ -75,6 +75,7 @@ struct RunReport {
   std::vector<Tree> trees;            // sorted by id
   std::vector<ReportEvent> timeline;  // fault/recovery events, by ts
   std::vector<ReportEvent> adapt;     // congestion-controller events, by ts
+  std::vector<ReportEvent> workload;  // training-replay events, by ts
   std::map<std::string, double> planner_ms;  // phase -> total ms
   std::map<std::string, long long> counters;  // every counter metric
   /// Flow-tier observations ("flow."-prefixed histograms): sim_bw and the

@@ -38,6 +38,7 @@ inline constexpr std::uint32_t kTrackSim = 0;       // run-wide instants
 inline constexpr std::uint32_t kTrackRecovery = 1;  // resilient driver
 inline constexpr std::uint32_t kTrackPlanner = 2;   // planner phases
 inline constexpr std::uint32_t kTrackAdapt = 3;     // congestion controller
+inline constexpr std::uint32_t kTrackWorkload = 4;  // training replay
 inline constexpr std::uint32_t kTrackTreeBase = 10;       // + tree id
 inline constexpr std::uint32_t kTrackLinkBase = 100000;   // + directed link
 inline constexpr std::uint32_t kTrackServiceBase = 200000;  // + service lane

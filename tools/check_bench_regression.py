@@ -43,7 +43,13 @@ EXACT_POINT_FIELDS = ("alg1_bw", "sim_bw", "efficiency",
                       # float-op-order constructs, deterministic on every
                       # machine (docs/congestion_adaptation.md).
                       "static_bw", "adaptive_bw", "win",
-                      "hot_links", "replanned_trees", "probe_cycles")
+                      "hot_links", "replanned_trees", "probe_cycles",
+                      # Training-replay bench: BSP virtual-cycle arithmetic
+                      # over deterministic collective runs, bit-identical
+                      # on every machine (docs/training_replay.md).
+                      "time_to_epoch", "overlap_eff", "exposed_comm_cycles",
+                      "comm_wall_cycles", "comm_busy_cycles",
+                      "total_flits", "buckets", "slow_permille")
 WALL_POINT_FIELDS = ("wall_ms", "seed_ms", "cold_ms", "warm_ms")
 WALL_TOP_FIELDS = ("total_wall_ms",)
 # Relative slack for "exact" floats: they are deterministic but printed
@@ -67,8 +73,9 @@ def point_key(point):
     benches that do not run the simulator) key on the grid alone.
     """
     return tuple(point.get(k)
-                 for k in ("engine", "q", "solution", "m",
-                           "policy", "load", "jobs", "pattern") if k in point)
+                 for k in ("engine", "q", "solution", "m", "policy", "load",
+                           "jobs", "pattern", "overlap", "straggler")
+                 if k in point)
 
 
 def match_points(base, cur):
@@ -98,6 +105,14 @@ def check_exact(pairs):
             b, c = bp[field], cp.get(field)
             if c is None:
                 fail(f"point {key}: field {field} missing from current run")
+                continue
+            if isinstance(b, int) and isinstance(c, int):
+                # Integer fields (virtual cycles, flit/job counts) are
+                # bit-deterministic: any drift is a hard failure, however
+                # small relative to the magnitude.
+                if b != c:
+                    fail(f"point {key}: deterministic field {field} changed "
+                         f"{b} -> {c}")
                 continue
             scale = max(abs(b), abs(c), 1e-12)
             if abs(b - c) / scale > EXACT_REL:

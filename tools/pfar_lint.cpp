@@ -694,7 +694,7 @@ class ContractCoverage final : public Rule {
   void check(const SourceFile& f, std::vector<Finding>& out) const override {
     static const char* kDirs[] = {"src/core/", "src/collectives/",
                                   "src/service/", "src/simnet/",
-                                  "src/adapt/"};
+                                  "src/adapt/", "src/workload/"};
     bool in_scope = false;
     for (const char* d : kDirs) in_scope = in_scope || starts_with(f.path, d);
     if (!in_scope || !ends_with(f.path, ".cpp")) return;
